@@ -1,0 +1,109 @@
+//! Figure 10: monitoring-scheme comparison — FSD accuracy and the FCT it
+//! buys.
+//!
+//! Four variants drive the same PARALEON SA tuner on FB_Hadoop at
+//! several loads: No-FSD (SA unguided), NetFlow (1:100 sampling, 1 s
+//! export), naive Elastic Sketch (single-interval classification, no TOS
+//! dedup) and PARALEON (windowed ternary states over deduped sketches).
+//! Accuracy is the similarity of each interval's estimated network-wide
+//! FSD to the ground truth computed from exact per-flow byte counts.
+//!
+//! Run: `cargo run --release -p paraleon-bench --bin exp_fig10 [--paper]`
+
+use paraleon::prelude::*;
+use paraleon_bench::{print_table, write_json, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    monitor: String,
+    load: f64,
+    fsd_accuracy: f64,
+    avg_fct_ms: f64,
+    p99_fct_ms: f64,
+    flows: usize,
+}
+
+fn run_one(scale: Scale, monitor: MonitorKind, load: f64) -> Row {
+    let mut sim_cfg = SimConfig::default();
+    sim_cfg.track_ground_truth = true;
+    let mut cl = ClosedLoop::builder(scale.clos())
+        .scheme(scale.paraleon())
+        .monitor(monitor.clone())
+        .sim_config(sim_cfg)
+        .loop_config(LoopConfig {
+            force_tuning: true, // every variant tunes, FSD quality differs
+            ..LoopConfig::default()
+        })
+        .build();
+    let wl = PoissonWorkload::new(
+        PoissonConfig {
+            hosts: scale.hosts(),
+            host_bw_bytes_per_sec: 12.5e9,
+            load,
+            start: 0,
+            end: scale.monitor_window(),
+        },
+        FlowSizeDist::fb_hadoop(),
+    );
+    let mut rng = StdRng::seed_from_u64(17);
+    let flows = wl.generate(&mut rng);
+    drivers::run_schedule(&mut cl, &flows, scale.monitor_window());
+    cl.run_to_completion(scale.monitor_window() + 200 * MILLI);
+
+    let acc: Vec<f64> = cl
+        .history
+        .iter()
+        .filter_map(|r| r.fsd_accuracy)
+        .collect();
+    let mut fcts: Vec<f64> = cl
+        .completions
+        .iter()
+        .map(|r| r.fct() as f64 / 1e6)
+        .collect();
+    let avg = paraleon::stats::mean(&fcts);
+    let p99 = paraleon::stats::percentile(&mut fcts, 99.0);
+    Row {
+        monitor: monitor.name().to_string(),
+        load,
+        fsd_accuracy: paraleon::stats::mean(&acc),
+        avg_fct_ms: avg,
+        p99_fct_ms: p99,
+        flows: cl.completions.len(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 10 reproduction ({} scale)", scale.label());
+    let monitors = [
+        MonitorKind::NoFsd,
+        MonitorKind::NetFlow,
+        MonitorKind::NaiveSketch,
+        MonitorKind::Paraleon,
+    ];
+    let loads = [0.3, 0.5, 0.7];
+    let mut out = Vec::new();
+    for load in loads {
+        let mut rows = Vec::new();
+        for m in &monitors {
+            let r = run_one(scale, m.clone(), load);
+            rows.push(vec![
+                r.monitor.clone(),
+                format!("{:.3}", r.fsd_accuracy),
+                format!("{:.2}", r.avg_fct_ms),
+                format!("{:.2}", r.p99_fct_ms),
+                format!("{}", r.flows),
+            ]);
+            out.push(r);
+        }
+        print_table(
+            &format!("Fig 10 @ load {load}"),
+            &["monitor", "FSD accuracy", "avg FCT (ms)", "p99 FCT (ms)", "flows"],
+            &rows,
+        );
+    }
+    write_json("fig10", &out);
+}

@@ -1,0 +1,93 @@
+//! Figure 11: the effect of the monitor interval λ_MI on FSD accuracy
+//! and FCT, comparing naive Elastic Sketch vs PARALEON.
+//!
+//! NetFlow is excluded (it is an O(seconds) scheme, as in the paper).
+//! Expectation to reproduce: PARALEON stays near-perfect at every
+//! millisecond-scale interval, while naive Elastic Sketch improves with
+//! longer intervals yet remains behind; smaller intervals help
+//! PARALEON's FCT by making the tuner more responsive.
+//!
+//! Run: `cargo run --release -p paraleon-bench --bin exp_fig11 [--paper]`
+
+use paraleon::prelude::*;
+use paraleon_bench::{print_table, write_json, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    monitor: String,
+    lambda_mi_ms: f64,
+    fsd_accuracy: f64,
+    avg_fct_ms: f64,
+    flows: usize,
+}
+
+fn run_one(scale: Scale, monitor: MonitorKind, lambda_mi: u64) -> Row {
+    let mut sim_cfg = SimConfig::default();
+    sim_cfg.track_ground_truth = true;
+    let mut cl = ClosedLoop::builder(scale.clos())
+        .scheme(scale.paraleon())
+        .monitor(monitor.clone())
+        .sim_config(sim_cfg)
+        .loop_config(LoopConfig {
+            lambda_mi,
+            force_tuning: true,
+            ..LoopConfig::default()
+        })
+        .build();
+    let wl = PoissonWorkload::new(
+        PoissonConfig {
+            hosts: scale.hosts(),
+            host_bw_bytes_per_sec: 12.5e9,
+            load: 0.3,
+            start: 0,
+            end: scale.monitor_window(),
+        },
+        FlowSizeDist::fb_hadoop(),
+    );
+    let mut rng = StdRng::seed_from_u64(19);
+    let flows = wl.generate(&mut rng);
+    drivers::run_schedule(&mut cl, &flows, scale.monitor_window());
+    cl.run_to_completion(scale.monitor_window() + 200 * MILLI);
+    let acc: Vec<f64> = cl.history.iter().filter_map(|r| r.fsd_accuracy).collect();
+    let fcts: Vec<f64> = cl
+        .completions
+        .iter()
+        .map(|r| r.fct() as f64 / 1e6)
+        .collect();
+    Row {
+        monitor: monitor.name().to_string(),
+        lambda_mi_ms: lambda_mi as f64 / 1e6,
+        fsd_accuracy: paraleon::stats::mean(&acc),
+        avg_fct_ms: paraleon::stats::mean(&fcts),
+        flows: cl.completions.len(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 11 reproduction ({} scale)", scale.label());
+    let intervals = [MILLI, 2 * MILLI, 4 * MILLI, 8 * MILLI];
+    let mut out = Vec::new();
+    for m in [MonitorKind::NaiveSketch, MonitorKind::Paraleon] {
+        let mut rows = Vec::new();
+        for &mi in &intervals {
+            let r = run_one(scale, m.clone(), mi);
+            rows.push(vec![
+                format!("{:.0}", r.lambda_mi_ms),
+                format!("{:.3}", r.fsd_accuracy),
+                format!("{:.2}", r.avg_fct_ms),
+                format!("{}", r.flows),
+            ]);
+            out.push(r);
+        }
+        print_table(
+            &format!("Fig 11: {} across monitor intervals", m.name()),
+            &["λ_MI (ms)", "FSD accuracy", "avg FCT (ms)", "flows"],
+            &rows,
+        );
+    }
+    write_json("fig11", &out);
+}

@@ -1,0 +1,114 @@
+//! Figure 5: single-parameter impacts on throughput and RTT.
+//!
+//! Sweeps each of the paper's four representative parameters —
+//! `hai_rate`, `rate_reduce_monitor_period`, `rpg_time_reset`, `K_max` —
+//! one at a time (all others at NVIDIA defaults) under a sustained
+//! alltoall, and reports steady-state mean throughput and RTT. The
+//! paper's observation to reproduce: each parameter has a
+//! *throughput-friendly* and a *delay-friendly* direction.
+//!
+//! Run: `cargo run --release -p paraleon-bench --bin exp_fig5 [--paper]`
+
+use paraleon::prelude::*;
+use paraleon_bench::{gbps_of, print_table, tail_goodput, tail_rtt_us, write_json, Scale};
+use paraleon_dcqcn::ParamId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    param: String,
+    value: f64,
+    goodput_gbps: f64,
+    rtt_us: f64,
+}
+
+/// The sweep workload: long-running elephants that periodically get hit
+/// by mice incast bursts at their destinations. Each burst collapses the
+/// elephants' DCQCN rates; the recovery between bursts exercises the
+/// rate-increase machinery (fast recovery → additive → hyper), and the
+/// ECN thresholds shape the collapse depth — so every swept parameter
+/// has an observable effect, as in the paper's Figure 5.
+fn measure(scale: Scale, params: DcqcnParams) -> (f64, f64) {
+    let mut cfg = SimConfig::default();
+    cfg.dcqcn = params.clone();
+    let mut cl = ClosedLoop::builder(scale.clos())
+        .scheme(SchemeKind::Static(params, "sweep"))
+        .sim_config(cfg)
+        .build();
+    let hosts = scale.hosts();
+    let pairs = hosts / 4;
+    let window = match scale {
+        Scale::Reduced => 24 * MILLI,
+        Scale::Paper => 60 * MILLI,
+    };
+    // Elephants: disjoint cross-fabric pairs spread over all racks (so
+    // no rack uplink is structurally saturated), sized to outlive the run.
+    for i in 0..pairs {
+        let src = i * (hosts / pairs);
+        let dst = (src + hosts / 2 + 1) % hosts;
+        cl.sim.add_flow(src, dst, 2 * 12_500 * window / 1_000, 0);
+    }
+    // Mice bursts: every 3 ms, an 8-to-1 incast of 64 KB mice onto each
+    // elephant destination.
+    let mut t = MILLI;
+    while t < window {
+        for i in 0..pairs {
+            let dst = (i * (hosts / pairs) + hosts / 2 + 1) % hosts;
+            for k in 0..8usize {
+                let src = (dst + 1 + k * 3) % hosts;
+                if src != dst {
+                    cl.sim.add_flow(src, dst, 64 * 1024, t + k as u64 * 1000);
+                }
+            }
+        }
+        t += 3 * MILLI;
+    }
+    cl.run_until(window);
+    let n = cl.history.len();
+    let tail = n.saturating_sub(1); // skip only the first interval
+    (tail_goodput(&cl, tail), tail_rtt_us(&cl, tail))
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let sweeps: Vec<(ParamId, Vec<f64>)> = vec![
+        (ParamId::HaiRate, vec![50.0, 150.0, 400.0, 800.0, 1600.0]),
+        (
+            ParamId::RateReduceMonitorPeriod,
+            vec![4.0, 20.0, 80.0, 200.0, 400.0],
+        ),
+        (ParamId::RpgTimeReset, vec![20.0, 80.0, 300.0, 600.0, 1200.0]),
+        (ParamId::KMax, vec![100.0, 400.0, 1600.0, 6400.0, 12800.0]),
+    ];
+    println!("Figure 5 reproduction ({} scale)", scale.label());
+    let mut out = Vec::new();
+    for (param, values) in &sweeps {
+        let mut rows = Vec::new();
+        for &v in values {
+            let mut p = DcqcnParams::nvidia_default();
+            p.set(*param, v);
+            if *param == ParamId::KMax {
+                // Keep the thresholds consistent like operators do.
+                p.k_min = (v / 4.0).max(10.0);
+            }
+            let (tp, rtt) = measure(scale, p);
+            rows.push(vec![
+                format!("{v}"),
+                format!("{:.1}", gbps_of(tp)),
+                format!("{rtt:.1}"),
+            ]);
+            out.push(Point {
+                param: param.name().to_string(),
+                value: v,
+                goodput_gbps: gbps_of(tp),
+                rtt_us: rtt,
+            });
+        }
+        print_table(
+            &format!("Fig 5: sweep of {}", param.name()),
+            &["value", "throughput (Gbps)", "RTT (us)"],
+            &rows,
+        );
+    }
+    write_json("fig5", &out);
+}

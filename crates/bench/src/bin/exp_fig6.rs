@@ -1,0 +1,121 @@
+//! Figure 6: inter-parameter impacts — a 2-D sweep of `rpg_time_reset` ×
+//! `K_max` on throughput and RTT.
+//!
+//! The paper's point: driving both parameters in the throughput-friendly
+//! direction simultaneously (small `rpg_time_reset`, large `K_max`) does
+//! **not** produce monotonically better throughput — over-aggressive
+//! injection overshoots the equilibrium, triggers extra CNPs/PFCs and
+//! hurts. The harness prints both metric grids and flags the
+//! non-monotonicity.
+//!
+//! Run: `cargo run --release -p paraleon-bench --bin exp_fig6 [--paper]`
+
+use paraleon::prelude::*;
+use paraleon_bench::{gbps_of, print_table, tail_goodput, tail_rtt_us, write_json, Scale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    rpg_time_reset: f64,
+    k_max: f64,
+    goodput_gbps: f64,
+    rtt_us: f64,
+}
+
+/// Same bursty elephants-plus-mice-incast workload as `exp_fig5` (see
+/// there for the rationale), with two parameters swept jointly.
+fn measure(scale: Scale, rpg_time_reset: f64, k_max: f64) -> (f64, f64) {
+    let mut p = DcqcnParams::nvidia_default();
+    p.rpg_time_reset = rpg_time_reset;
+    p.k_max = k_max;
+    p.k_min = (k_max / 4.0).max(10.0);
+    let mut cfg = SimConfig::default();
+    cfg.dcqcn = p.clone();
+    let mut cl = ClosedLoop::builder(scale.clos())
+        .scheme(SchemeKind::Static(p, "grid"))
+        .sim_config(cfg)
+        .build();
+    let hosts = scale.hosts();
+    let pairs = hosts / 4;
+    let window = match scale {
+        Scale::Reduced => 24 * MILLI,
+        Scale::Paper => 60 * MILLI,
+    };
+    for i in 0..pairs {
+        let src = i * (hosts / pairs);
+        let dst = (src + hosts / 2 + 1) % hosts;
+        cl.sim.add_flow(src, dst, 2 * 12_500 * window / 1_000, 0);
+    }
+    let mut t = MILLI;
+    while t < window {
+        for i in 0..pairs {
+            let dst = (i * (hosts / pairs) + hosts / 2 + 1) % hosts;
+            for k in 0..8usize {
+                let src = (dst + 1 + k * 3) % hosts;
+                if src != dst {
+                    cl.sim.add_flow(src, dst, 64 * 1024, t + k as u64 * 1000);
+                }
+            }
+        }
+        t += 3 * MILLI;
+    }
+    cl.run_until(window);
+    let n = cl.history.len();
+    (tail_goodput(&cl, n.saturating_sub(1)), tail_rtt_us(&cl, n.saturating_sub(1)))
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let timers = [20.0, 80.0, 300.0, 900.0];
+    let kmaxes = [200.0, 800.0, 3200.0, 12800.0];
+    println!("Figure 6 reproduction ({} scale)", scale.label());
+
+    let mut cells = Vec::new();
+    let mut tp_rows = Vec::new();
+    let mut rtt_rows = Vec::new();
+    for &t in &timers {
+        let mut tp_row = vec![format!("{t}")];
+        let mut rtt_row = vec![format!("{t}")];
+        for &k in &kmaxes {
+            let (tp, rtt) = measure(scale, t, k);
+            tp_row.push(format!("{:.1}", gbps_of(tp)));
+            rtt_row.push(format!("{rtt:.1}"));
+            cells.push(Cell {
+                rpg_time_reset: t,
+                k_max: k,
+                goodput_gbps: gbps_of(tp),
+                rtt_us: rtt,
+            });
+        }
+        tp_rows.push(tp_row);
+        rtt_rows.push(rtt_row);
+    }
+    let header: Vec<String> = std::iter::once("timer\\Kmax".to_string())
+        .chain(kmaxes.iter().map(|k| format!("{k}KB")))
+        .collect();
+    let header_ref: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table("Fig 6(a): throughput (Gbps)", &header_ref, &tp_rows);
+    print_table("Fig 6(b): RTT (us)", &header_ref, &rtt_rows);
+
+    // Non-monotonicity check along the "both throughput-friendly"
+    // diagonal: smaller timer + larger Kmax should NOT be uniformly
+    // better.
+    let diag: Vec<f64> = (0..timers.len())
+        .map(|i| {
+            cells
+                .iter()
+                .find(|c| {
+                    c.rpg_time_reset == timers[timers.len() - 1 - i] && c.k_max == kmaxes[i]
+                })
+                .map(|c| c.goodput_gbps)
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let monotonic = diag.windows(2).all(|w| w[1] >= w[0] - 1e-9);
+    println!(
+        "\nthroughput along the aggressive diagonal: {:?}\nmonotonic: {} (paper observes convex/concave points, i.e. NOT monotonic)",
+        diag.iter().map(|v| format!("{v:.1}")).collect::<Vec<_>>(),
+        monotonic
+    );
+    write_json("fig6", &cells);
+}

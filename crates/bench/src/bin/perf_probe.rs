@@ -1,0 +1,35 @@
+//! Quick performance probe (not a paper experiment): measures simulator
+//! event throughput at paper scale to size the default experiment scale.
+use paraleon::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let topo = Topology::two_tier_clos(8, 16, 4, 100.0, 100.0, 5_000);
+    let wl = PoissonWorkload::new(
+        PoissonConfig {
+            hosts: 128,
+            host_bw_bytes_per_sec: 12.5e9,
+            load: 0.3,
+            start: 0,
+            end: 20 * MILLI,
+        },
+        FlowSizeDist::fb_hadoop(),
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let flows = wl.generate(&mut rng);
+    println!("flows: {}", flows.len());
+    let mut cl = ClosedLoop::builder(topo).scheme(SchemeKind::Paraleon).build();
+    let t0 = Instant::now();
+    drivers::run_schedule(&mut cl, &flows, 25 * MILLI);
+    let wall = t0.elapsed();
+    println!(
+        "sim 25ms wall {:?}  events {}  ev/s {:.1}M  completions {}/{}",
+        wall,
+        cl.sim.events_processed,
+        cl.sim.events_processed as f64 / wall.as_secs_f64() / 1e6,
+        cl.completions.len(),
+        flows.len()
+    );
+}

@@ -1,0 +1,45 @@
+//! Diagnostic probe (not a paper experiment): traces PARALEON's tuning
+//! decisions on the Fig 7 FB_Hadoop workload.
+use paraleon::prelude::*;
+use paraleon_bench::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::Reduced;
+    let wl = PoissonWorkload::new(
+        PoissonConfig {
+            hosts: scale.hosts(),
+            host_bw_bytes_per_sec: 12.5e9,
+            load: 0.3,
+            start: 0,
+            end: scale.fb_window(),
+        },
+        FlowSizeDist::fb_hadoop(),
+    );
+    let mut rng = StdRng::seed_from_u64(13);
+    let flows = wl.generate(&mut rng);
+    let mut cl = ClosedLoop::builder(scale.clos())
+        .scheme(scale.paraleon())
+        .loop_config(LoopConfig { force_tuning: true, ..LoopConfig::default() })
+        .build();
+    drivers::run_schedule(&mut cl, &flows, scale.fb_window());
+    cl.run_to_completion(scale.fb_window() + 300 * MILLI);
+    let trig = cl.history.iter().filter(|r| r.triggered).count();
+    let disp = cl.history.iter().filter(|r| r.dispatched).count();
+    println!("intervals={} triggers={} dispatches={}", cl.history.len(), trig, disp);
+    for (i, r) in cl.history.iter().enumerate() {
+        if i % 10 == 0 || r.triggered {
+            println!(
+                "i={:>3} U={:.3} otp={:.2} ortt={:.2} opfc={:.2} mu={:.2} {:?} trig={} disp={}",
+                i, r.utility, r.o_tp, r.o_rtt, r.o_pfc, r.mu, r.dominant, r.triggered, r.dispatched
+            );
+        }
+    }
+    let p = &cl.last_params;
+    println!(
+        "final params: ai={:.0} hai={:.0} rrmp={:.0} cnp={:.0} timer={:.0} kmin={:.0} kmax={:.0} pmax={:.2}",
+        p.ai_rate, p.hai_rate, p.rate_reduce_monitor_period, p.min_time_between_cnps,
+        p.rpg_time_reset, p.k_min, p.k_max, p.p_max
+    );
+}

@@ -1,0 +1,214 @@
+//! Shared harness utilities for the per-figure/per-table experiment
+//! binaries (`src/bin/exp_*.rs`).
+//!
+//! Every binary regenerates one table or figure of the paper. Because
+//! the substrate is a packet-level simulator on one machine (not the
+//! authors' 128-server ns-3 runs or the 32×H100 testbed), each
+//! experiment has two scales:
+//!
+//! * **reduced** (default) — smaller fabric / shorter windows, minutes of
+//!   wall clock for the whole suite; preserves the qualitative shape.
+//! * **paper** (`--paper`) — the paper's topology and durations.
+//!
+//! Results print as aligned text tables and are also dumped as JSON under
+//! `results/` so EXPERIMENTS.md can reference machine-readable runs.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use paraleon::prelude::*;
+use serde::Serialize;
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced fabric (default): 4 ToR × 8 hosts, 2 leaves.
+    Reduced,
+    /// The paper's NS3 fabric: 8 ToR × 16 hosts, 4 leaves.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from process args: `--paper` selects paper scale.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Reduced
+        }
+    }
+
+    /// The evaluation fabric at this scale (4:1 oversubscribed CLOS,
+    /// 100 G links, 5 µs propagation — §IV-B).
+    pub fn clos(self) -> Topology {
+        match self {
+            // 8 hosts/ToR vs 2 uplinks: 4:1 oversubscription.
+            Scale::Reduced => Topology::two_tier_clos(4, 8, 2, 100.0, 100.0, 5_000),
+            // 16 hosts/ToR vs 4 uplinks: 4:1, the paper's 128 servers.
+            Scale::Paper => Topology::two_tier_clos(8, 16, 4, 100.0, 100.0, 5_000),
+        }
+    }
+
+    /// Hosts in the fabric.
+    pub fn hosts(self) -> usize {
+        match self {
+            Scale::Reduced => 32,
+            Scale::Paper => 128,
+        }
+    }
+
+    /// FB_Hadoop measurement window (long enough for a scaled SA episode
+    /// to converge well before the end).
+    pub fn fb_window(self) -> u64 {
+        match self {
+            Scale::Reduced => 150 * MILLI,
+            Scale::Paper => 500 * MILLI,
+        }
+    }
+
+    /// Shorter window for the monitoring-accuracy sweeps (accuracy
+    /// stabilizes within a few tens of intervals).
+    pub fn monitor_window(self) -> u64 {
+        match self {
+            Scale::Reduced => 60 * MILLI,
+            Scale::Paper => 200 * MILLI,
+        }
+    }
+
+    /// The SA schedule for this scale: the paper's Table III settings at
+    /// paper scale; a proportionally shortened episode (same shape,
+    /// fewer iterations per temperature level) at reduced scale, so the
+    /// episode length stays well inside the reduced windows.
+    pub fn sa_config(self) -> SaConfig {
+        match self {
+            Scale::Reduced => SaConfig {
+                total_iter_num: 4,
+                cooling_rate: 0.6,
+                ..SaConfig::paper_default()
+            },
+            Scale::Paper => SaConfig::paper_default(),
+        }
+    }
+
+    /// Monitor intervals each SA candidate is evaluated over: small
+    /// fabrics have few flows per 1 ms interval, so single-interval
+    /// utility is too noisy to rank candidates.
+    pub fn sa_eval_intervals(self) -> u32 {
+        match self {
+            Scale::Reduced => 3,
+            Scale::Paper => 1,
+        }
+    }
+
+    /// The PARALEON scheme configured for this scale.
+    pub fn paraleon(self) -> SchemeKind {
+        SchemeKind::ParaleonSa(self.sa_config(), self.sa_eval_intervals())
+    }
+
+    /// LLM alltoall message size per worker pair.
+    pub fn llm_message(self) -> u64 {
+        match self {
+            Scale::Reduced => 1 << 20, // 1 MB keeps rounds ~ms
+            Scale::Paper => 12 << 20,  // the paper's 12 MB
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Reduced => "reduced",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Print an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}
+
+/// Write a JSON result blob under `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(
+            serde_json::to_string_pretty(value)
+                .unwrap_or_default()
+                .as_bytes(),
+        );
+        println!("[results -> {}]", path.display());
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // Workspace root when run via cargo, else CWD.
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../../results"))
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Gbps pretty-print from bytes/sec.
+pub fn gbps_of(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec * 8.0 / 1e9
+}
+
+/// Mean of the goodput (bytes/s) over the last `n` interval records.
+pub fn tail_goodput(cl: &ClosedLoop, n: usize) -> f64 {
+    let h = &cl.history;
+    if h.is_empty() {
+        return 0.0;
+    }
+    let take = n.min(h.len());
+    h[h.len() - take..].iter().map(|r| r.goodput).sum::<f64>() / take as f64
+}
+
+/// Mean of the RTT (µs) over the last `n` interval records with samples.
+pub fn tail_rtt_us(cl: &ClosedLoop, n: usize) -> f64 {
+    let h = &cl.history;
+    let take = n.min(h.len());
+    let samples: Vec<f64> = h[h.len() - take..]
+        .iter()
+        .filter(|r| r.avg_rtt_ns > 0.0)
+        .map(|r| r.avg_rtt_ns / 1_000.0)
+        .collect();
+    paraleon::stats::mean(&samples)
+}
+
+/// The five tuning schemes of §IV-B1, in display order, with PARALEON's
+/// SA schedule matched to the scale.
+pub fn all_schemes(scale: Scale) -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::Default,
+        SchemeKind::Expert,
+        SchemeKind::DcqcnPlus,
+        SchemeKind::Acc,
+        scale.paraleon(),
+    ]
+}

@@ -1,0 +1,72 @@
+//! PARALEON: automatic and adaptive tuning for DCQCN parameters in RDMA
+//! networks — a full reproduction of the paper's system in Rust.
+//!
+//! This crate is the public face of the reproduction. It wires the
+//! substrate crates into the paper's closed loop (Figure 1):
+//!
+//! ```text
+//!            ┌──────────────────────── controller ───────────────────────┐
+//!            │  Runtime Metric Monitor          Performance-oriented     │
+//!            │  (FSD aggregation, KL trigger)   Tuning (guided SA)       │
+//!            └───────▲──────────────────────────────────┬────────────────┘
+//!            sketches│ + throughput/RTT/PFC             │ DCQCN params
+//!        ┌───────────┴───────────┐          ┌───────────▼───────────┐
+//!        │ ToR switches (Elastic │          │  RNICs (per-QP DCQCN  │
+//!        │ Sketch, ECN, PFC)     │          │  RP/NP state machines)│
+//!        └───────────────────────┘          └───────────────────────┘
+//! ```
+//!
+//! * [`ClosedLoop`] — drives one simulated fabric one monitor interval
+//!   (λ_MI) at a time: collect metrics → estimate the network-wide FSD →
+//!   KL trigger → tuning round → dispatch.
+//! * [`schemes::SchemeKind`] / [`schemes::MonitorKind`] — factories for
+//!   every tuning scheme and monitoring scheme the paper evaluates.
+//! * [`drivers`] — workload drivers (Poisson open-loop, ON-OFF alltoall)
+//!   shared by the examples and the experiment harness.
+//! * [`stats`] — FCT/percentile helpers used to regenerate the paper's
+//!   tables and figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use paraleon::prelude::*;
+//!
+//! // A small 2-ToR fabric running PARALEON with the paper's settings.
+//! let topo = Topology::two_tier_clos(2, 4, 2, 100.0, 100.0, 1_000);
+//! let mut cl = ClosedLoop::builder(topo)
+//!     .scheme(SchemeKind::Paraleon)
+//!     .monitor(MonitorKind::Paraleon)
+//!     .build();
+//! cl.sim.add_flow(0, 5, 2_000_000, 0);
+//! cl.run_until(5 * MILLI);
+//! assert_eq!(cl.completions.len(), 1);
+//! ```
+
+pub mod closed_loop;
+pub mod drivers;
+pub mod schemes;
+pub mod stats;
+
+pub use closed_loop::{ClosedLoop, ClosedLoopBuilder, IntervalRecord, LoopConfig};
+pub use schemes::{MonitorKind, SchemeKind};
+
+/// Re-exports for harness and example code.
+pub mod prelude {
+    pub use crate::closed_loop::{ClosedLoop, IntervalRecord, LoopConfig};
+    pub use crate::drivers;
+    pub use crate::schemes::{MonitorKind, SchemeKind};
+    pub use crate::stats;
+    pub use paraleon_dcqcn::{DcqcnParams, ParamId, ParamSpace};
+    pub use paraleon_monitor::UtilityWeights;
+    pub use paraleon_netsim::{
+        FlowRecord, SimConfig, Simulator, Topology, MICRO, MILLI, SEC,
+    };
+    pub use paraleon_sketch::{FlowType, Fsd, WindowConfig};
+    pub use paraleon_tuner::SaConfig;
+    pub use paraleon_workloads::{
+        AllToAll, AllToAllConfig, FlowRequest, FlowSizeDist, PoissonConfig, PoissonWorkload,
+    };
+}
+
+/// Nanoseconds (simulator clock).
+pub type Nanos = u64;

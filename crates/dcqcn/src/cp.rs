@@ -1,0 +1,174 @@
+//! Congestion Point (CP): the switch-side RED/ECN marker.
+//!
+//! DCQCN switches mark packets with ECN CE using a RED-like probability
+//! ramp over the *instantaneous* egress queue length `q`:
+//!
+//! ```text
+//!           0                    q <= K_min
+//! P(mark) = P_max·(q-K_min)/(K_max-K_min)   K_min < q < K_max
+//!           1                    q >= K_max
+//! ```
+//!
+//! `K_min`, `K_max` (bytes) and `P_max` are the three switch-side tunables
+//! PARALEON adjusts. This module keeps the marker pure: the caller supplies
+//! the queue length and a uniform random sample, so the simulator stays
+//! deterministic under a seeded RNG.
+
+use crate::params::DcqcnParams;
+
+/// Switch-side ECN marking logic for one egress queue.
+#[derive(Debug, Clone)]
+pub struct EcnMarker {
+    k_min_bytes: f64,
+    k_max_bytes: f64,
+    p_max: f64,
+    /// Packets examined (statistics).
+    pub seen: u64,
+    /// Packets marked (statistics).
+    pub marked: u64,
+}
+
+impl EcnMarker {
+    /// Build a marker from the switch-side fields of `params`
+    /// (`k_min`/`k_max` are stored in KB there).
+    pub fn from_params(params: &DcqcnParams) -> Self {
+        Self::new(params.k_min * 1024.0, params.k_max * 1024.0, params.p_max)
+    }
+
+    /// Build a marker from explicit thresholds in **bytes**.
+    pub fn new(k_min_bytes: f64, k_max_bytes: f64, p_max: f64) -> Self {
+        assert!(k_min_bytes >= 0.0 && k_max_bytes >= k_min_bytes);
+        Self {
+            k_min_bytes,
+            k_max_bytes,
+            p_max: p_max.clamp(0.0, 1.0),
+            seen: 0,
+            marked: 0,
+        }
+    }
+
+    /// Replace thresholds (live retuning). Statistics carry over.
+    pub fn set_params(&mut self, params: &DcqcnParams) {
+        let mut k_min = params.k_min * 1024.0;
+        let mut k_max = params.k_max * 1024.0;
+        if k_min > k_max {
+            std::mem::swap(&mut k_min, &mut k_max);
+        }
+        self.k_min_bytes = k_min;
+        self.k_max_bytes = k_max;
+        self.p_max = params.p_max.clamp(0.0, 1.0);
+    }
+
+    /// Marking probability for instantaneous queue length `q` bytes.
+    pub fn probability(&self, q_bytes: f64) -> f64 {
+        if q_bytes <= self.k_min_bytes {
+            0.0
+        } else if q_bytes >= self.k_max_bytes {
+            1.0
+        } else {
+            let span = self.k_max_bytes - self.k_min_bytes;
+            if span <= 0.0 {
+                1.0
+            } else {
+                self.p_max * (q_bytes - self.k_min_bytes) / span
+            }
+        }
+    }
+
+    /// Decide whether to mark a packet enqueued behind `q_bytes` of data.
+    /// `uniform` must be a fresh sample from `U[0,1)`.
+    pub fn should_mark(&mut self, q_bytes: f64, uniform: f64) -> bool {
+        self.seen += 1;
+        let mark = uniform < self.probability(q_bytes);
+        if mark {
+            self.marked += 1;
+        }
+        mark
+    }
+
+    /// Observed marking rate so far (statistics; the ACC baseline reads
+    /// this as one of its local observations).
+    pub fn marking_rate(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.marked as f64 / self.seen as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker() -> EcnMarker {
+        // 100 KB / 400 KB / 0.2 — the reproduction's default CP setting.
+        EcnMarker::new(100.0 * 1024.0, 400.0 * 1024.0, 0.2)
+    }
+
+    #[test]
+    fn below_kmin_never_marks() {
+        let mut m = marker();
+        assert_eq!(m.probability(0.0), 0.0);
+        assert_eq!(m.probability(100.0 * 1024.0), 0.0);
+        assert!(!m.should_mark(50.0 * 1024.0, 0.0));
+    }
+
+    #[test]
+    fn above_kmax_always_marks() {
+        let mut m = marker();
+        assert_eq!(m.probability(400.0 * 1024.0), 1.0);
+        assert!(m.should_mark(500.0 * 1024.0, 0.999_999));
+    }
+
+    #[test]
+    fn ramp_is_linear_and_monotonic() {
+        let m = marker();
+        let mid = m.probability(250.0 * 1024.0);
+        assert!((mid - 0.1).abs() < 1e-9, "midpoint should be P_max/2");
+        let mut last = 0.0;
+        for q in (0..=500).map(|k| k as f64 * 1024.0) {
+            let p = m.probability(q);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn from_params_uses_kb_units() {
+        let p = DcqcnParams::nvidia_default();
+        let m = EcnMarker::from_params(&p);
+        assert_eq!(m.probability(p.k_min * 1024.0), 0.0);
+        assert_eq!(m.probability(p.k_max * 1024.0), 1.0);
+    }
+
+    #[test]
+    fn marking_rate_tracks_decisions() {
+        let mut m = marker();
+        for i in 0..100 {
+            let u = i as f64 / 100.0;
+            m.should_mark(250.0 * 1024.0, u);
+        }
+        // P(mark) = 0.1 at midpoint: exactly the 10 samples below 0.1 mark.
+        assert_eq!(m.marked, 10);
+        assert!((m.marking_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_params_swaps_inverted_thresholds() {
+        let mut m = marker();
+        let mut p = DcqcnParams::nvidia_default();
+        p.k_min = 500.0;
+        p.k_max = 100.0;
+        m.set_params(&p);
+        assert_eq!(m.probability(50.0 * 1024.0), 0.0);
+        assert_eq!(m.probability(600.0 * 1024.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_equal_thresholds_step_function() {
+        let m = EcnMarker::new(1000.0, 1000.0, 0.5);
+        assert_eq!(m.probability(999.0), 0.0);
+        assert_eq!(m.probability(1001.0), 1.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Reaction Point (RP): the sender-side DCQCN rate state machine.
+//!
+//! One [`RpState`] instance governs one QP. The machine follows the
+//! DCQCN paper (Zhu et al., SIGCOMM 2015) with the parameterisation of the
+//! NVIDIA implementation:
+//!
+//! * **Rate decrease** — on CNP arrival (at most once per
+//!   `rate_reduce_monitor_period`):
+//!   `R_T ← R_C`, `R_C ← R_C · (1 − α/2)`, `α ← (1−g)·α + g`, and the
+//!   increase state machine resets.
+//! * **Alpha decay** — every `alpha_timer` µs without a CNP:
+//!   `α ← (1−g)·α`.
+//! * **Rate increase** — driven by two counters since the last decrease: a
+//!   timer (`rpg_time_reset`) and a byte counter (`rpg_byte_reset`). Each
+//!   expiry is one *increase event*:
+//!   - *fast recovery* while `max(T, BC) ≤ F` (`F = rpg_threshold`):
+//!     `R_C ← (R_T + R_C)/2`;
+//!   - *additive increase* when one counter exceeds `F`:
+//!     `R_T ← R_T + ai_rate`, then the same averaging step;
+//!   - *hyper increase* when both exceed `F`:
+//!     `R_T ← R_T + i · hai_rate` with `i` the hyper round index.
+//!
+//! Timers are evaluated **lazily**: the simulator calls
+//! [`RpState::advance`] with the current clock before reading the rate, and
+//! the machine catches up on all expirations since the last call. This
+//! avoids scheduling per-QP timer events and keeps the hot path allocation
+//! free, at identical observable behaviour (rates only matter when a packet
+//! is about to be paced).
+
+use crate::params::DcqcnParams;
+use crate::{mbps_to_bytes_per_sec, Nanos, MICRO};
+
+/// Sender-side DCQCN state for one QP.
+#[derive(Debug, Clone)]
+pub struct RpState {
+    /// Line rate of the underlying port, bytes/sec; upper clamp for rates.
+    line_rate: f64,
+    /// Current sending rate `R_C`, bytes/sec.
+    rate_current: f64,
+    /// Target rate `R_T`, bytes/sec.
+    rate_target: f64,
+    /// Congestion estimate α ∈ [0, 1].
+    alpha: f64,
+    /// Timer-expiration count since the last rate decrease.
+    timer_count: u32,
+    /// Byte-counter-expiration count since the last rate decrease.
+    byte_count: u32,
+    /// Bytes accumulated toward the next byte-counter expiration.
+    bytes_acc: u64,
+    /// Time of the last rate-increase timer reset.
+    timer_anchor: Nanos,
+    /// Time of the last alpha update (CNP or decay).
+    alpha_anchor: Nanos,
+    /// Time of the last applied rate decrease.
+    last_decrease: Option<Nanos>,
+    /// Whether a CNP arrived during the current decrease-monitor window and
+    /// is waiting for the window to reopen.
+    cnp_pending: bool,
+    /// Multiplier applied to `ai_rate`/`hai_rate` (DCQCN+ hook; 1.0 = off).
+    increase_scale: f64,
+    /// Whether any increase event fired since the last decrease
+    /// (`clamp_tgt_rate_after_time_inc` firmware semantics: a decrease
+    /// clamps the target iff the rate had been increased since the
+    /// previous decrease, so mid-burst cuts keep a springy target while
+    /// separate congestion episodes re-clamp).
+    increased_since_decrease: bool,
+    /// Active parameter set.
+    params: DcqcnParams,
+    /// Total CNPs processed (statistics).
+    pub cnps_received: u64,
+    /// Total rate decreases applied (statistics).
+    pub decreases_applied: u64,
+}
+
+impl RpState {
+    /// Create a fresh RP for a QP on a port with `line_rate` bytes/sec.
+    /// New QPs start at line rate, as NVIDIA RNICs do.
+    pub fn new(line_rate: f64, params: DcqcnParams, now: Nanos) -> Self {
+        assert!(line_rate > 0.0, "line rate must be positive");
+        Self {
+            line_rate,
+            rate_current: line_rate,
+            rate_target: line_rate,
+            alpha: 1.0,
+            timer_count: 0,
+            byte_count: 0,
+            bytes_acc: 0,
+            timer_anchor: now,
+            alpha_anchor: now,
+            last_decrease: None,
+            cnp_pending: false,
+            increase_scale: 1.0,
+            increased_since_decrease: false,
+            params,
+            cnps_received: 0,
+            decreases_applied: 0,
+        }
+    }
+
+    /// Current sending rate in bytes/sec. Call [`RpState::advance`] first
+    /// to account for elapsed timers.
+    pub fn rate(&self) -> f64 {
+        self.rate_current
+    }
+
+    /// Target rate in bytes/sec (diagnostics).
+    pub fn target_rate(&self) -> f64 {
+        self.rate_target
+    }
+
+    /// Congestion estimate α (diagnostics).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Line rate this QP is clamped to.
+    pub fn line_rate(&self) -> f64 {
+        self.line_rate
+    }
+
+    /// Replace the active parameter set (live retuning by the controller).
+    /// Rates and counters carry over; only the knobs change.
+    pub fn set_params(&mut self, params: DcqcnParams) {
+        self.params = params;
+        self.clamp_rates();
+    }
+
+    /// Active parameter set.
+    pub fn params(&self) -> &DcqcnParams {
+        &self.params
+    }
+
+    /// Scale factor for rate-increase steps (DCQCN+ uses this to slow the
+    /// additive/hyper steps proportionally to the NP-advertised CNP
+    /// interval under large incast).
+    pub fn set_increase_scale(&mut self, scale: f64) {
+        self.increase_scale = scale.clamp(0.01, 100.0);
+    }
+
+    fn min_rate(&self) -> f64 {
+        mbps_to_bytes_per_sec(self.params.min_rate).min(self.line_rate)
+    }
+
+    fn clamp_rates(&mut self) {
+        let lo = self.min_rate();
+        self.rate_current = self.rate_current.clamp(lo, self.line_rate);
+        self.rate_target = self.rate_target.clamp(lo, self.line_rate);
+    }
+
+    /// Process all timer expirations up to `now` (alpha decay + rate
+    /// increase events). Idempotent for equal `now`.
+    pub fn advance(&mut self, now: Nanos) {
+        self.decay_alpha(now);
+        // A pending CNP whose decrease-monitor window has reopened applies
+        // before any increase events accrue.
+        if self.cnp_pending {
+            if let Some(last) = self.last_decrease {
+                let window = (self.params.rate_reduce_monitor_period * MICRO as f64) as Nanos;
+                if now >= last.saturating_add(window) {
+                    self.apply_decrease(now);
+                }
+            }
+        }
+        let period = (self.params.rpg_time_reset.max(1.0) * MICRO as f64) as Nanos;
+        let period = period.max(1);
+        // Shortcut: once both rates sit at line rate further increase
+        // events are no-ops, so just move the anchor.
+        if self.rate_current >= self.line_rate && self.rate_target >= self.line_rate {
+            if now > self.timer_anchor {
+                let n = (now - self.timer_anchor) / period;
+                self.timer_anchor += n * period;
+                self.timer_count = self.timer_count.saturating_add(n as u32);
+            }
+            return;
+        }
+        while now >= self.timer_anchor + period {
+            self.timer_anchor += period;
+            self.timer_count = self.timer_count.saturating_add(1);
+            self.increase_event();
+            if self.rate_current >= self.line_rate && self.rate_target >= self.line_rate {
+                // Skip the rest of the catch-up; nothing more can change.
+                let n = (now - self.timer_anchor) / period;
+                self.timer_anchor += n * period;
+                self.timer_count = self.timer_count.saturating_add(n as u32);
+                break;
+            }
+        }
+    }
+
+    fn decay_alpha(&mut self, now: Nanos) {
+        let period = (self.params.alpha_timer.max(1.0) * MICRO as f64) as Nanos;
+        let period = period.max(1);
+        if now < self.alpha_anchor + period {
+            return;
+        }
+        let n = (now - self.alpha_anchor) / period;
+        self.alpha_anchor += n * period;
+        let g = self.params.alpha_g();
+        self.alpha *= (1.0 - g).powi(n.min(1 << 20) as i32);
+    }
+
+    /// Account `bytes` just handed to the wire; may fire byte-counter
+    /// increase events.
+    pub fn on_send(&mut self, now: Nanos, bytes: u64) {
+        self.advance(now);
+        self.bytes_acc += bytes;
+        let threshold = (self.params.rpg_byte_reset.max(1.0) * 1024.0) as u64;
+        while self.bytes_acc >= threshold {
+            self.bytes_acc -= threshold;
+            self.byte_count = self.byte_count.saturating_add(1);
+            self.increase_event();
+        }
+    }
+
+    /// Process a CNP received at `now`. The multiplicative decrease applies
+    /// immediately if the decrease-monitor window is open, otherwise it is
+    /// deferred until the window reopens (NVIDIA semantics: at most one cut
+    /// per `rate_reduce_monitor_period`).
+    pub fn on_cnp(&mut self, now: Nanos) {
+        self.advance(now);
+        self.cnps_received += 1;
+        let window = (self.params.rate_reduce_monitor_period * MICRO as f64) as Nanos;
+        match self.last_decrease {
+            Some(last) if now < last.saturating_add(window) => {
+                self.cnp_pending = true;
+            }
+            _ => self.apply_decrease(now),
+        }
+    }
+
+    fn apply_decrease(&mut self, now: Nanos) {
+        let g = self.params.alpha_g();
+        // NVIDIA semantics: with `clamp_tgt_rate` set the target follows
+        // the current rate down on every cut. With it clear (firmware
+        // default) the target clamps only when the rate has been
+        // *increased* since the previous decrease
+        // (`clamp_tgt_rate_after_time_inc`): the first cut of each
+        // congestion episode clamps, while back-to-back cuts within one
+        // burst keep the pre-burst target so fast recovery springs back
+        // instead of death-spiralling.
+        if self.params.clamp_tgt_rate
+            || self.decreases_applied == 0
+            || self.increased_since_decrease
+            || self.rate_target < self.rate_current
+        {
+            self.rate_target = self.rate_current;
+        }
+        self.increased_since_decrease = false;
+        self.rate_current *= 1.0 - self.alpha / 2.0;
+        self.alpha = (1.0 - g) * self.alpha + g;
+        self.alpha_anchor = now;
+        self.clamp_rates();
+        self.timer_count = 0;
+        self.byte_count = 0;
+        self.bytes_acc = 0;
+        self.timer_anchor = now;
+        self.last_decrease = Some(now);
+        self.cnp_pending = false;
+        self.decreases_applied += 1;
+    }
+
+    /// One increase event (timer or byte-counter expiry).
+    fn increase_event(&mut self) {
+        let f = self.params.rpg_threshold.max(1.0) as u32;
+        let t = self.timer_count;
+        let b = self.byte_count;
+        if t > f && b > f {
+            // Hyper increase: step grows with the hyper round index.
+            let i = (t.min(b) - f) as f64;
+            let hai = mbps_to_bytes_per_sec(self.params.hai_rate) * self.increase_scale;
+            self.rate_target += i * hai;
+        } else if t > f || b > f {
+            // Additive increase.
+            let ai = mbps_to_bytes_per_sec(self.params.ai_rate) * self.increase_scale;
+            self.rate_target += ai;
+        }
+        // Fast recovery (and every stage): converge toward the target.
+        self.rate_current = (self.rate_target + self.rate_current) / 2.0;
+        self.increased_since_decrease = true;
+        self.clamp_rates();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SEC;
+
+    const LINE: f64 = 12.5e9; // 100 Gbps in bytes/sec
+
+    fn rp() -> RpState {
+        RpState::new(LINE, DcqcnParams::nvidia_default(), 0)
+    }
+
+    #[test]
+    fn starts_at_line_rate_with_full_alpha() {
+        let r = rp();
+        assert_eq!(r.rate(), LINE);
+        assert_eq!(r.alpha(), 1.0);
+    }
+
+    #[test]
+    fn first_cnp_halves_rate() {
+        // With alpha = 1 the first cut is R_C * (1 - 1/2).
+        let mut r = rp();
+        r.on_cnp(1000);
+        assert!((r.rate() - LINE * 0.5).abs() < 1.0);
+        assert_eq!(r.target_rate(), LINE);
+        assert_eq!(r.decreases_applied, 1);
+    }
+
+    #[test]
+    fn cnp_burst_within_monitor_period_cuts_once() {
+        let mut r = rp();
+        r.on_cnp(1000);
+        let after_first = r.rate();
+        // Default rate_reduce_monitor_period is 4 µs; these land inside it.
+        r.on_cnp(1500);
+        r.on_cnp(2000);
+        assert_eq!(r.rate(), after_first);
+        assert_eq!(r.cnps_received, 3);
+        assert_eq!(r.decreases_applied, 1);
+    }
+
+    #[test]
+    fn pending_cnp_applies_when_window_reopens() {
+        let mut r = rp();
+        r.on_cnp(1000);
+        r.on_cnp(2000); // pending
+        let after_first = r.rate();
+        r.advance(1000 + 5 * MICRO); // window (4 µs) reopens
+        assert!(r.rate() < after_first);
+        assert_eq!(r.decreases_applied, 2);
+    }
+
+    #[test]
+    fn alpha_rises_on_cnp_and_decays_without() {
+        let mut r = rp();
+        // Decay alpha a while first so a rise is observable.
+        r.advance(SEC / 100);
+        let decayed = r.alpha();
+        assert!(decayed < 1.0);
+        r.on_cnp(SEC / 100 + 1);
+        assert!(r.alpha() > decayed);
+        let post_cnp = r.alpha();
+        r.advance(SEC / 100 + SEC / 50);
+        assert!(r.alpha() < post_cnp);
+    }
+
+    #[test]
+    fn fast_recovery_converges_to_target() {
+        let mut r = rp();
+        r.on_cnp(0);
+        let target = r.target_rate();
+        // Default rpg_time_reset = 300 µs, threshold F = 5: five timer
+        // expirations of fast recovery halve the gap each time.
+        r.advance(5 * 300 * MICRO + 1);
+        let gap = (target - r.rate()) / target;
+        assert!(gap < 0.05, "gap {gap} should be < 5% after 5 halvings");
+        assert!(r.rate() <= target + 1.0);
+    }
+
+    #[test]
+    fn additive_then_hyper_increase_raises_target() {
+        let mut r = rp();
+        r.on_cnp(0);
+        // Run long enough for timer counts to pass the threshold.
+        r.advance(20 * 300 * MICRO);
+        assert!(r.target_rate() > r.line_rate() * 0.5);
+        // Eventually recovers to line rate.
+        r.advance(2 * SEC);
+        assert_eq!(r.rate(), LINE);
+    }
+
+    #[test]
+    fn byte_counter_fires_increase_events() {
+        let mut r = rp();
+        r.on_cnp(0);
+        let before = r.rate();
+        // Send ten byte-counter thresholds' worth within the same instant:
+        // ten fast-recovery halvings toward target.
+        let threshold = (r.params().rpg_byte_reset * 1024.0) as u64;
+        r.on_send(1, 10 * threshold);
+        assert!(r.rate() > before);
+    }
+
+    #[test]
+    fn rate_never_below_min_rate() {
+        let mut r = rp();
+        for i in 0..10_000u64 {
+            r.on_cnp(i * 10 * MICRO);
+        }
+        let min = mbps_to_bytes_per_sec(r.params().min_rate);
+        assert!(r.rate() >= min - 1e-6);
+    }
+
+    #[test]
+    fn rate_never_exceeds_line_rate() {
+        let mut r = rp();
+        r.advance(10 * SEC);
+        assert!(r.rate() <= LINE);
+        assert!(r.target_rate() <= LINE);
+    }
+
+    #[test]
+    fn increase_scale_slows_recovery() {
+        let mut fast = rp();
+        let mut slow = rp();
+        slow.set_increase_scale(0.1);
+        fast.on_cnp(0);
+        slow.on_cnp(0);
+        // Both reach additive increase; the scaled one grows target slower.
+        fast.advance(10 * 300 * MICRO);
+        slow.advance(10 * 300 * MICRO);
+        assert!(slow.target_rate() <= fast.target_rate());
+    }
+
+    #[test]
+    fn set_params_applies_live() {
+        let mut r = rp();
+        r.on_cnp(0);
+        let mut p = DcqcnParams::nvidia_default();
+        p.ai_rate = 400.0;
+        p.rpg_time_reset = 10.0;
+        r.set_params(p);
+        r.advance(100 * MICRO);
+        // Aggressive increase parameters recover much faster than default.
+        let mut r2 = rp();
+        r2.on_cnp(0);
+        r2.advance(100 * MICRO);
+        assert!(r.rate() > r2.rate());
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_instant() {
+        let mut r = rp();
+        r.on_cnp(0);
+        r.advance(1_000_000);
+        let rate = r.rate();
+        let alpha = r.alpha();
+        r.advance(1_000_000);
+        assert_eq!(r.rate(), rate);
+        assert_eq!(r.alpha(), alpha);
+    }
+
+    #[test]
+    fn idle_catch_up_is_cheap_and_bounded() {
+        let mut r = rp();
+        r.on_cnp(0);
+        // A 10-simulated-second gap must not hang (lazy catch-up shortcut).
+        r.advance(10 * SEC);
+        assert_eq!(r.rate(), LINE);
+    }
+}

@@ -1,0 +1,116 @@
+//! The centralized controller's monitoring front end: pluggable FSD
+//! scheme + change detector + dominant-flow-type extraction.
+//!
+//! This is the piece of Figure 2 that runs on the controller: it receives
+//! per-switch sketch readings each monitor interval, obtains the
+//! network-wide FSD from the configured scheme, checks the KL trigger and
+//! reports the dominant flow type / proportion µ that steers guided SA.
+
+use paraleon_sketch::{FlowType, Fsd};
+
+use crate::trigger::ChangeDetector;
+use crate::{FsdMonitor, Nanos, SketchReadings};
+
+/// What the monitoring front end tells the tuning loop each interval.
+#[derive(Debug, Clone)]
+pub struct MonitorVerdict {
+    /// The network-wide FSD estimate (empty if the scheme has none yet).
+    pub fsd: Fsd,
+    /// Whether the KL trigger fired this interval.
+    pub tuning_triggered: bool,
+    /// Dominant flow type.
+    pub dominant: FlowType,
+    /// Its proportion µ.
+    pub mu: f64,
+}
+
+/// Controller-side aggregation over any [`FsdMonitor`] scheme.
+pub struct NetworkAggregator<M: FsdMonitor> {
+    scheme: M,
+    detector: ChangeDetector,
+}
+
+impl<M: FsdMonitor> NetworkAggregator<M> {
+    /// Wrap `scheme` with a KL change detector of threshold θ.
+    pub fn new(scheme: M, theta: f64) -> Self {
+        Self {
+            scheme,
+            detector: ChangeDetector::new(theta),
+        }
+    }
+
+    /// Ingest one interval's readings.
+    pub fn ingest(&mut self, readings: &SketchReadings, now: Nanos) -> MonitorVerdict {
+        let fsd = self
+            .scheme
+            .on_interval(readings, now)
+            .unwrap_or_else(Fsd::empty);
+        let tuning_triggered = if fsd.is_empty() {
+            false
+        } else {
+            self.detector.observe(&fsd)
+        };
+        let (dominant, mu) = fsd.dominant();
+        MonitorVerdict {
+            fsd,
+            tuning_triggered,
+            dominant,
+            mu,
+        }
+    }
+
+    /// The wrapped scheme.
+    pub fn scheme(&self) -> &M {
+        &self.scheme
+    }
+
+    /// Trigger statistics.
+    pub fn triggers(&self) -> u64 {
+        self.detector.triggers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paraleon::ParaleonMonitor;
+    use paraleon_sketch::WindowConfig;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn detects_shift_through_full_stack() {
+        let mut agg = NetworkAggregator::new(
+            ParaleonMonitor::new(WindowConfig::default()),
+            0.01,
+        );
+        // Stable elephant phase.
+        for i in 0..5u64 {
+            let v = agg.ingest(&[(0, vec![(1, 5 * MB), (2, 5 * MB)])], i);
+            assert_eq!(v.dominant, FlowType::Elephant);
+            if i > 1 {
+                assert!(!v.tuning_triggered, "stable phase at i={i}");
+            }
+        }
+        // Mice influx: hundreds of small flows, elephants still present.
+        let mice: Vec<(u64, u64)> = (100..400u64).map(|f| (f, 8_000)).collect();
+        let mut readings = vec![(1, 5 * MB), (2, 5 * MB)];
+        readings.extend(&mice);
+        let v = agg.ingest(&[(0, readings)], 5);
+        assert!(v.tuning_triggered, "influx must trigger tuning");
+        assert!(agg.triggers() >= 1);
+    }
+
+    #[test]
+    fn empty_readings_never_trigger() {
+        let mut agg = NetworkAggregator::new(
+            ParaleonMonitor::new(WindowConfig::default()),
+            0.0,
+        );
+        for i in 0..3u64 {
+            let v = agg.ingest(&[], i);
+            assert!(!v.tuning_triggered);
+            assert_eq!(v.mu, 0.5);
+        }
+    }
+}

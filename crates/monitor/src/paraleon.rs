@@ -1,0 +1,156 @@
+//! PARALEON's own monitoring scheme: per-ToR sliding-window classifiers
+//! over drained sketch readings, merged into the network-wide FSD.
+//!
+//! This is the control-plane half of §III-B: the data plane (Elastic
+//! Sketch with TOS dedup) lives in the simulator's switches; this module
+//! is the "switch control plane agent" that runs every λ_MI, plus the
+//! per-interval upload accounting.
+
+use std::collections::HashMap;
+
+use paraleon_sketch::{Fsd, SlidingWindowClassifier, WindowConfig};
+
+use crate::{FsdMonitor, Nanos, PointId, SketchReadings};
+
+/// PARALEON's layered FSD monitor (Keypoint 2 on top of Keypoint 1).
+#[derive(Debug)]
+pub struct ParaleonMonitor {
+    cfg: WindowConfig,
+    /// One classifier per measurement point (lazy-created).
+    agents: HashMap<PointId, SlidingWindowClassifier>,
+    uploaded: u64,
+    last_fsd: Fsd,
+}
+
+impl ParaleonMonitor {
+    /// Create with the given ternary-state configuration (τ, δ).
+    pub fn new(cfg: WindowConfig) -> Self {
+        Self {
+            cfg,
+            agents: HashMap::new(),
+            uploaded: 0,
+            last_fsd: Fsd::empty(),
+        }
+    }
+
+    /// The per-switch classifier configuration.
+    pub fn window_config(&self) -> &WindowConfig {
+        &self.cfg
+    }
+
+    /// Current network-wide FSD (last merge result).
+    pub fn current_fsd(&self) -> &Fsd {
+        &self.last_fsd
+    }
+
+    /// Total control-plane memory across switch agents (Table IV).
+    pub fn control_plane_memory_bytes(&self) -> usize {
+        self.agents.values().map(|a| a.memory_bytes()).sum()
+    }
+}
+
+impl FsdMonitor for ParaleonMonitor {
+    fn on_interval(&mut self, readings: &SketchReadings, _now: Nanos) -> Option<Fsd> {
+        let mut network = Fsd::empty();
+        for (point, entries) in readings {
+            let agent = self
+                .agents
+                .entry(*point)
+                .or_insert_with(|| SlidingWindowClassifier::new(self.cfg));
+            agent.end_interval(entries.iter().copied());
+            let local = agent.local_fsd();
+            // Layered upload: each switch ships only its local FSD.
+            self.uploaded += local.wire_size_bytes() as u64;
+            network.merge(&local);
+        }
+        self.last_fsd = network.clone();
+        Some(network)
+    }
+
+    fn uploaded_bytes(&self) -> u64 {
+        self.uploaded
+    }
+
+    fn name(&self) -> &'static str {
+        "PARALEON"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn monitor() -> ParaleonMonitor {
+        ParaleonMonitor::new(WindowConfig::default())
+    }
+
+    #[test]
+    fn classifies_across_intervals_like_the_window() {
+        let mut m = monitor();
+        // A flow trickling 0.2 MB per interval through switch 0: mice for
+        // two intervals, PE from the third, elephant once Φ ≥ 1 MB.
+        let step = 200 * 1024;
+        let mut shares = Vec::new();
+        for _ in 0..6 {
+            let fsd = m
+                .on_interval(&[(0, vec![(7, step)])], 0)
+                .expect("always returns an fsd");
+            shares.push(fsd.elephant_share());
+        }
+        assert_eq!(shares[0], 0.0);
+        assert_eq!(shares[1], 0.0);
+        assert!(shares[2] > 0.0, "PE contribution appears at MI3");
+        assert!(shares[3] > shares[2], "PE likelihood refines upward");
+        assert!(shares[5] > 0.99, "Φ = 1.2 MB ≥ τ: full elephant");
+    }
+
+    #[test]
+    fn merges_multiple_switches() {
+        let mut m = monitor();
+        let fsd = m
+            .on_interval(
+                &[
+                    (0, vec![(1, 5 * MB)]),
+                    (1, vec![(2, 2_000), (3, 3_000)]),
+                ],
+                0,
+            )
+            .unwrap();
+        assert!((fsd.flow_mass() - 3.0).abs() < 1e-9);
+        assert!(fsd.elephant_share() > 0.99);
+    }
+
+    #[test]
+    fn upload_accounting_grows_per_switch_per_interval() {
+        let mut m = monitor();
+        m.on_interval(&[(0, vec![(1, 100)]), (1, vec![(2, 100)])], 0);
+        let per_switch = Fsd::empty().wire_size_bytes() as u64;
+        assert_eq!(m.uploaded_bytes(), 2 * per_switch);
+        m.on_interval(&[(0, vec![(1, 100)])], 1);
+        assert_eq!(m.uploaded_bytes(), 3 * per_switch);
+    }
+
+    #[test]
+    fn congested_elephant_stays_elephant() {
+        // The headline fix over naive ES: an elephant throttled below τ
+        // per interval keeps its state thanks to history.
+        let mut m = monitor();
+        m.on_interval(&[(0, vec![(9, 2 * MB)])], 0);
+        for _ in 0..4 {
+            let fsd = m.on_interval(&[(0, vec![(9, 10_000)])], 0).unwrap();
+            assert!(
+                fsd.elephant_share() > 0.99,
+                "history must keep the flow an elephant"
+            );
+        }
+    }
+
+    #[test]
+    fn control_plane_memory_tracks_flows() {
+        let mut m = monitor();
+        m.on_interval(&[(0, (0..10u64).map(|f| (f, 1000u64)).collect())], 0);
+        assert!(m.control_plane_memory_bytes() > 0);
+    }
+}

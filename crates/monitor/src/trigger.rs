@@ -1,0 +1,150 @@
+//! The tuning trigger: KL divergence between successive network-wide
+//! flow size distributions.
+//!
+//! PARALEON computes `KL(R_t ‖ R_{t−1})` at sub-second cadence; when it
+//! exceeds the operator threshold θ (paper default 0.01), the network-
+//! wide traffic pattern has changed significantly and a tuning episode
+//! starts (§III-A).
+
+use paraleon_sketch::Fsd;
+
+/// Detects significant traffic-pattern change.
+#[derive(Debug)]
+pub struct ChangeDetector {
+    theta: f64,
+    prev: Option<Fsd>,
+    /// Number of observations so far.
+    pub observations: u64,
+    /// Number of triggers fired.
+    pub triggers: u64,
+}
+
+impl ChangeDetector {
+    /// Create with threshold θ.
+    pub fn new(theta: f64) -> Self {
+        assert!(theta >= 0.0);
+        Self {
+            theta,
+            prev: None,
+            observations: 0,
+            triggers: 0,
+        }
+    }
+
+    /// The paper's default θ = 0.01.
+    pub fn paper_default() -> Self {
+        Self::new(0.01)
+    }
+
+    /// Observe the latest network-wide FSD; returns `true` when tuning
+    /// should be (re)triggered. The first observation never triggers
+    /// (there is no previous distribution to compare against).
+    ///
+    /// The divergence is computed over the elephant/mice byte-share
+    /// distribution (`Fsd::kl_shares`): that is the tuner's decision
+    /// variable, and unlike the raw size histogram it is stationary for a
+    /// stable workload (long-lived flows crossing log-size bins would
+    /// otherwise read as spurious change).
+    pub fn observe(&mut self, fsd: &Fsd) -> bool {
+        self.observations += 1;
+        let fired = match &self.prev {
+            None => false,
+            Some(prev) => fsd.kl_shares(prev) > self.theta,
+        };
+        self.prev = Some(fsd.clone());
+        if fired {
+            self.triggers += 1;
+        }
+        fired
+    }
+
+    /// Most recent KL divergence against the stored distribution without
+    /// updating state (diagnostics).
+    pub fn peek_kl(&self, fsd: &Fsd) -> Option<f64> {
+        self.prev.as_ref().map(|p| fsd.kl_shares(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraleon_sketch::FsdBuilder;
+
+    const MB: u64 = 1 << 20;
+
+    fn elephants() -> Fsd {
+        let mut b = FsdBuilder::new();
+        for _ in 0..10 {
+            b.add_flow(20 * MB, 1.0);
+        }
+        b.build()
+    }
+
+    fn mice() -> Fsd {
+        let mut b = FsdBuilder::new();
+        for _ in 0..100 {
+            b.add_flow(4_000, 0.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn first_observation_never_triggers() {
+        let mut d = ChangeDetector::paper_default();
+        assert!(!d.observe(&elephants()));
+        assert_eq!(d.triggers, 0);
+    }
+
+    #[test]
+    fn stable_traffic_does_not_trigger() {
+        let mut d = ChangeDetector::paper_default();
+        d.observe(&elephants());
+        for _ in 0..10 {
+            assert!(!d.observe(&elephants()));
+        }
+    }
+
+    #[test]
+    fn workload_shift_triggers() {
+        let mut d = ChangeDetector::paper_default();
+        d.observe(&elephants());
+        assert!(d.observe(&mice()), "elephant→mice shift must trigger");
+        assert_eq!(d.triggers, 1);
+        // And shifting back triggers again.
+        assert!(d.observe(&elephants()));
+    }
+
+    #[test]
+    fn threshold_gates_sensitivity() {
+        // A slightly perturbed distribution (one extra mouse among 500
+        // elephants): below a loose θ, above a strict θ = 0.
+        let mut base = FsdBuilder::new();
+        for _ in 0..500 {
+            base.add_flow(20 << 20, 1.0);
+        }
+        let base = base.build();
+        let mut slightly_different = base.clone();
+        let mut b = FsdBuilder::new();
+        b.add_flow(4_000, 0.0);
+        slightly_different.merge(&b.build());
+
+        let mut loose = ChangeDetector::new(0.5);
+        loose.observe(&base);
+        assert!(!loose.observe(&slightly_different));
+
+        let mut strict = ChangeDetector::new(0.0);
+        strict.observe(&base);
+        assert!(strict.observe(&slightly_different));
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut d = ChangeDetector::paper_default();
+        d.observe(&elephants());
+        let k1 = d.peek_kl(&mice()).unwrap();
+        let k2 = d.peek_kl(&mice()).unwrap();
+        assert_eq!(k1, k2);
+        assert!(k1 > 0.01);
+        assert_eq!(d.observations, 1);
+    }
+}

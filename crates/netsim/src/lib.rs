@@ -1,0 +1,52 @@
+//! A deterministic packet-level simulator of a lossless RoCEv2 datacenter
+//! fabric — the substrate the PARALEON reproduction runs on (standing in
+//! for the paper's ns-3 setup and hardware testbed).
+//!
+//! What is modelled, at packet granularity:
+//!
+//! * **Topology** — two-tier CLOS (hosts / ToR / leaf) with per-link
+//!   bandwidth and propagation delay, deterministic per-flow ECMP
+//!   (see [`topology`]).
+//! * **RNICs** — per-QP DCQCN reaction points pacing data segments, NIC
+//!   port serialization, cumulative ACKs, CNP generation at notification
+//!   points, PFC reaction, go-back-N loss recovery ([`sim`]).
+//! * **Switches** — output-queued shared-buffer forwarding, RED/ECN
+//!   marking between `K_min`/`K_max`, priority separation of control
+//!   traffic, 802.1Qbb PFC with dynamic-threshold XOFF/XON, and Elastic
+//!   Sketch measurement points on ToRs with TOS-bit single-insertion
+//!   (Keypoint 1).
+//! * **Metrics** — per-monitor-interval uplink utilization, normalized
+//!   RTT, PFC pause ratios and drained sketch readings ([`metrics`]),
+//!   exactly the feed PARALEON's Runtime Metric Monitor consumes.
+//!
+//! Everything is synchronous and seeded: same inputs, same packet trace.
+
+pub mod config;
+pub mod event;
+pub mod metrics;
+pub(crate) mod node;
+pub mod packet;
+pub mod sim;
+pub mod topology;
+
+pub use config::SimConfig;
+pub use metrics::{FlowRecord, IntervalMetrics, SwitchObs};
+pub use packet::{Packet, PacketKind};
+pub use sim::Simulator;
+pub use topology::{gbps, NodeKind, Port, Topology};
+
+/// Node identifier (index into the topology).
+pub type NodeId = usize;
+
+/// Flow identifier.
+pub type FlowId = u64;
+
+/// Nanoseconds since simulation start.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICRO: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLI: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SEC: Nanos = 1_000_000_000;

@@ -1,0 +1,197 @@
+//! Per-node mutable state: host RNICs and switches.
+
+use std::collections::{HashMap, VecDeque};
+
+use paraleon_dcqcn::{DcqcnParams, EcnMarker, IncastScaler, NpState, RpState};
+use paraleon_sketch::ElasticSketch;
+
+use crate::packet::{Packet, N_CLASSES};
+use crate::{FlowId, NodeId, Nanos};
+
+/// Sender-side per-flow (per-QP) state on a host.
+#[derive(Debug)]
+pub(crate) struct SenderFlow {
+    /// Destination host.
+    pub dst: NodeId,
+    /// Total flow bytes.
+    pub bytes: u64,
+    /// Bytes handed to the NIC so far (rewound on retransmission).
+    pub sent: u64,
+    /// Cumulatively acknowledged bytes.
+    pub acked: u64,
+    /// DCQCN reaction point for this QP.
+    pub rp: RpState,
+    /// Whether a QpSend event is already scheduled.
+    pub send_scheduled: bool,
+    /// When the previous segment was handed to the NIC (pacing base).
+    pub last_send: Option<Nanos>,
+    /// Whether the flow is blocked on NIC queue space.
+    pub blocked: bool,
+    /// Last time `acked` advanced (loss-recovery timer base).
+    pub last_progress: Nanos,
+    /// Whether a RetxCheck timer is live.
+    pub retx_armed: bool,
+    /// Completed flag (all bytes acknowledged).
+    pub done: bool,
+}
+
+/// Receiver-side per-flow state on a host.
+#[derive(Debug)]
+pub(crate) struct RecvFlow {
+    /// Payload bytes received.
+    pub received: u64,
+    /// DCQCN notification point for this QP.
+    pub np: NpState,
+    /// Data packets since the last ACK (for coalescing).
+    pub pkts_since_ack: u32,
+}
+
+/// A host with one RNIC port.
+#[derive(Debug)]
+pub(crate) struct HostState {
+    /// Per-class egress queues (data, control).
+    pub tx_queues: [VecDeque<Packet>; N_CLASSES],
+    /// Whether the port is mid-serialization.
+    pub tx_busy: bool,
+    /// PFC: lossless-class egress paused by the ToR.
+    pub data_paused: bool,
+    /// When the current pause began (for pause-duration accounting).
+    pub pause_started: Option<Nanos>,
+    /// Active sender QPs.
+    pub senders: HashMap<FlowId, SenderFlow>,
+    /// Active receiver QPs.
+    pub receivers: HashMap<FlowId, RecvFlow>,
+    /// DCQCN+ incast scaler (receiver side, shared across QPs).
+    pub incast: IncastScaler,
+    /// Flows waiting for NIC queue space.
+    pub blocked: Vec<FlowId>,
+}
+
+impl HostState {
+    pub(crate) fn new(base_cnp_interval_us: f64, incast_window: Nanos) -> Self {
+        Self {
+            tx_queues: Default::default(),
+            tx_busy: false,
+            data_paused: false,
+            pause_started: None,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            incast: IncastScaler::new(base_cnp_interval_us, incast_window),
+            blocked: Vec::new(),
+        }
+    }
+
+    /// Pick the next packet to serialize: control strictly first, data
+    /// only when not paused.
+    pub(crate) fn dequeue(&mut self) -> Option<Packet> {
+        if let Some(p) = self.tx_queues[1].pop_front() {
+            return Some(p);
+        }
+        if !self.data_paused {
+            return self.tx_queues[0].pop_front();
+        }
+        None
+    }
+
+    /// Apply a new parameter setting to every live QP.
+    pub(crate) fn set_params(&mut self, params: &DcqcnParams) {
+        for s in self.senders.values_mut() {
+            s.rp.set_params(params.clone());
+        }
+        for r in self.receivers.values_mut() {
+            r.np.set_params(params.clone());
+        }
+    }
+}
+
+/// One egress port of a switch.
+#[derive(Debug)]
+pub(crate) struct SwPort {
+    /// Per-class FIFO queues.
+    pub queues: [VecDeque<Packet>; N_CLASSES],
+    /// Queued bytes per class (wire bytes).
+    pub qbytes: [u64; N_CLASSES],
+    /// Whether the port is mid-serialization.
+    pub busy: bool,
+    /// PFC: lossless-class egress paused by the downstream device.
+    pub data_paused: bool,
+    /// When the current pause began.
+    pub pause_started: Option<Nanos>,
+}
+
+impl SwPort {
+    fn new() -> Self {
+        Self {
+            queues: Default::default(),
+            qbytes: [0; N_CLASSES],
+            busy: false,
+            data_paused: false,
+            pause_started: None,
+        }
+    }
+}
+
+/// A switch: shared-buffer output-queued, with PFC and ECN, and (on ToRs)
+/// an Elastic Sketch measurement point.
+#[derive(Debug)]
+pub(crate) struct SwitchState {
+    /// Egress ports (parallel to the topology's port list).
+    pub ports: Vec<SwPort>,
+    /// Total data bytes resident in the shared buffer.
+    pub buffer_used: u64,
+    /// Data bytes resident per ingress port (PFC accounting).
+    pub ingress_bytes: Vec<u64>,
+    /// Whether we have an outstanding XOFF toward each ingress port's
+    /// upstream device.
+    pub sent_xoff: Vec<bool>,
+    /// ECN marker (shared thresholds across ports, like homogeneous
+    /// switch configs in the paper).
+    pub marker: EcnMarker,
+    /// ToR-only measurement sketch.
+    pub sketch: Option<ElasticSketch>,
+    /// Packets dropped at a full buffer (lifetime).
+    pub drops: u64,
+    /// Marker counter snapshots at the last interval collection (for
+    /// per-interval marking-rate computation).
+    pub prev_seen: u64,
+    /// See [`SwitchState::prev_seen`].
+    pub prev_marked: u64,
+}
+
+impl SwitchState {
+    pub(crate) fn new(n_ports: usize, marker: EcnMarker, sketch: Option<ElasticSketch>) -> Self {
+        Self {
+            ports: (0..n_ports).map(|_| SwPort::new()).collect(),
+            buffer_used: 0,
+            ingress_bytes: vec![0; n_ports],
+            sent_xoff: vec![false; n_ports],
+            marker,
+            sketch,
+            drops: 0,
+            prev_seen: 0,
+            prev_marked: 0,
+        }
+    }
+
+    /// Dynamic PFC pause threshold for one ingress queue:
+    /// α × (remaining shared buffer).
+    pub(crate) fn pause_threshold(&self, alpha: f64, buffer_total: u64) -> f64 {
+        alpha * (buffer_total.saturating_sub(self.buffer_used)) as f64
+    }
+
+    /// Pick the next packet on `port`: control strictly first.
+    pub(crate) fn dequeue(&mut self, port: usize) -> Option<Packet> {
+        let p = &mut self.ports[port];
+        if let Some(pkt) = p.queues[1].pop_front() {
+            p.qbytes[1] -= pkt.wire_bytes as u64;
+            return Some(pkt);
+        }
+        if !p.data_paused {
+            if let Some(pkt) = p.queues[0].pop_front() {
+                p.qbytes[0] -= pkt.wire_bytes as u64;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,200 @@
+//! Packets and frames carried by the simulated fabric.
+
+use crate::{FlowId, NodeId, Nanos};
+
+/// Traffic class indices: RoCEv2 data rides the lossless (PFC-protected)
+/// class; ACKs and CNPs ride a strict-priority control class, mirroring
+/// real deployments where CNPs must not be blocked by data congestion.
+pub const CLASS_DATA: usize = 0;
+/// Control traffic class (ACK/CNP).
+pub const CLASS_CTRL: usize = 1;
+/// Number of traffic classes per port.
+pub const N_CLASSES: usize = 2;
+
+/// Discriminates the payload of a [`Packet`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PacketKind {
+    /// RDMA data segment: `seq` is the byte offset of this payload within
+    /// the flow, `flow_bytes` the flow's total size (so the receiver can
+    /// detect the final segment without out-of-band state).
+    Data {
+        /// Byte offset of this segment within the flow.
+        seq: u64,
+        /// Total flow size in bytes.
+        flow_bytes: u64,
+    },
+    /// Cumulative acknowledgment from receiver to sender.
+    Ack {
+        /// Cumulative bytes received in order.
+        acked_bytes: u64,
+        /// Echo of the triggering data packet's send timestamp (RTT).
+        echo: Nanos,
+    },
+    /// Congestion Notification Packet (NP → RP).
+    Cnp {
+        /// DCQCN+ only: CNP interval (µs) the NP advertises.
+        advertised_interval_us: Option<f64>,
+    },
+}
+
+/// A packet in flight or queued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Payload discriminator.
+    pub kind: PacketKind,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// The QP (measurement identity) this packet belongs to. Collectives
+    /// reuse QPs across rounds, so sketches see one long-lived entity
+    /// per (src, dst) pair — the "per-QP size statistics" of the paper.
+    pub qp: FlowId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Bytes on the wire (payload + headers).
+    pub wire_bytes: u32,
+    /// Payload bytes (0 for control frames).
+    pub payload_bytes: u32,
+    /// When the packet left its source NIC (RTT echo base).
+    pub sent_at: Nanos,
+    /// ECN Congestion Experienced mark (set by switches).
+    pub ecn: bool,
+    /// Keypoint 1's TOS bit: set once the packet has been inserted into a
+    /// measurement sketch, so no later switch double-counts it.
+    pub sketched: bool,
+    /// Traffic class ([`CLASS_DATA`] or [`CLASS_CTRL`]).
+    pub class: usize,
+    /// Ingress port at the switch currently holding the packet (per-hop
+    /// scratch used for PFC buffer accounting; rewritten at each hop).
+    pub in_port: usize,
+}
+
+impl Packet {
+    /// Build a data segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        flow: FlowId,
+        qp: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+        flow_bytes: u64,
+        payload: u32,
+        header: u32,
+        now: Nanos,
+    ) -> Self {
+        Self {
+            kind: PacketKind::Data { seq, flow_bytes },
+            flow,
+            qp,
+            src,
+            dst,
+            wire_bytes: payload + header,
+            payload_bytes: payload,
+            sent_at: now,
+            ecn: false,
+            sketched: false,
+            class: CLASS_DATA,
+            in_port: 0,
+        }
+    }
+
+    /// Build a cumulative ACK (receiver → sender: src/dst are the ACK's
+    /// own endpoints, i.e. swapped relative to the data flow).
+    pub fn ack(
+        flow: FlowId,
+        from: NodeId,
+        to: NodeId,
+        acked_bytes: u64,
+        echo: Nanos,
+        ctrl_bytes: u32,
+        now: Nanos,
+    ) -> Self {
+        Self {
+            kind: PacketKind::Ack { acked_bytes, echo },
+            flow,
+            qp: flow,
+            src: from,
+            dst: to,
+            wire_bytes: ctrl_bytes,
+            payload_bytes: 0,
+            sent_at: now,
+            ecn: false,
+            sketched: true, // control frames are never sketched
+            class: CLASS_CTRL,
+            in_port: 0,
+        }
+    }
+
+    /// Build a CNP (NP → RP).
+    pub fn cnp(
+        flow: FlowId,
+        from: NodeId,
+        to: NodeId,
+        advertised_interval_us: Option<f64>,
+        ctrl_bytes: u32,
+        now: Nanos,
+    ) -> Self {
+        Self {
+            kind: PacketKind::Cnp {
+                advertised_interval_us,
+            },
+            flow,
+            qp: flow,
+            src: from,
+            dst: to,
+            wire_bytes: ctrl_bytes,
+            payload_bytes: 0,
+            sent_at: now,
+            ecn: false,
+            sketched: true,
+            class: CLASS_CTRL,
+            in_port: 0,
+        }
+    }
+
+    /// Whether this is a data segment.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_packet_shape() {
+        let p = Packet::data(7, 7, 0, 1, 4096, 1 << 20, 1000, 48, 99);
+        assert!(p.is_data());
+        assert_eq!(p.wire_bytes, 1048);
+        assert_eq!(p.payload_bytes, 1000);
+        assert_eq!(p.class, CLASS_DATA);
+        assert!(!p.ecn && !p.sketched);
+    }
+
+    #[test]
+    fn control_frames_ride_the_control_class_pre_sketched() {
+        let a = Packet::ack(7, 1, 0, 123, 5, 64, 10);
+        let c = Packet::cnp(7, 1, 0, Some(16.0), 64, 10);
+        for p in [a, c] {
+            assert_eq!(p.class, CLASS_CTRL);
+            assert!(p.sketched, "control frames must never enter sketches");
+            assert!(!p.is_data());
+            assert_eq!(p.payload_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn ack_carries_cumulative_bytes_and_echo() {
+        let a = Packet::ack(7, 1, 0, 4096, 77, 64, 100);
+        match a.kind {
+            PacketKind::Ack { acked_bytes, echo } => {
+                assert_eq!(acked_bytes, 4096);
+                assert_eq!(echo, 77);
+            }
+            _ => panic!("not an ack"),
+        }
+    }
+}

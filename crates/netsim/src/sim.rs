@@ -1,0 +1,852 @@
+//! The discrete-event RoCEv2 fabric simulator.
+//!
+//! One [`Simulator`] owns a [`Topology`], the
+//! per-node state (host RNICs with per-QP DCQCN reaction/notification
+//! points; shared-buffer switches with RED/ECN marking, dynamic-threshold
+//! PFC and ToR measurement sketches) and a deterministic event queue.
+//!
+//! The embedding harness drives it with:
+//!
+//! ```text
+//! let mut sim = Simulator::new(topo, cfg);
+//! sim.add_flow(src, dst, bytes, start);
+//! loop {
+//!     sim.run_until(next_monitor_interval_end);
+//!     let metrics = sim.collect_interval();      // switch/RNIC agents upload
+//!     if let Some(p) = controller(&metrics) {    // PARALEON tuning round
+//!         sim.set_dcqcn_params(&p);              // dispatch to devices
+//!     }
+//! }
+//! ```
+//!
+//! which mirrors the paper's closed loop: monitor λ_MI, upload, tune,
+//! dispatch.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use paraleon_dcqcn::{DcqcnParams, EcnMarker, NpState, RpState};
+use paraleon_sketch::hash::hash64;
+use paraleon_sketch::ElasticSketch;
+
+use crate::config::SimConfig;
+use crate::event::{Event, EventQueue};
+use crate::metrics::{FlowRecord, IntervalAccum, IntervalMetrics, SwitchObs};
+use crate::node::{HostState, RecvFlow, SenderFlow, SwitchState};
+use crate::packet::{Packet, PacketKind, CLASS_CTRL, CLASS_DATA};
+use crate::topology::{NodeKind, Topology};
+use crate::{FlowId, NodeId, Nanos, MICRO};
+
+/// Static description of one admitted flow.
+#[derive(Debug, Clone, Copy)]
+struct FlowMeta {
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    start: Nanos,
+    qp: FlowId,
+    done: bool,
+}
+
+/// The packet-level simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    topo: Topology,
+    hosts: Vec<HostState>,
+    switches: Vec<SwitchState>,
+    events: EventQueue,
+    now: Nanos,
+    rng: StdRng,
+    flows: Vec<FlowMeta>,
+    completions: Vec<FlowRecord>,
+    accum: IntervalAccum,
+    interval_start: Nanos,
+    active_flows: usize,
+    base_rtt_cache: std::collections::HashMap<(NodeId, NodeId), Nanos>,
+    /// Total data packets dropped over the whole run.
+    pub total_drops: u64,
+    /// Total PFC pause frames over the whole run.
+    pub total_pfc_events: u64,
+    /// Total events processed (performance accounting).
+    pub events_processed: u64,
+}
+
+impl Simulator {
+    /// Build a simulator over `topo` with configuration `cfg`.
+    pub fn new(topo: Topology, cfg: SimConfig) -> Self {
+        let n_hosts = topo.n_hosts();
+        let n_nodes = topo.n_nodes();
+        let hosts = (0..n_hosts)
+            .map(|_| HostState::new(cfg.dcqcn.min_time_between_cnps, cfg.incast_window))
+            .collect();
+        let mut switches = Vec::new();
+        for node in n_hosts..n_nodes {
+            let n_ports = topo.ports(node).len();
+            let marker = EcnMarker::from_params(&cfg.dcqcn);
+            let sketch = if topo.kind(node) == NodeKind::Tor {
+                let mut sk_cfg = cfg.sketch.clone();
+                // Distinct hash seeds per switch, like distinct hardware.
+                sk_cfg.seed = sk_cfg.seed.wrapping_add(node as u64);
+                Some(ElasticSketch::new(sk_cfg))
+            } else {
+                None
+            };
+            switches.push(SwitchState::new(n_ports, marker, sketch));
+        }
+        let accum = IntervalAccum::new(n_nodes, n_hosts);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            cfg,
+            topo,
+            hosts,
+            switches,
+            events: EventQueue::new(),
+            now: 0,
+            rng,
+            flows: Vec::new(),
+            completions: Vec::new(),
+            accum,
+            interval_start: 0,
+            active_flows: 0,
+            base_rtt_cache: std::collections::HashMap::new(),
+            total_drops: 0,
+            total_pfc_events: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Number of admitted flows not yet completed.
+    pub fn active_flows(&self) -> usize {
+        self.active_flows
+    }
+
+    /// Admit a flow of `bytes` from host `src` to host `dst` at `start`
+    /// (must not be in the past). Returns its id. The flow's measurement
+    /// identity (QP) defaults to its own id; collectives that reuse QPs
+    /// across rounds should use [`Simulator::add_flow_on_qp`].
+    pub fn add_flow(&mut self, src: NodeId, dst: NodeId, bytes: u64, start: Nanos) -> FlowId {
+        let qp = self.flows.len() as FlowId;
+        self.add_flow_on_qp(src, dst, bytes, start, qp)
+    }
+
+    /// Admit a flow carried on an explicit QP identity: sketches, ground
+    /// truth and ECMP hashing observe `qp`, so successive transfers on
+    /// one QP appear as a single long-lived entity to the monitor (NCCL
+    /// reuses QPs across collective rounds).
+    pub fn add_flow_on_qp(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        start: Nanos,
+        qp: FlowId,
+    ) -> FlowId {
+        assert!(src < self.topo.n_hosts() && dst < self.topo.n_hosts());
+        assert_ne!(src, dst, "flow endpoints must differ");
+        assert!(bytes > 0, "zero-byte flow");
+        assert!(start >= self.now, "flow start in the past");
+        let id = self.flows.len() as FlowId;
+        self.flows.push(FlowMeta {
+            src,
+            dst,
+            bytes,
+            start,
+            qp,
+            done: false,
+        });
+        self.active_flows += 1;
+        self.events.push(start, Event::FlowStart(id));
+        id
+    }
+
+    /// Drain the list of flows completed since the last call.
+    pub fn take_completions(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Dispatch a new DCQCN parameter setting to every RNIC and switch
+    /// (the controller's action after a tuning round; homogeneous, like
+    /// the paper's centralized design).
+    pub fn set_dcqcn_params(&mut self, params: &DcqcnParams) {
+        self.cfg.dcqcn = params.clone();
+        for h in &mut self.hosts {
+            h.set_params(params);
+        }
+        for s in &mut self.switches {
+            s.marker.set_params(params);
+        }
+    }
+
+    /// The active parameter setting.
+    pub fn dcqcn_params(&self) -> &DcqcnParams {
+        &self.cfg.dcqcn
+    }
+
+    /// Override one switch's ECN thresholds only (ACC-style per-switch
+    /// tuning; RNIC parameters are untouched). `switch_index` counts ToRs
+    /// first, then leaves, matching `IntervalMetrics::switch_obs`.
+    pub fn set_switch_ecn(&mut self, switch_index: usize, params: &DcqcnParams) {
+        self.switches[switch_index].marker.set_params(params);
+    }
+
+    /// Number of switches (ToRs + leaves).
+    pub fn n_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Process all events up to and including time `t`, then set the
+    /// clock to `t`.
+    pub fn run_until(&mut self, t: Nanos) {
+        assert!(t >= self.now, "time cannot run backward");
+        while let Some(ts) = self.events.peek_time() {
+            if ts > t {
+                break;
+            }
+            let (ts, ev) = self.events.pop().expect("peeked");
+            debug_assert!(ts >= self.now);
+            self.now = ts;
+            self.events_processed += 1;
+            self.handle(ev);
+        }
+        self.now = t;
+    }
+
+    /// Convenience: run for `dt` more nanoseconds.
+    pub fn run_for(&mut self, dt: Nanos) {
+        self.run_until(self.now + dt);
+    }
+
+    /// Whether any events remain scheduled.
+    pub fn has_pending_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Base RTT between two hosts (cached; used for RTT normalisation).
+    pub fn base_rtt(&mut self, a: NodeId, b: NodeId) -> Nanos {
+        let key = (a.min(b), a.max(b));
+        if let Some(&v) = self.base_rtt_cache.get(&key) {
+            return v;
+        }
+        let v = self
+            .topo
+            .base_rtt(key.0, key.1, self.cfg.mtu_wire(), self.cfg.ctrl_bytes);
+        self.base_rtt_cache.insert(key, v);
+        v
+    }
+
+    /// Snapshot and reset the per-interval metrics; drains ToR sketches
+    /// (the once-per-λ_MI control-plane read-and-reset).
+    pub fn collect_interval(&mut self) -> IntervalMetrics {
+        let dt = self.now.saturating_sub(self.interval_start);
+        let dt_f = dt.max(1) as f64;
+
+        // O_TP over active host<->ToR uplinks.
+        let mut util_sum = 0.0;
+        let mut util_n = 0u32;
+        for h in 0..self.topo.n_hosts() {
+            let bw = self.topo.ports(h)[0].bw; // bytes/ns
+            for bytes in [self.accum.host_up_bytes[h], self.accum.host_down_bytes[h]] {
+                if bytes > 0 {
+                    util_sum += (bytes as f64 / (bw * dt_f)).min(1.0);
+                    util_n += 1;
+                }
+            }
+        }
+        let avg_util = if util_n == 0 { 0.0 } else { util_sum / util_n as f64 };
+
+        // O_RTT.
+        let (gamma, avg_rtt) = if self.accum.rtt_count == 0 {
+            (1.0, 0.0)
+        } else {
+            (
+                self.accum.gamma_sum / self.accum.rtt_count as f64,
+                self.accum.rtt_sum / self.accum.rtt_count as f64,
+            )
+        };
+
+        // O_PFC: finalize still-paused ports into the accumulator first.
+        self.finalize_pause_accounting();
+        let n_nodes = self.topo.n_nodes() as f64;
+        let pause_ratio = self
+            .accum
+            .pause_ns
+            .iter()
+            .map(|&p| (p.min(dt) as f64) / dt_f)
+            .sum::<f64>()
+            / n_nodes;
+
+        // Per-switch local observations (the ACC agents' inputs).
+        let mut switch_obs = Vec::with_capacity(self.switches.len());
+        for (i, sw) in self.switches.iter_mut().enumerate() {
+            let node = self.topo.n_hosts() + i;
+            let total_bw: f64 = self.topo.ports(node).iter().map(|p| p.bw).sum();
+            let tx_util =
+                (self.accum.switch_tx_bytes[i] as f64 / (total_bw * dt_f)).min(1.0);
+            let seen = sw.marker.seen - sw.prev_seen;
+            let marked = sw.marker.marked - sw.prev_marked;
+            sw.prev_seen = sw.marker.seen;
+            sw.prev_marked = sw.marker.marked;
+            let marking_rate = if seen == 0 { 0.0 } else { marked as f64 / seen as f64 };
+            let queue_frac =
+                sw.buffer_used as f64 / self.cfg.switch_buffer_bytes.max(1) as f64;
+            switch_obs.push(SwitchObs {
+                node,
+                tx_utilization: tx_util,
+                marking_rate,
+                queue_frac,
+            });
+        }
+
+        // Drain ToR sketches (control-plane read-and-reset).
+        let mut tor_sketches = Vec::new();
+        for (i, sw) in self.switches.iter_mut().enumerate() {
+            if let Some(sk) = sw.sketch.as_mut() {
+                let node = self.topo.n_hosts() + i;
+                let entries: Vec<(FlowId, u64)> =
+                    sk.drain().into_iter().map(|e| (e.flow, e.bytes)).collect();
+                tor_sketches.push((node, entries));
+            }
+        }
+
+        let mut truth: Vec<(FlowId, u64)> = self.accum.truth_flow_bytes.drain().collect();
+        truth.sort_unstable();
+
+        let m = IntervalMetrics {
+            start: self.interval_start,
+            end: self.now,
+            avg_uplink_utilization: avg_util,
+            avg_normalized_rtt: gamma.min(1.0),
+            avg_rtt_ns: avg_rtt,
+            pfc_pause_ratio: pause_ratio.min(1.0),
+            cnps: self.accum.cnps,
+            ecn_marks: self.accum.ecn_marks,
+            drops: self.accum.drops,
+            pfc_events: self.accum.pfc_events,
+            bytes_delivered: self.accum.bytes_delivered,
+            switch_obs,
+            tor_sketches,
+            truth_flow_bytes: truth,
+        };
+        self.accum.reset();
+        self.interval_start = self.now;
+        m
+    }
+
+    /// Close out pause intervals that span the collection instant.
+    fn finalize_pause_accounting(&mut self) {
+        let now = self.now;
+        let istart = self.interval_start;
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            if let Some(st) = host.pause_started {
+                self.accum.pause_ns[h] += now.saturating_sub(st.max(istart));
+                host.pause_started = Some(now);
+            }
+        }
+        let n_hosts = self.topo.n_hosts();
+        for (i, sw) in self.switches.iter_mut().enumerate() {
+            for p in &mut sw.ports {
+                if let Some(st) = p.pause_started {
+                    self.accum.pause_ns[n_hosts + i] += now.saturating_sub(st.max(istart));
+                    p.pause_started = Some(now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::FlowStart(f) => self.on_flow_start(f),
+            Event::QpSend(f) => self.on_qp_send(f),
+            Event::Arrive { node, in_port, pkt } => match self.topo.kind(node) {
+                NodeKind::Host => self.host_receive(node, pkt),
+                _ => self.switch_receive(node, in_port, pkt),
+            },
+            Event::PortFree { node, port } => match self.topo.kind(node) {
+                NodeKind::Host => {
+                    self.hosts[node].tx_busy = false;
+                    self.unblock_host_flows(node);
+                    self.host_try_tx(node);
+                }
+                _ => {
+                    let sw = node - self.topo.n_hosts();
+                    self.switches[sw].ports[port].busy = false;
+                    self.switch_try_tx(node, port);
+                }
+            },
+            Event::PfcSet { node, port, paused } => self.on_pfc_set(node, port, paused),
+            Event::RetxCheck(f) => self.on_retx_check(f),
+        }
+    }
+
+    fn on_flow_start(&mut self, f: FlowId) {
+        let meta = self.flows[f as usize];
+        let port = self.topo.ports(meta.src)[0];
+        let line_rate = port.bw * 1e9; // bytes/ns -> bytes/sec
+        let rp = RpState::new(line_rate, self.cfg.dcqcn.clone(), self.now);
+        self.hosts[meta.src].senders.insert(
+            f,
+            SenderFlow {
+                dst: meta.dst,
+                bytes: meta.bytes,
+                sent: 0,
+                acked: 0,
+                rp,
+                send_scheduled: true,
+                last_send: None,
+                blocked: false,
+                last_progress: self.now,
+                retx_armed: false,
+                done: false,
+            },
+        );
+        self.events.push(self.now, Event::QpSend(f));
+    }
+
+    /// A QP pacing tick. The pacing gap after a segment is
+    /// `wire_bytes / R_C`, but `R_C` keeps moving (DCQCN timer increases),
+    /// so a tick that fires before the gap has elapsed *re-evaluates* at
+    /// the earlier of the remaining gap or one increase-timer period —
+    /// this is what lets a min-rate QP recover at timer speed instead of
+    /// once per (possibly huge) pacing gap.
+    fn on_qp_send(&mut self, f: FlowId) {
+        /// Upper bound between pacing re-evaluations for throttled QPs.
+        const RECHECK: Nanos = 50 * MICRO;
+        let meta = self.flows[f as usize];
+        let h = meta.src;
+        let (payload, wire, dst, next_gap, all_sent, arm_retx);
+        {
+            let nic_limit = self.cfg.nic_queue_pkts;
+            let data_depth = self.hosts[h].tx_queues[CLASS_DATA].len();
+            let Some(s) = self.hosts[h].senders.get_mut(&f) else {
+                return; // completed
+            };
+            s.send_scheduled = false;
+            if s.done || s.sent >= s.bytes {
+                return;
+            }
+            if data_depth >= nic_limit {
+                if !s.blocked {
+                    s.blocked = true;
+                    self.hosts[h].blocked.push(f);
+                }
+                return;
+            }
+            s.rp.advance(self.now);
+            payload = (self.cfg.mtu_payload as u64).min(s.bytes - s.sent) as u32;
+            wire = payload + self.cfg.header_bytes;
+            dst = s.dst;
+            // Pacing: may we transmit yet at the *current* rate?
+            let rate = s.rp.rate().max(1.0); // bytes/sec
+            if let Some(last) = s.last_send {
+                let gap = ((wire as f64) * 1e9 / rate).ceil() as Nanos;
+                let allowed = last.saturating_add(gap);
+                if allowed > self.now {
+                    // Too early; re-check when the gap (at today's rate)
+                    // elapses, or sooner so rate recovery shortens it.
+                    s.send_scheduled = true;
+                    let recheck = allowed.min(self.now + RECHECK).max(self.now + 1);
+                    self.events.push(recheck, Event::QpSend(f));
+                    return;
+                }
+            }
+            let seq = s.sent;
+            s.sent += payload as u64;
+            s.last_send = Some(self.now);
+            all_sent = s.sent >= s.bytes;
+            s.rp.on_send(self.now, wire as u64);
+            let rate = s.rp.rate().max(1.0);
+            next_gap = ((wire as f64) * 1e9 / rate).ceil() as Nanos;
+            arm_retx = all_sent && !s.retx_armed;
+            if arm_retx {
+                s.retx_armed = true;
+            }
+            if !all_sent {
+                s.send_scheduled = true;
+            }
+            let pkt = Packet::data(
+                f,
+                meta.qp,
+                h,
+                dst,
+                seq,
+                s.bytes,
+                payload,
+                self.cfg.header_bytes,
+                self.now,
+            );
+            self.hosts[h].tx_queues[CLASS_DATA].push_back(pkt);
+        }
+        if self.cfg.track_ground_truth {
+            *self.accum.truth_flow_bytes.entry(meta.qp).or_insert(0) += payload as u64;
+        }
+        if !all_sent {
+            let next = self.now + next_gap.min(RECHECK).max(1);
+            self.events.push(next, Event::QpSend(f));
+        }
+        if arm_retx {
+            self.events
+                .push(self.now + self.cfg.rto, Event::RetxCheck(f));
+        }
+        self.host_try_tx(h);
+    }
+
+    fn unblock_host_flows(&mut self, h: NodeId) {
+        if self.hosts[h].blocked.is_empty()
+            || self.hosts[h].tx_queues[CLASS_DATA].len() >= self.cfg.nic_queue_pkts
+        {
+            return;
+        }
+        let blocked = std::mem::take(&mut self.hosts[h].blocked);
+        for f in blocked {
+            if let Some(s) = self.hosts[h].senders.get_mut(&f) {
+                s.blocked = false;
+                if !s.send_scheduled && !s.done && s.sent < s.bytes {
+                    s.send_scheduled = true;
+                    self.events.push(self.now, Event::QpSend(f));
+                }
+            }
+        }
+    }
+
+    fn host_try_tx(&mut self, h: NodeId) {
+        if self.hosts[h].tx_busy {
+            return;
+        }
+        let Some(pkt) = self.hosts[h].dequeue() else {
+            return;
+        };
+        self.hosts[h].tx_busy = true;
+        if pkt.class == CLASS_DATA {
+            self.accum.host_up_bytes[h] += pkt.wire_bytes as u64;
+        }
+        let port = self.topo.ports(h)[0];
+        let ser = ((pkt.wire_bytes as f64) / port.bw).ceil() as Nanos;
+        self.events.push(
+            self.now + ser + port.delay,
+            Event::Arrive {
+                node: port.peer,
+                in_port: port.peer_port,
+                pkt,
+            },
+        );
+        self.events
+            .push(self.now + ser, Event::PortFree { node: h, port: 0 });
+    }
+
+    // ------------------------------------------------------------------
+    // Switch path
+    // ------------------------------------------------------------------
+
+    fn switch_receive(&mut self, node: NodeId, in_port: usize, mut pkt: Packet) {
+        let n_hosts = self.topo.n_hosts();
+        let sw = node - n_hosts;
+        let wire = pkt.wire_bytes as u64;
+        if pkt.class == CLASS_DATA {
+            // Shared-buffer admission.
+            if self.switches[sw].buffer_used + wire > self.cfg.switch_buffer_bytes {
+                self.switches[sw].drops += 1;
+                self.accum.drops += 1;
+                self.total_drops += 1;
+                return;
+            }
+            self.switches[sw].buffer_used += wire;
+            self.switches[sw].ingress_bytes[in_port] += wire;
+            pkt.in_port = in_port;
+            // PFC XOFF on the upstream if this ingress queue exceeds the
+            // dynamic threshold.
+            let th = self.switches[sw]
+                .pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes);
+            if self.switches[sw].ingress_bytes[in_port] as f64 > th
+                && !self.switches[sw].sent_xoff[in_port]
+            {
+                self.switches[sw].sent_xoff[in_port] = true;
+                self.accum.pfc_events += 1;
+                self.total_pfc_events += 1;
+                let up = self.topo.ports(node)[in_port];
+                self.events.push(
+                    self.now + up.delay,
+                    Event::PfcSet {
+                        node: up.peer,
+                        port: up.peer_port,
+                        paused: true,
+                    },
+                );
+            }
+            // ToR measurement point (Keypoint 1: insert once, mark TOS).
+            let dedup = self.cfg.tos_dedup;
+            if let Some(sk) = self.switches[sw].sketch.as_mut() {
+                if !dedup || !pkt.sketched {
+                    sk.insert(pkt.qp, pkt.payload_bytes as u64);
+                    if dedup {
+                        pkt.sketched = true;
+                    }
+                }
+            }
+        }
+        // Route and (for data) ECN-mark on enqueue: ECMP pins the QP, so
+        // round after round of a collective follows one path.
+        let hash = hash64(pkt.qp, 0x5EED_0F10);
+        let out = self.topo.next_port(node, pkt.dst, hash);
+        if pkt.class == CLASS_DATA {
+            let q = self.switches[sw].ports[out].qbytes[CLASS_DATA];
+            let u: f64 = self.rng.gen();
+            if self.switches[sw].marker.should_mark(q as f64, u) {
+                pkt.ecn = true;
+                self.accum.ecn_marks += 1;
+            }
+        }
+        let class = pkt.class;
+        self.switches[sw].ports[out].qbytes[class] += wire;
+        self.switches[sw].ports[out].queues[class].push_back(pkt);
+        self.switch_try_tx(node, out);
+    }
+
+    fn switch_try_tx(&mut self, node: NodeId, port: usize) {
+        let n_hosts = self.topo.n_hosts();
+        let sw = node - n_hosts;
+        if self.switches[sw].ports[port].busy {
+            return;
+        }
+        let Some(pkt) = self.switches[sw].dequeue(port) else {
+            return;
+        };
+        self.switches[sw].ports[port].busy = true;
+        if pkt.class == CLASS_DATA {
+            let wire = pkt.wire_bytes as u64;
+            self.switches[sw].buffer_used -= wire;
+            self.switches[sw].ingress_bytes[pkt.in_port] -= wire;
+            // PFC XON once the ingress queue drains below hysteresis.
+            if self.switches[sw].sent_xoff[pkt.in_port] {
+                let th = self.switches[sw]
+                    .pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes)
+                    * self.cfg.pfc_xon_frac;
+                if (self.switches[sw].ingress_bytes[pkt.in_port] as f64) <= th {
+                    self.switches[sw].sent_xoff[pkt.in_port] = false;
+                    let up = self.topo.ports(node)[pkt.in_port];
+                    self.events.push(
+                        self.now + up.delay,
+                        Event::PfcSet {
+                            node: up.peer,
+                            port: up.peer_port,
+                            paused: false,
+                        },
+                    );
+                }
+            }
+        }
+        if pkt.class == CLASS_DATA {
+            self.accum.switch_tx_bytes[sw] += pkt.wire_bytes as u64;
+        }
+        let link = self.topo.ports(node)[port];
+        let ser = ((pkt.wire_bytes as f64) / link.bw).ceil() as Nanos;
+        self.events.push(
+            self.now + ser + link.delay,
+            Event::Arrive {
+                node: link.peer,
+                in_port: link.peer_port,
+                pkt,
+            },
+        );
+        self.events
+            .push(self.now + ser, Event::PortFree { node, port });
+    }
+
+    fn on_pfc_set(&mut self, node: NodeId, port: usize, paused: bool) {
+        match self.topo.kind(node) {
+            NodeKind::Host => {
+                let host = &mut self.hosts[node];
+                if paused {
+                    if host.pause_started.is_none() {
+                        host.pause_started = Some(self.now);
+                    }
+                    host.data_paused = true;
+                } else {
+                    if let Some(st) = host.pause_started.take() {
+                        self.accum.pause_ns[node] +=
+                            self.now.saturating_sub(st.max(self.interval_start));
+                    }
+                    host.data_paused = false;
+                    self.host_try_tx(node);
+                }
+            }
+            _ => {
+                let n_hosts = self.topo.n_hosts();
+                let sw = node - n_hosts;
+                let p = &mut self.switches[sw].ports[port];
+                if paused {
+                    if p.pause_started.is_none() {
+                        p.pause_started = Some(self.now);
+                    }
+                    p.data_paused = true;
+                } else {
+                    if let Some(st) = p.pause_started.take() {
+                        self.accum.pause_ns[node] +=
+                            self.now.saturating_sub(st.max(self.interval_start));
+                    }
+                    p.data_paused = false;
+                    self.switch_try_tx(node, port);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host receive path
+    // ------------------------------------------------------------------
+
+    fn host_receive(&mut self, h: NodeId, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::Data { seq, flow_bytes } => {
+                self.accum.host_down_bytes[h] += pkt.wire_bytes as u64;
+                self.accum.bytes_delivered += pkt.payload_bytes as u64;
+                let dcqcn_plus = self.cfg.dcqcn_plus;
+                let params = self.cfg.dcqcn.clone();
+                let ctrl = self.cfg.ctrl_bytes;
+                let ack_every = self.cfg.ack_every;
+                let host = &mut self.hosts[h];
+                let iv = if pkt.ecn && dcqcn_plus {
+                    Some(host.incast.on_mark(pkt.flow, self.now))
+                } else {
+                    None
+                };
+                let r = host.receivers.entry(pkt.flow).or_insert_with(|| RecvFlow {
+                    received: 0,
+                    np: NpState::new(params),
+                    pkts_since_ack: 0,
+                });
+                r.received = (r.received + pkt.payload_bytes as u64).min(flow_bytes);
+                let mut to_send: Vec<Packet> = Vec::new();
+                if pkt.ecn {
+                    if let Some(sig) = r.np.on_packet(self.now, true, iv) {
+                        to_send.push(Packet::cnp(
+                            pkt.flow,
+                            h,
+                            pkt.src,
+                            sig.advertised_interval_us,
+                            ctrl,
+                            self.now,
+                        ));
+                    }
+                }
+                r.pkts_since_ack += 1;
+                let last = seq + pkt.payload_bytes as u64 >= flow_bytes;
+                if last || r.pkts_since_ack >= ack_every {
+                    to_send.push(Packet::ack(
+                        pkt.flow,
+                        h,
+                        pkt.src,
+                        r.received,
+                        pkt.sent_at,
+                        ctrl,
+                        self.now,
+                    ));
+                    r.pkts_since_ack = 0;
+                }
+                let finished = r.received >= flow_bytes && last;
+                if finished {
+                    host.receivers.remove(&pkt.flow);
+                }
+                for p in to_send {
+                    self.hosts[h].tx_queues[CLASS_CTRL].push_back(p);
+                }
+                self.host_try_tx(h);
+            }
+            PacketKind::Ack { acked_bytes, echo } => {
+                let meta = self.flows[pkt.flow as usize];
+                let rtt = self.now.saturating_sub(echo).max(1);
+                let base = self.base_rtt(meta.src, meta.dst);
+                self.accum.gamma_sum += (base as f64 / rtt as f64).min(1.0);
+                self.accum.rtt_sum += rtt as f64;
+                self.accum.rtt_count += 1;
+                let mut completed = false;
+                if let Some(s) = self.hosts[h].senders.get_mut(&pkt.flow) {
+                    if acked_bytes > s.acked {
+                        s.acked = acked_bytes;
+                        s.last_progress = self.now;
+                    }
+                    if s.acked >= s.bytes && !s.done {
+                        s.done = true;
+                        completed = true;
+                    }
+                }
+                if completed {
+                    self.hosts[h].senders.remove(&pkt.flow);
+                    self.flows[pkt.flow as usize].done = true;
+                    self.active_flows -= 1;
+                    self.completions.push(FlowRecord {
+                        flow: pkt.flow,
+                        src: meta.src,
+                        dst: meta.dst,
+                        bytes: meta.bytes,
+                        start: meta.start,
+                        finish: self.now,
+                    });
+                }
+            }
+            PacketKind::Cnp {
+                advertised_interval_us,
+            } => {
+                self.accum.cnps += 1;
+                let dcqcn_plus = self.cfg.dcqcn_plus;
+                let base_iv = self.cfg.dcqcn.min_time_between_cnps.max(1.0);
+                if let Some(s) = self.hosts[h].senders.get_mut(&pkt.flow) {
+                    s.rp.on_cnp(self.now);
+                    if dcqcn_plus {
+                        if let Some(iv) = advertised_interval_us {
+                            // DCQCN+: scale rate-increase aggressiveness
+                            // down with the incast degree.
+                            s.rp.set_increase_scale((base_iv / iv).clamp(0.01, 1.0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_retx_check(&mut self, f: FlowId) {
+        let rto = self.cfg.rto;
+        let mut reschedule = false;
+        let mut resend = false;
+        if let Some(s) = self.hosts[self.flows[f as usize].src].senders.get_mut(&f) {
+            if !s.done {
+                reschedule = true;
+                if self.now.saturating_sub(s.last_progress) >= rto && s.sent >= s.bytes {
+                    // Go-back-N: rewind to the cumulative ACK point.
+                    s.sent = s.acked;
+                    s.last_progress = self.now;
+                    if !s.send_scheduled {
+                        s.send_scheduled = true;
+                        resend = true;
+                    }
+                }
+            } else {
+                s.retx_armed = false;
+            }
+        }
+        if resend {
+            self.events.push(self.now, Event::QpSend(f));
+        }
+        if reschedule {
+            self.events.push(self.now + rto, Event::RetxCheck(f));
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Network topologies: node/port graph, link capacities and static ECMP
+//! routing.
+//!
+//! The paper's simulations use a two-tier CLOS: hosts attach to ToR
+//! switches, ToRs attach to leaf (spine) switches, with configurable
+//! oversubscription (4:1 in the NS3 evaluation, 1:1 on the testbed).
+//! [`Topology::two_tier_clos`] builds exactly that; a dumbbell helper
+//! supports unit tests.
+//!
+//! Routing is deterministic ECMP: the upward leaf choice at a ToR is a
+//! hash of the flow id, so one flow always follows one path (no
+//! reordering), matching RoCEv2 deployments.
+
+use crate::{NodeId, Nanos};
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A server with one RNIC port.
+    Host,
+    /// A top-of-rack switch (runs the measurement sketch).
+    Tor,
+    /// A leaf/spine switch (no sketch; Keypoint 1 makes ToR-only
+    /// sketching sufficient since every path crosses a ToR first).
+    Leaf,
+}
+
+/// One directed attachment point of a node.
+#[derive(Debug, Clone, Copy)]
+pub struct Port {
+    /// The node on the other end of the link.
+    pub peer: NodeId,
+    /// The index of the corresponding port on `peer` (needed to address
+    /// PFC pause frames at the correct upstream egress queue).
+    pub peer_port: usize,
+    /// Link bandwidth in bytes per nanosecond (100 Gbps = 12.5 B/ns).
+    pub bw: f64,
+    /// Propagation delay in nanoseconds.
+    pub delay: Nanos,
+}
+
+/// An immutable node/port graph plus routing state.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    ports: Vec<Vec<Port>>,
+    /// For each host, its ToR node id.
+    host_tor: Vec<NodeId>,
+    n_hosts: usize,
+    hosts_per_tor: usize,
+    n_tor: usize,
+    n_leaf: usize,
+}
+
+/// Convert Gbps to the internal bytes-per-nanosecond unit.
+pub fn gbps(v: f64) -> f64 {
+    v * 1e9 / 8.0 / 1e9
+}
+
+impl Topology {
+    /// Build a two-tier CLOS.
+    ///
+    /// * `n_tor` ToR switches with `hosts_per_tor` hosts each;
+    /// * `n_leaf` leaf switches, each connected to every ToR;
+    /// * host links at `host_gbps`, ToR↔leaf links at `uplink_gbps`;
+    /// * every link has propagation `delay` (paper: 5 µs NS3 / 1 µs LAN).
+    ///
+    /// Node ids: hosts `0..H`, ToRs `H..H+n_tor`, leaves after that.
+    pub fn two_tier_clos(
+        n_tor: usize,
+        hosts_per_tor: usize,
+        n_leaf: usize,
+        host_gbps: f64,
+        uplink_gbps: f64,
+        delay: Nanos,
+    ) -> Self {
+        assert!(n_tor >= 1 && hosts_per_tor >= 1 && n_leaf >= 1);
+        let n_hosts = n_tor * hosts_per_tor;
+        let n_nodes = n_hosts + n_tor + n_leaf;
+        let mut kinds = Vec::with_capacity(n_nodes);
+        kinds.extend(std::iter::repeat(NodeKind::Host).take(n_hosts));
+        kinds.extend(std::iter::repeat(NodeKind::Tor).take(n_tor));
+        kinds.extend(std::iter::repeat(NodeKind::Leaf).take(n_leaf));
+        let mut ports: Vec<Vec<Port>> = vec![Vec::new(); n_nodes];
+        let mut host_tor = vec![0usize; n_hosts];
+
+        let tor_id = |t: usize| n_hosts + t;
+        let leaf_id = |l: usize| n_hosts + n_tor + l;
+        let host_bw = gbps(host_gbps);
+        let up_bw = gbps(uplink_gbps);
+
+        // Host <-> ToR links. ToR port t*hosts_per_tor-relative index h is
+        // the down-port toward its h-th host; host port 0 is its uplink.
+        for t in 0..n_tor {
+            for h in 0..hosts_per_tor {
+                let host = t * hosts_per_tor + h;
+                host_tor[host] = tor_id(t);
+                let tor_port = h; // down ports come first on a ToR
+                ports[host].push(Port {
+                    peer: tor_id(t),
+                    peer_port: tor_port,
+                    bw: host_bw,
+                    delay,
+                });
+                ports[tor_id(t)].push(Port {
+                    peer: host,
+                    peer_port: 0,
+                    bw: host_bw,
+                    delay,
+                });
+            }
+        }
+        // ToR <-> leaf links. ToR up-port for leaf l is hosts_per_tor + l;
+        // leaf port for ToR t is t.
+        for t in 0..n_tor {
+            for l in 0..n_leaf {
+                ports[tor_id(t)].push(Port {
+                    peer: leaf_id(l),
+                    peer_port: t,
+                    bw: up_bw,
+                    delay,
+                });
+            }
+        }
+        for l in 0..n_leaf {
+            for t in 0..n_tor {
+                ports[leaf_id(l)].push(Port {
+                    peer: tor_id(t),
+                    peer_port: hosts_per_tor + l,
+                    bw: up_bw,
+                    delay,
+                });
+            }
+        }
+
+        Self {
+            kinds,
+            ports,
+            host_tor,
+            n_hosts,
+            hosts_per_tor,
+            n_tor,
+            n_leaf,
+        }
+    }
+
+    /// Two hosts, one switch ("ToR"), for unit tests: host0 -- sw -- host1.
+    pub fn dumbbell(host_gbps: f64, delay: Nanos) -> Self {
+        Self::two_tier_clos(1, 2, 1, host_gbps, host_gbps, delay)
+    }
+
+    /// Number of nodes of all kinds.
+    pub fn n_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.n_hosts
+    }
+
+    /// Number of ToR switches.
+    pub fn n_tor(&self) -> usize {
+        self.n_tor
+    }
+
+    /// Number of leaf switches.
+    pub fn n_leaf(&self) -> usize {
+        self.n_leaf
+    }
+
+    /// Kind of `node`.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node]
+    }
+
+    /// Ports of `node`.
+    pub fn ports(&self, node: NodeId) -> &[Port] {
+        &self.ports[node]
+    }
+
+    /// The ToR a host hangs off.
+    pub fn tor_of(&self, host: NodeId) -> NodeId {
+        self.host_tor[host]
+    }
+
+    /// Egress port on `node` toward destination host `dst`, using
+    /// `flow_hash` to pick among ECMP uplinks. Panics if `node` is `dst`.
+    pub fn next_port(&self, node: NodeId, dst: NodeId, flow_hash: u64) -> usize {
+        assert!(dst < self.n_hosts, "destination must be a host");
+        match self.kinds[node] {
+            NodeKind::Host => 0,
+            NodeKind::Tor => {
+                let tor_index = node - self.n_hosts;
+                let first_host = tor_index * self.hosts_per_tor;
+                if dst >= first_host && dst < first_host + self.hosts_per_tor {
+                    dst - first_host // down-port to the local host
+                } else {
+                    self.hosts_per_tor + (flow_hash as usize % self.n_leaf)
+                }
+            }
+            NodeKind::Leaf => {
+                let dst_tor = self.host_tor[dst];
+                dst_tor - self.n_hosts // leaf port t connects to ToR t
+            }
+        }
+    }
+
+    /// Whether two hosts share a ToR.
+    pub fn same_tor(&self, a: NodeId, b: NodeId) -> bool {
+        self.host_tor[a] == self.host_tor[b]
+    }
+
+    /// Hop count (number of links) of the data path between two hosts.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        if src == dst {
+            0
+        } else if self.same_tor(src, dst) {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Base round-trip delay between two hosts: propagation plus one MTU
+    /// serialization per hop on the data path, plus propagation plus one
+    /// control-frame serialization per hop for the returning ACK. This is
+    /// the Swift-style `Base path delay` (`n_{i,j} · d_{i,j}` refined with
+    /// serialization) that normalizes runtime RTT in the utility function.
+    pub fn base_rtt(&self, src: NodeId, dst: NodeId, mtu_wire: u32, ctrl_wire: u32) -> Nanos {
+        let mut total = 0f64;
+        let mut node = src;
+        // Forward data path.
+        while node != dst {
+            let p = self.next_port(node, dst, 0);
+            let port = self.ports[node][p];
+            total += port.delay as f64 + mtu_wire as f64 / port.bw;
+            node = port.peer;
+        }
+        // Reverse control path (ACK).
+        let mut back = dst;
+        while back != src {
+            let p = self.next_port(back, src, 0);
+            let port = self.ports[back][p];
+            total += port.delay as f64 + ctrl_wire as f64 / port.bw;
+            back = port.peer;
+        }
+        total.ceil() as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clos() -> Topology {
+        // 8 ToR × 16 hosts, 4 leaves: the paper's 128-server topology.
+        Topology::two_tier_clos(8, 16, 4, 100.0, 100.0, 5_000)
+    }
+
+    #[test]
+    fn clos_dimensions() {
+        let t = clos();
+        assert_eq!(t.n_hosts(), 128);
+        assert_eq!(t.n_nodes(), 128 + 8 + 4);
+        assert_eq!(t.kind(0), NodeKind::Host);
+        assert_eq!(t.kind(128), NodeKind::Tor);
+        assert_eq!(t.kind(136), NodeKind::Leaf);
+    }
+
+    #[test]
+    fn port_counts_match_radix() {
+        let t = clos();
+        assert_eq!(t.ports(0).len(), 1); // host: one uplink
+        assert_eq!(t.ports(128).len(), 16 + 4); // ToR: 16 down + 4 up
+        assert_eq!(t.ports(136).len(), 8); // leaf: one port per ToR
+    }
+
+    #[test]
+    fn peer_port_back_references_are_consistent() {
+        let t = clos();
+        for node in 0..t.n_nodes() {
+            for (i, p) in t.ports(node).iter().enumerate() {
+                let back = t.ports(p.peer)[p.peer_port];
+                assert_eq!(back.peer, node, "node {node} port {i}");
+                assert_eq!(back.peer_port, i);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_reach_destination() {
+        let t = clos();
+        for (src, dst) in [(0usize, 1usize), (0, 17), (5, 127), (120, 3)] {
+            let mut node = src;
+            let mut hops = 0;
+            while node != dst {
+                let port = t.next_port(node, dst, 0xDEAD_BEEF);
+                node = t.ports(node)[port].peer;
+                hops += 1;
+                assert!(hops <= 4, "path too long {src}->{dst}");
+            }
+            assert_eq!(hops, t.hops(src, dst));
+        }
+    }
+
+    #[test]
+    fn intra_tor_is_two_hops_inter_tor_four() {
+        let t = clos();
+        assert_eq!(t.hops(0, 1), 2); // same ToR
+        assert_eq!(t.hops(0, 16), 4); // different ToR
+        assert_eq!(t.hops(7, 7), 0);
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_over_leaves() {
+        let t = clos();
+        let mut used = std::collections::HashSet::new();
+        for h in 0..64u64 {
+            used.insert(t.next_port(128, 127, h));
+        }
+        assert_eq!(used.len(), 4, "all four uplinks should be used");
+        // And one hash is always the same path (no reordering).
+        assert_eq!(t.next_port(128, 127, 42), t.next_port(128, 127, 42));
+    }
+
+    #[test]
+    fn base_rtt_scales_with_hops() {
+        let t = clos();
+        let near = t.base_rtt(0, 1, 1048, 64);
+        let far = t.base_rtt(0, 127, 1048, 64);
+        assert!(far > near);
+        // 4 propagation each way for inter-ToR: at least 8 × 5 µs.
+        assert!(far >= 40_000);
+        // Symmetric for symmetric topologies.
+        assert_eq!(far, t.base_rtt(127, 0, 1048, 64));
+    }
+
+    #[test]
+    fn gbps_conversion() {
+        assert!((gbps(100.0) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dumbbell_is_minimal() {
+        let t = Topology::dumbbell(100.0, 1_000);
+        assert_eq!(t.n_hosts(), 2);
+        assert!(t.same_tor(0, 1));
+        assert_eq!(t.hops(0, 1), 2);
+    }
+}

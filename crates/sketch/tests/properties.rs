@@ -1,0 +1,174 @@
+//! Property-based tests for the measurement structures.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use paraleon_sketch::{
+    ElasticSketch, Fsd, FsdBuilder, SketchConfig, SlidingWindowClassifier, FlowState,
+    WindowConfig,
+};
+
+fn inserts() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..64, 1u64..100_000), 1..300)
+}
+
+proptest! {
+    /// The sketch estimate never underestimates a flow's true bytes
+    /// (count-min property preserved through heavy-part eviction).
+    #[test]
+    fn sketch_never_underestimates(ins in inserts()) {
+        let mut s = ElasticSketch::new(SketchConfig {
+            heavy_buckets: 8, // force collisions and evictions
+            ..SketchConfig::default()
+        });
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for (f, b) in &ins {
+            s.insert(*f, *b);
+            *truth.entry(*f).or_insert(0) += *b;
+        }
+        for (f, t) in truth {
+            prop_assert!(s.query(f) >= t, "flow {f}: {} < {t}", s.query(f));
+        }
+    }
+
+    /// Total bytes drained from the heavy part never exceed the bytes
+    /// inserted (no phantom traffic).
+    #[test]
+    fn drained_bytes_bounded_by_inserted(ins in inserts()) {
+        let mut s = ElasticSketch::new(SketchConfig::default());
+        let mut total = 0u64;
+        for (f, b) in &ins {
+            s.insert(*f, *b);
+            total += *b;
+        }
+        let drained: u64 = s.drain().iter().map(|e| e.bytes).sum();
+        // Flagged entries fold in light-part residue, which is an
+        // overestimate per flow but still bounded by the total inserted
+        // plus the count-min collision noise (bounded by total itself).
+        prop_assert!(drained <= 2 * total);
+    }
+
+    /// Drain leaves the sketch empty.
+    #[test]
+    fn drain_resets(ins in inserts()) {
+        let mut s = ElasticSketch::new(SketchConfig::default());
+        for (f, b) in &ins {
+            s.insert(*f, *b);
+        }
+        s.drain();
+        for (f, _) in &ins {
+            prop_assert_eq!(s.query(*f), 0);
+        }
+    }
+
+    /// Once a flow reaches E it stays E while it remains tracked
+    /// (state stickiness that naive per-interval classification lacks).
+    #[test]
+    fn elephant_state_is_sticky(
+        trickle in prop::collection::vec(1u64..50_000, 1..6),
+    ) {
+        let cfg = WindowConfig::default();
+        let mut c = SlidingWindowClassifier::new(cfg);
+        c.end_interval([(9u64, cfg.tau_bytes)]);
+        prop_assert_eq!(c.state(9), Some(FlowState::Elephant));
+        for b in trickle {
+            c.end_interval([(9u64, b)]);
+            prop_assert_eq!(c.state(9), Some(FlowState::Elephant));
+        }
+    }
+
+    /// Cumulative bytes equal the sum of per-interval inputs.
+    #[test]
+    fn classifier_conserves_bytes(
+        per_interval in prop::collection::vec(0u64..100_000, 1..8),
+    ) {
+        let mut c = SlidingWindowClassifier::new(WindowConfig::default());
+        let mut total = 0;
+        for b in &per_interval {
+            c.end_interval([(1u64, *b)]);
+            total += *b;
+        }
+        // The flow may have expired if it trailed with enough zeros.
+        if let Some(cum) = c.cumulative_bytes(1) {
+            prop_assert_eq!(cum, total);
+        }
+    }
+
+    /// KL divergence of the share distribution is non-negative, finite,
+    /// and zero against itself, for arbitrary flow populations.
+    #[test]
+    fn kl_properties(
+        flows_a in prop::collection::vec((1u64..1u64<<28, 0.0f64..1.0), 0..50),
+        flows_b in prop::collection::vec((1u64..1u64<<28, 0.0f64..1.0), 0..50),
+    ) {
+        let build = |flows: &[(u64, f64)]| {
+            let mut b = FsdBuilder::new();
+            for (size, w) in flows {
+                b.add_flow(*size, *w);
+            }
+            b.build()
+        };
+        let a = build(&flows_a);
+        let b = build(&flows_b);
+        let kl_ab = a.kl_shares(&b);
+        prop_assert!(kl_ab >= 0.0 && kl_ab.is_finite());
+        prop_assert!(a.kl_shares(&a) < 1e-9);
+        prop_assert!(a.kl_divergence(&a) < 1e-9);
+        prop_assert!(a.kl_divergence(&b) >= 0.0);
+    }
+
+    /// Merging FSDs is commutative in every observable.
+    #[test]
+    fn fsd_merge_commutes(
+        flows_a in prop::collection::vec((1u64..1u64<<28, 0.0f64..1.0), 0..40),
+        flows_b in prop::collection::vec((1u64..1u64<<28, 0.0f64..1.0), 0..40),
+    ) {
+        let build = |flows: &[(u64, f64)]| {
+            let mut b = FsdBuilder::new();
+            for (size, w) in flows {
+                b.add_flow(*size, *w);
+            }
+            b.build()
+        };
+        let mut ab = build(&flows_a);
+        ab.merge(&build(&flows_b));
+        let mut ba = build(&flows_b);
+        ba.merge(&build(&flows_a));
+        prop_assert!((ab.elephant_share() - ba.elephant_share()).abs() < 1e-12);
+        prop_assert!((ab.flow_mass() - ba.flow_mass()).abs() < 1e-9);
+        prop_assert!(ab.kl_divergence(&ba) < 1e-12);
+    }
+
+    /// The normalized histogram is a probability distribution.
+    #[test]
+    fn hist_is_a_distribution(
+        flows in prop::collection::vec((1u64..u64::MAX, 0.0f64..1.0), 0..60),
+    ) {
+        let mut b = FsdBuilder::new();
+        for (size, w) in &flows {
+            b.add_flow(*size, *w);
+        }
+        let f = b.build();
+        let h = f.normalized_hist();
+        let sum: f64 = h.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(h.iter().all(|&x| x >= 0.0));
+        let _ = Fsd::empty().normalized_hist();
+    }
+
+    /// Elephant share stays within [0, 1].
+    #[test]
+    fn elephant_share_bounded(
+        flows in prop::collection::vec((1u64..1u64<<30, 0.0f64..1.0), 0..60),
+    ) {
+        let mut b = FsdBuilder::new();
+        for (size, w) in &flows {
+            b.add_flow(*size, *w);
+        }
+        let f = b.build();
+        prop_assert!((0.0..=1.0).contains(&f.elephant_share()));
+        let (_, mu) = f.dominant();
+        prop_assert!((0.0..=1.0).contains(&mu));
+        prop_assert!(mu >= 0.5 - 1e-12, "dominant proportion is at least half");
+    }
+}

@@ -1,0 +1,228 @@
+//! Synchronized alltoall collectives with an ON-OFF compute cycle —
+//! the paper's LLM-training workload.
+//!
+//! During the ON period every worker sends the same message size to every
+//! other worker (`n·(n−1)` simultaneous flows — the most incast-prone
+//! collective, which is why the paper picks alltoall over ring/tree
+//! allreduce). When the **last** flow of the round completes, all workers
+//! enter an OFF period (model update, paper default 20 ms) and then start
+//! the next round.
+//!
+//! [`AllToAll`] is a round state machine: the embedding simulator calls
+//! [`AllToAll::start_round`] to obtain the round's flows and
+//! [`AllToAll::on_flow_done`] at each completion; the latter returns the
+//! start time of the next round once the round drains.
+
+use crate::{FlowRequest, HostId, Nanos};
+
+/// Configuration of an ON-OFF alltoall workload.
+#[derive(Debug, Clone)]
+pub struct AllToAllConfig {
+    /// Participating workers (simulator host ids).
+    pub workers: Vec<HostId>,
+    /// Message size each worker sends to each peer, bytes (paper: 12 MB).
+    pub message_bytes: u64,
+    /// OFF (compute) period between rounds, ns (paper: 20 ms).
+    pub off_time: Nanos,
+    /// Number of rounds to run; `None` = unbounded.
+    pub rounds: Option<u32>,
+}
+
+/// Round state machine for the alltoall collective.
+#[derive(Debug, Clone)]
+pub struct AllToAll {
+    cfg: AllToAllConfig,
+    /// Flows still pending in the current round.
+    outstanding: usize,
+    /// Rounds fully completed.
+    pub rounds_done: u32,
+    /// Completion time of the last finished round.
+    pub last_round_end: Option<Nanos>,
+    /// Start time of the current round (if one is running).
+    round_start: Option<Nanos>,
+    /// Per-round durations (FCT of the collective), for the harness.
+    pub round_durations: Vec<Nanos>,
+}
+
+impl AllToAll {
+    /// Create the state machine. Panics on fewer than two workers.
+    pub fn new(cfg: AllToAllConfig) -> Self {
+        assert!(cfg.workers.len() >= 2, "alltoall needs >= 2 workers");
+        assert!(cfg.message_bytes > 0);
+        Self {
+            cfg,
+            outstanding: 0,
+            rounds_done: 0,
+            last_round_end: None,
+            round_start: None,
+            round_durations: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AllToAllConfig {
+        &self.cfg
+    }
+
+    /// Whether a round is currently in flight.
+    pub fn round_active(&self) -> bool {
+        self.outstanding > 0
+    }
+
+    /// Whether all configured rounds have completed.
+    pub fn finished(&self) -> bool {
+        match self.cfg.rounds {
+            Some(r) => self.rounds_done >= r && !self.round_active(),
+            None => false,
+        }
+    }
+
+    /// Begin a round at `now`: returns the full-mesh flow set. Panics if a
+    /// round is already active or the workload is finished.
+    pub fn start_round(&mut self, now: Nanos) -> Vec<FlowRequest> {
+        assert!(!self.round_active(), "previous round still in flight");
+        assert!(!self.finished(), "workload already finished");
+        let n = self.cfg.workers.len();
+        let mut flows = Vec::with_capacity(n * (n - 1));
+        for (i, &src) in self.cfg.workers.iter().enumerate() {
+            for (j, &dst) in self.cfg.workers.iter().enumerate() {
+                if i != j {
+                    flows.push(FlowRequest {
+                        src,
+                        dst,
+                        bytes: self.cfg.message_bytes,
+                        start: now,
+                    });
+                }
+            }
+        }
+        self.outstanding = flows.len();
+        self.round_start = Some(now);
+        flows
+    }
+
+    /// Record one flow completion at `now`. When the round drains, returns
+    /// `Some(next_round_start)` (i.e. `now + off_time`) unless all rounds
+    /// are done, in which case the round is accounted and `None` returned.
+    pub fn on_flow_done(&mut self, now: Nanos) -> Option<Nanos> {
+        assert!(self.outstanding > 0, "no round in flight");
+        self.outstanding -= 1;
+        if self.outstanding > 0 {
+            return None;
+        }
+        self.rounds_done += 1;
+        self.last_round_end = Some(now);
+        if let Some(start) = self.round_start.take() {
+            self.round_durations.push(now.saturating_sub(start));
+        }
+        if self.finished() {
+            None
+        } else {
+            Some(now + self.cfg.off_time)
+        }
+    }
+
+    /// Bytes moved per round (diagnostics / bandwidth computation):
+    /// `n·(n−1)·message_bytes`.
+    pub fn bytes_per_round(&self) -> u64 {
+        let n = self.cfg.workers.len() as u64;
+        n * (n - 1) * self.cfg.message_bytes
+    }
+
+    /// NCCL-style alltoall "algorithm bandwidth" for a finished round
+    /// `idx`: per-rank payload divided by round duration, in bytes/sec.
+    /// NCCL defines algbw = total message size per rank / time.
+    pub fn algbw_bytes_per_sec(&self, idx: usize) -> Option<f64> {
+        let d = *self.round_durations.get(idx)?;
+        if d == 0 {
+            return None;
+        }
+        let n = self.cfg.workers.len() as f64;
+        let per_rank = (n - 1.0) * self.cfg.message_bytes as f64;
+        Some(per_rank / (d as f64 / 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a2a(n: usize, rounds: Option<u32>) -> AllToAll {
+        AllToAll::new(AllToAllConfig {
+            workers: (0..n).collect(),
+            message_bytes: 1 << 20,
+            off_time: 20_000_000,
+            rounds,
+        })
+    }
+
+    #[test]
+    fn round_is_a_full_mesh() {
+        let mut w = a2a(4, None);
+        let flows = w.start_round(0);
+        assert_eq!(flows.len(), 12);
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+            assert_eq!(f.bytes, 1 << 20);
+            assert_eq!(f.start, 0);
+        }
+        // Every ordered pair exactly once.
+        let mut pairs: Vec<_> = flows.iter().map(|f| (f.src, f.dst)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 12);
+    }
+
+    #[test]
+    fn next_round_starts_after_off_time() {
+        let mut w = a2a(3, None);
+        let flows = w.start_round(100);
+        let mut next = None;
+        for k in 0..flows.len() {
+            next = w.on_flow_done(1000 + k as Nanos);
+        }
+        assert_eq!(next, Some(1005 + 20_000_000));
+        assert_eq!(w.rounds_done, 1);
+        assert_eq!(w.round_durations, vec![905]);
+    }
+
+    #[test]
+    fn bounded_rounds_finish() {
+        let mut w = a2a(2, Some(2));
+        for round in 0..2 {
+            let flows = w.start_round(round * 1000);
+            assert!(!w.finished());
+            for k in 0..flows.len() {
+                w.on_flow_done(round * 1000 + 10 + k as Nanos);
+            }
+        }
+        assert!(w.finished());
+    }
+
+    #[test]
+    fn algbw_matches_definition() {
+        let mut w = a2a(4, Some(1));
+        let flows = w.start_round(0);
+        let end = 1_000_000; // 1 ms round
+        for _ in 0..flows.len() {
+            w.on_flow_done(end);
+        }
+        let algbw = w.algbw_bytes_per_sec(0).unwrap();
+        let expect = 3.0 * (1 << 20) as f64 / 1e-3;
+        assert!((algbw - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous round still in flight")]
+    fn cannot_start_overlapping_rounds() {
+        let mut w = a2a(3, None);
+        w.start_round(0);
+        w.start_round(1);
+    }
+
+    #[test]
+    fn bytes_per_round_formula() {
+        let w = a2a(5, None);
+        assert_eq!(w.bytes_per_round(), 5 * 4 * (1 << 20));
+    }
+}

@@ -1,0 +1,236 @@
+//! Flow-size distributions encoded as piecewise log-linear CDFs.
+//!
+//! Production traces are proprietary; the curves below reproduce the
+//! published CDF plots the paper's workloads cite. Sampling is inverse-
+//! transform with log-linear interpolation between control points, which
+//! preserves the heavy-tail structure that matters for DCQCN tuning (the
+//! mice-count vs. elephant-bytes split).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A flow-size distribution: control points of `(size_bytes, cdf)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowSizeDist {
+    name: String,
+    /// Monotonic `(size, cdf)` points, first cdf 0.0, last cdf 1.0.
+    points: Vec<(f64, f64)>,
+}
+
+impl FlowSizeDist {
+    /// Build a distribution from explicit CDF points. Panics if the points
+    /// are not strictly monotonic in both coordinates or don't span
+    /// `[0, 1]`.
+    pub fn from_points(name: &str, points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        assert_eq!(points[0].1, 0.0, "first CDF value must be 0");
+        assert_eq!(points[points.len() - 1].1, 1.0, "last CDF value must be 1");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must increase");
+            assert!(w[0].1 <= w[1].1, "CDF must be non-decreasing");
+        }
+        assert!(points[0].0 > 0.0, "sizes must be positive for log interp");
+        Self {
+            name: name.to_string(),
+            points: points.to_vec(),
+        }
+    }
+
+    /// The FB_Hadoop distribution (Roy et al., SIGCOMM 2015, Hadoop
+    /// cluster): ~70% of flows under 100 KB, but flows ≥ 1 MB carry the
+    /// bulk of the bytes. Approximates the published CDF plot.
+    pub fn fb_hadoop() -> Self {
+        Self::from_points(
+            "FB_Hadoop",
+            &[
+                (100.0, 0.0),
+                (1_000.0, 0.30),
+                (10_000.0, 0.50),
+                (100_000.0, 0.70),
+                (1_000_000.0, 0.90),
+                (10_000_000.0, 0.97),
+                (100_000_000.0, 1.0),
+            ],
+        )
+    }
+
+    /// The SolarRPC distribution (Miao et al., SIGCOMM 2022): storage RPCs,
+    /// all mice below 128 KB.
+    pub fn solar_rpc() -> Self {
+        Self::from_points(
+            "SolarRPC",
+            &[
+                (512.0, 0.0),
+                (4_096.0, 0.35),
+                (16_384.0, 0.70),
+                (65_536.0, 0.95),
+                (131_072.0, 1.0),
+            ],
+        )
+    }
+
+    /// A degenerate single-size distribution (useful in tests and for
+    /// fixed-size alltoall messages).
+    pub fn fixed(bytes: u64) -> Self {
+        let b = bytes.max(2) as f64;
+        Self::from_points("fixed", &[(b - 1.0, 0.0), (b, 1.0)])
+    }
+
+    /// Distribution name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inverse-CDF sample: flow size in bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+
+    /// The size at CDF value `u ∈ [0, 1]`, log-linear between points.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let pts = &self.points;
+        let mut i = 1;
+        while i < pts.len() - 1 && pts[i].1 < u {
+            i += 1;
+        }
+        let (s0, c0) = pts[i - 1];
+        let (s1, c1) = pts[i];
+        let frac = if c1 > c0 { (u - c0) / (c1 - c0) } else { 1.0 };
+        let frac = frac.clamp(0.0, 1.0);
+        let ls = s0.ln() + frac * (s1.ln() - s0.ln());
+        ls.exp().round().max(1.0) as u64
+    }
+
+    /// Mean flow size in bytes (numerical integral of the quantile
+    /// function; used to convert target load to Poisson arrival rate).
+    pub fn mean_bytes(&self) -> f64 {
+        const STEPS: usize = 10_000;
+        let mut acc = 0.0;
+        for k in 0..STEPS {
+            let u = (k as f64 + 0.5) / STEPS as f64;
+            acc += self.quantile(u) as f64;
+        }
+        acc / STEPS as f64
+    }
+
+    /// Fraction of *flows* at or below `bytes` (the CDF itself).
+    pub fn cdf(&self, bytes: f64) -> f64 {
+        let pts = &self.points;
+        if bytes <= pts[0].0 {
+            return 0.0;
+        }
+        if bytes >= pts[pts.len() - 1].0 {
+            return 1.0;
+        }
+        let mut i = 1;
+        while pts[i].0 < bytes {
+            i += 1;
+        }
+        let (s0, c0) = pts[i - 1];
+        let (s1, c1) = pts[i];
+        let frac = (bytes.ln() - s0.ln()) / (s1.ln() - s0.ln());
+        c0 + frac * (c1 - c0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantile_endpoints_match_control_points() {
+        let d = FlowSizeDist::fb_hadoop();
+        assert_eq!(d.quantile(0.0), 100);
+        assert_eq!(d.quantile(1.0), 100_000_000);
+    }
+
+    #[test]
+    fn quantile_is_monotonic() {
+        let d = FlowSizeDist::fb_hadoop();
+        let mut last = 0;
+        for k in 0..=100 {
+            let q = d.quantile(k as f64 / 100.0);
+            assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn cdf_inverts_quantile() {
+        let d = FlowSizeDist::fb_hadoop();
+        for u in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let s = d.quantile(u) as f64;
+            assert!((d.cdf(s) - u).abs() < 0.02, "u={u} s={s} cdf={}", d.cdf(s));
+        }
+    }
+
+    #[test]
+    fn fb_hadoop_is_mice_by_count_elephant_by_bytes() {
+        let d = FlowSizeDist::fb_hadoop();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mice = samples.iter().filter(|&&s| s < 1 << 20).count();
+        let total_bytes: u64 = samples.iter().sum();
+        let elephant_bytes: u64 = samples.iter().filter(|&&s| s >= 1 << 20).sum();
+        // "most flows are mice but most traffic is contributed by
+        // elephant flows" (§IV-B, Workloads).
+        assert!(mice as f64 > 0.8 * samples.len() as f64);
+        assert!(elephant_bytes as f64 > 0.5 * total_bytes as f64);
+    }
+
+    #[test]
+    fn solar_rpc_is_all_mice() {
+        let d = FlowSizeDist::solar_rpc();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) <= 131_072);
+        }
+    }
+
+    #[test]
+    fn fixed_distribution_returns_constant() {
+        let d = FlowSizeDist::fixed(12 << 20);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            // log-linear interp across the 1-byte control gap
+            assert!((s as i64 - (12i64 << 20)).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn mean_bytes_is_plausible() {
+        let d = FlowSizeDist::fb_hadoop();
+        let mean = d.mean_bytes();
+        // Heavy tail: mean far above the median (~10 KB), far below max.
+        assert!(mean > 100_000.0 && mean < 20_000_000.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn sampling_matches_cdf_statistically() {
+        let d = FlowSizeDist::solar_rpc();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let below_16k = (0..n)
+            .filter(|_| d.sample(&mut rng) <= 16_384)
+            .count() as f64
+            / n as f64;
+        assert!((below_16k - 0.70).abs() < 0.03, "got {below_16k}");
+    }
+
+    #[test]
+    #[should_panic(expected = "first CDF value")]
+    fn rejects_bad_first_point() {
+        FlowSizeDist::from_points("bad", &[(1.0, 0.5), (2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must increase")]
+    fn rejects_non_monotonic_sizes() {
+        FlowSizeDist::from_points("bad", &[(10.0, 0.0), (5.0, 1.0)]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Workload generators for the PARALEON evaluation.
+//!
+//! The paper evaluates on four traffic patterns, all reproduced here:
+//!
+//! * **FB_Hadoop** — the Facebook Hadoop-cluster distribution (Roy et al.,
+//!   SIGCOMM 2015): most *flows* are mice, most *bytes* belong to
+//!   elephants. Generated as an open-loop Poisson process at a target
+//!   load ([`poisson::PoissonWorkload`] over
+//!   [`fsize::FlowSizeDist::fb_hadoop`]).
+//! * **LLM training alltoall** — an ON-OFF pattern (Janus, SIGCOMM 2023):
+//!   during ON, every worker sends an equal-size message to every other
+//!   worker; when the collective finishes, all workers compute for an OFF
+//!   period, then repeat ([`alltoall::AllToAll`]).
+//! * **SolarRPC** — the Alibaba storage-RPC distribution (SIGCOMM 2022),
+//!   entirely mice below 128 KB ([`fsize::FlowSizeDist::solar_rpc`]).
+//! * **NCCL-Tests-style alltoall sweeps** — single synchronized alltoall
+//!   rounds of configurable message size, used by Table II and Fig. 13.
+//!
+//! The generators are pure: they emit [`FlowRequest`] values (or round
+//! state machines) and never touch the simulator, so the same workload
+//! can drive the packet simulator, the monitoring accuracy harness, and
+//! unit tests. Published CDFs are encoded as piecewise log-linear
+//! interpolations in [`fsize`]; exact trace files are proprietary, so the
+//! curves approximate the published plots (documented per distribution).
+
+pub mod alltoall;
+pub mod fsize;
+pub mod poisson;
+
+pub use alltoall::{AllToAll, AllToAllConfig};
+pub use fsize::FlowSizeDist;
+pub use poisson::{PoissonConfig, PoissonWorkload};
+
+/// Host identifier within a workload (maps to a simulator node).
+pub type HostId = usize;
+
+/// Nanoseconds since simulation start (matches the simulator clock).
+pub type Nanos = u64;
+
+/// One flow the workload asks the network to carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRequest {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// Requested start time.
+    pub start: Nanos,
+}

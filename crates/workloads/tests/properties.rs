@@ -1,0 +1,128 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use paraleon_workloads::{
+    AllToAll, AllToAllConfig, FlowSizeDist, PoissonConfig, PoissonWorkload,
+};
+
+/// Strategy for valid CDF control points: strictly increasing sizes and
+/// non-decreasing CDF values spanning [0, 1].
+fn cdf_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (2usize..8).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1.0f64..1e3, n), // size multipliers
+            prop::collection::vec(0.01f64..1.0, n - 2),
+        )
+            .prop_map(|(mults, mids)| {
+                let mut sizes = Vec::with_capacity(mults.len());
+                let mut acc = 10.0;
+                for m in &mults {
+                    acc += m;
+                    sizes.push(acc);
+                }
+                let mut cdfs = vec![0.0];
+                let mut mids = mids;
+                mids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                cdfs.extend(mids);
+                cdfs.push(1.0);
+                sizes.into_iter().zip(cdfs).collect()
+            })
+    })
+}
+
+proptest! {
+    /// For any valid CDF, the quantile function is monotone and lands
+    /// inside the support.
+    #[test]
+    fn quantile_monotone_and_in_support(points in cdf_points()) {
+        let d = FlowSizeDist::from_points("prop", &points);
+        let lo = points.first().unwrap().0;
+        let hi = points.last().unwrap().0;
+        let mut last = 0u64;
+        for k in 0..=50 {
+            let q = d.quantile(k as f64 / 50.0);
+            prop_assert!(q >= last);
+            prop_assert!(q as f64 >= lo.floor() - 1.0);
+            prop_assert!(q as f64 <= hi.ceil() + 1.0);
+            last = q;
+        }
+    }
+
+    /// Samples always land within the distribution's support.
+    #[test]
+    fn samples_in_support(points in cdf_points(), seed in 0u64..1000) {
+        let d = FlowSizeDist::from_points("prop", &points);
+        let lo = points.first().unwrap().0;
+        let hi = points.last().unwrap().0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng) as f64;
+            prop_assert!(s >= lo.floor() - 1.0 && s <= hi.ceil() + 1.0);
+        }
+    }
+
+    /// Poisson schedules are time-sorted with valid endpoints, for any
+    /// host count / load / window.
+    #[test]
+    fn poisson_schedules_are_well_formed(
+        hosts in 2usize..40,
+        load in 0.05f64..1.0,
+        window_us in 100u64..5_000,
+        seed in 0u64..1000,
+    ) {
+        let wl = PoissonWorkload::new(
+            PoissonConfig {
+                hosts,
+                host_bw_bytes_per_sec: 12.5e9,
+                load,
+                start: 0,
+                end: window_us * 1_000,
+            },
+            FlowSizeDist::solar_rpc(),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = wl.generate(&mut rng);
+        for w in flows.windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+        }
+        for f in &flows {
+            prop_assert!(f.src < hosts && f.dst < hosts && f.src != f.dst);
+            prop_assert!(f.start < window_us * 1_000);
+            prop_assert!(f.bytes > 0);
+        }
+    }
+
+    /// Alltoall rounds always contain exactly n·(n−1) distinct pairs and
+    /// the state machine's accounting never goes negative.
+    #[test]
+    fn alltoall_round_accounting(n in 2usize..12, rounds in 1u32..4) {
+        let mut a2a = AllToAll::new(AllToAllConfig {
+            workers: (0..n).collect(),
+            message_bytes: 1000,
+            off_time: 10,
+            rounds: Some(rounds),
+        });
+        let mut t = 0u64;
+        for _ in 0..rounds {
+            let flows = a2a.start_round(t);
+            prop_assert_eq!(flows.len(), n * (n - 1));
+            let mut next = None;
+            for _ in 0..flows.len() {
+                t += 1;
+                next = a2a.on_flow_done(t);
+            }
+            if a2a.finished() {
+                prop_assert!(next.is_none());
+            } else {
+                let nr = next.expect("next round scheduled");
+                prop_assert!(nr >= t + 10);
+                t = nr;
+            }
+        }
+        prop_assert!(a2a.finished());
+        prop_assert_eq!(a2a.round_durations.len(), rounds as usize);
+    }
+}

@@ -1,0 +1,106 @@
+//! Workload-influx scenario (the paper's §IV-B2): an LLM alltoall runs
+//! as background traffic and an FB_Hadoop burst "influxes" mid-run.
+//!
+//! ```sh
+//! cargo run --release --example workload_influx
+//! ```
+//!
+//! Watch the µ column: during the influx the dominant flow type flips
+//! from elephants to mice, the KL trigger fires, and PARALEON retunes
+//! toward delay-friendly parameters; when the mice finish, elephants
+//! re-dominate and it retunes back toward throughput.
+
+use paraleon::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let topo = Topology::two_tier_clos(4, 8, 2, 100.0, 100.0, 5_000);
+    let mut cl = ClosedLoop::builder(topo)
+        .scheme(SchemeKind::Paraleon)
+        .seed(11)
+        .build();
+
+    // Background collective: 8 workers, continuous rounds.
+    let mut a2a = AllToAll::new(AllToAllConfig {
+        workers: (0..8).map(|i| i * 4).collect(),
+        message_bytes: 1 << 20,
+        off_time: MILLI,
+        rounds: None,
+    });
+
+    // Influx: 15 ms of FB_Hadoop at 50% load, arriving at t = 20 ms.
+    let wl = PoissonWorkload::new(
+        PoissonConfig {
+            hosts: 32,
+            host_bw_bytes_per_sec: 12.5e9,
+            load: 0.5,
+            start: 20 * MILLI,
+            end: 35 * MILLI,
+        },
+        FlowSizeDist::fb_hadoop(),
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let influx = wl.generate(&mut rng);
+    println!(
+        "background: 8-worker alltoall; influx: {} FB_Hadoop flows in 20-35 ms\n",
+        influx.len()
+    );
+
+    let mut idx = 0;
+    let mut next_round = Some(0u64);
+    let mut seen = 0usize;
+    let mut collective = std::collections::HashSet::new();
+    while cl.sim.now() < 60 * MILLI {
+        if let Some(t) = next_round {
+            if cl.sim.now() >= t {
+                for f in a2a.start_round(cl.sim.now()) {
+                    let qp = drivers::qp_id(f.src, f.dst);
+                    collective.insert(cl.sim.add_flow_on_qp(
+                        f.src,
+                        f.dst,
+                        f.bytes,
+                        cl.sim.now(),
+                        qp,
+                    ));
+                }
+                next_round = None;
+            }
+        }
+        let horizon = cl.sim.now() + 2 * MILLI;
+        while idx < influx.len() && influx[idx].start <= horizon {
+            let f = influx[idx];
+            if f.start >= cl.sim.now() {
+                cl.sim.add_flow(f.src, f.dst, f.bytes, f.start);
+            }
+            idx += 1;
+        }
+        let r = cl.step().clone();
+        for done in cl.completions[seen..].to_vec() {
+            if collective.remove(&done.flow) {
+                if let Some(t) = a2a.on_flow_done(done.finish) {
+                    next_round = Some(t);
+                }
+            }
+        }
+        seen = cl.completions.len();
+        if (r.t / MILLI) % 2 == 0 {
+            println!(
+                "t={:>4}ms  TP={:>6.1}Gbps  RTT={:>7.1}us  mu={:.2} {:?}{}",
+                r.t / MILLI,
+                r.goodput * 8.0 / 1e9,
+                r.avg_rtt_ns / 1e3,
+                r.mu,
+                r.dominant,
+                if r.triggered { "  <-- KL trigger" } else { "" }
+            );
+        }
+    }
+    let triggers = cl.history.iter().filter(|r| r.triggered).count();
+    println!(
+        "\n{} KL triggers across the run; {} flows completed; final Kmax = {:.0} KB",
+        triggers,
+        cl.completions.len(),
+        cl.last_params.k_max
+    );
+}

@@ -1,0 +1,7 @@
+//! Umbrella package for the PARALEON reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the library surface
+//! lives in the [`paraleon`] crate and its substrate crates.
+
+pub use paraleon;
