@@ -27,8 +27,10 @@ struct Row {
 }
 
 fn run_one(scale: Scale, monitor: MonitorKind, load: f64) -> Row {
-    let mut sim_cfg = SimConfig::default();
-    sim_cfg.track_ground_truth = true;
+    let sim_cfg = SimConfig {
+        track_ground_truth: true,
+        ..SimConfig::default()
+    };
     let mut cl = ClosedLoop::builder(scale.clos())
         .scheme(scale.paraleon())
         .monitor(monitor.clone())
@@ -53,11 +55,7 @@ fn run_one(scale: Scale, monitor: MonitorKind, load: f64) -> Row {
     drivers::run_schedule(&mut cl, &flows, scale.monitor_window());
     cl.run_to_completion(scale.monitor_window() + 200 * MILLI);
 
-    let acc: Vec<f64> = cl
-        .history
-        .iter()
-        .filter_map(|r| r.fsd_accuracy)
-        .collect();
+    let acc: Vec<f64> = cl.history.iter().filter_map(|r| r.fsd_accuracy).collect();
     let mut fcts: Vec<f64> = cl
         .completions
         .iter()
@@ -101,7 +99,13 @@ fn main() {
         }
         print_table(
             &format!("Fig 10 @ load {load}"),
-            &["monitor", "FSD accuracy", "avg FCT (ms)", "p99 FCT (ms)", "flows"],
+            &[
+                "monitor",
+                "FSD accuracy",
+                "avg FCT (ms)",
+                "p99 FCT (ms)",
+                "flows",
+            ],
             &rows,
         );
     }

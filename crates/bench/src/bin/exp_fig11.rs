@@ -25,8 +25,10 @@ struct Row {
 }
 
 fn run_one(scale: Scale, monitor: MonitorKind, lambda_mi: u64) -> Row {
-    let mut sim_cfg = SimConfig::default();
-    sim_cfg.track_ground_truth = true;
+    let sim_cfg = SimConfig {
+        track_ground_truth: true,
+        ..SimConfig::default()
+    };
     let mut cl = ClosedLoop::builder(scale.clos())
         .scheme(scale.paraleon())
         .monitor(monitor.clone())

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p paraleon-bench --bin exp_fig12 [--paper]`
 
 use paraleon::prelude::*;
-use paraleon_bench::{print_table, write_json, Scale};
+use paraleon_bench::{print_table, telemetry_begin, telemetry_dump, write_json, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -23,6 +23,7 @@ struct Series {
 }
 
 fn run_fb(scale: Scale, scheme: SchemeKind) -> Series {
+    telemetry_begin();
     let mut cl = ClosedLoop::builder(scale.clos())
         .scheme(scheme.clone())
         .loop_config(LoopConfig {
@@ -44,10 +45,11 @@ fn run_fb(scale: Scale, scheme: SchemeKind) -> Series {
     let mut rng = StdRng::seed_from_u64(23);
     let flows = wl.generate(&mut rng);
     drivers::run_schedule(&mut cl, &flows, window);
-    to_series(&cl, scheme.name(), "FB_Hadoop")
+    to_series(scheme.name(), "FB_Hadoop")
 }
 
 fn run_llm(scale: Scale, scheme: SchemeKind) -> Series {
+    telemetry_begin();
     let mut cl = ClosedLoop::builder(scale.clos())
         .scheme(scheme.clone())
         .loop_config(LoopConfig {
@@ -65,11 +67,18 @@ fn run_llm(scale: Scale, scheme: SchemeKind) -> Series {
     });
     let until = 2 * scale.fb_window();
     drivers::run_alltoall(&mut cl, &mut a2a, 0, until);
-    to_series(&cl, scheme.name(), "LLM alltoall")
+    to_series(scheme.name(), "LLM alltoall")
 }
 
-fn to_series(cl: &ClosedLoop, scheme: &str, workload: &str) -> Series {
-    let utility: Vec<f64> = cl.history.iter().map(|r| r.utility).collect();
+/// Build the convergence series from the run's exported telemetry: the
+/// per-interval `utility` series the closed loop recorded.
+fn to_series(scheme: &str, workload: &str) -> Series {
+    let dump = telemetry_dump(&format!("fig12_{workload}_{scheme}"));
+    let utility: Vec<f64> = dump
+        .series_get("utility", 0)
+        .iter()
+        .map(|&(_, v)| v)
+        .collect();
     let mut best = f64::NEG_INFINITY;
     let best_so_far = utility
         .iter()

@@ -29,8 +29,10 @@ struct Point {
 /// ECN thresholds shape the collapse depth — so every swept parameter
 /// has an observable effect, as in the paper's Figure 5.
 fn measure(scale: Scale, params: DcqcnParams) -> (f64, f64) {
-    let mut cfg = SimConfig::default();
-    cfg.dcqcn = params.clone();
+    let cfg = SimConfig {
+        dcqcn: params.clone(),
+        ..SimConfig::default()
+    };
     let mut cl = ClosedLoop::builder(scale.clos())
         .scheme(SchemeKind::Static(params, "sweep"))
         .sim_config(cfg)
@@ -77,7 +79,10 @@ fn main() {
             ParamId::RateReduceMonitorPeriod,
             vec![4.0, 20.0, 80.0, 200.0, 400.0],
         ),
-        (ParamId::RpgTimeReset, vec![20.0, 80.0, 300.0, 600.0, 1200.0]),
+        (
+            ParamId::RpgTimeReset,
+            vec![20.0, 80.0, 300.0, 600.0, 1200.0],
+        ),
         (ParamId::KMax, vec![100.0, 400.0, 1600.0, 6400.0, 12800.0]),
     ];
     println!("Figure 5 reproduction ({} scale)", scale.label());

@@ -29,8 +29,10 @@ fn measure(scale: Scale, rpg_time_reset: f64, k_max: f64) -> (f64, f64) {
     p.rpg_time_reset = rpg_time_reset;
     p.k_max = k_max;
     p.k_min = (k_max / 4.0).max(10.0);
-    let mut cfg = SimConfig::default();
-    cfg.dcqcn = p.clone();
+    let cfg = SimConfig {
+        dcqcn: p.clone(),
+        ..SimConfig::default()
+    };
     let mut cl = ClosedLoop::builder(scale.clos())
         .scheme(SchemeKind::Static(p, "grid"))
         .sim_config(cfg)
@@ -61,7 +63,10 @@ fn measure(scale: Scale, rpg_time_reset: f64, k_max: f64) -> (f64, f64) {
     }
     cl.run_until(window);
     let n = cl.history.len();
-    (tail_goodput(&cl, n.saturating_sub(1)), tail_rtt_us(&cl, n.saturating_sub(1)))
+    (
+        tail_goodput(&cl, n.saturating_sub(1)),
+        tail_rtt_us(&cl, n.saturating_sub(1)),
+    )
 }
 
 fn main() {
@@ -104,9 +109,7 @@ fn main() {
         .map(|i| {
             cells
                 .iter()
-                .find(|c| {
-                    c.rpg_time_reset == timers[timers.len() - 1 - i] && c.k_max == kmaxes[i]
-                })
+                .find(|c| c.rpg_time_reset == timers[timers.len() - 1 - i] && c.k_max == kmaxes[i])
                 .map(|c| c.goodput_gbps)
                 .unwrap_or(0.0)
         })

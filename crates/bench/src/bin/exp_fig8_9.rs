@@ -10,7 +10,9 @@
 //! Run: `cargo run --release -p paraleon-bench --bin exp_fig8_9 [--paper] [--pretrained]`
 
 use paraleon::prelude::*;
-use paraleon_bench::{all_schemes, gbps_of, print_table, write_json, Scale};
+use paraleon_bench::{
+    all_schemes, gbps_of, print_table, telemetry_begin, telemetry_dump, write_json, Scale,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -28,7 +30,10 @@ struct Series {
 }
 
 /// Run one scheme through the influx scenario; returns the time series.
-fn run_influx(scale: Scale, scheme: SchemeKind, seed: u64) -> Series {
+/// The series are rebuilt from the exported telemetry dump (under
+/// `results/telemetry/`), not from in-memory accumulators.
+fn run_influx(scale: Scale, scheme: SchemeKind, seed: u64, fig: &str) -> Series {
+    telemetry_begin();
     let mut cl = ClosedLoop::builder(scale.clos())
         .scheme(scheme.clone())
         .loop_config(LoopConfig {
@@ -109,24 +114,27 @@ fn run_influx(scale: Scale, scheme: SchemeKind, seed: u64) -> Series {
             }
         }
     }
+    let dump = telemetry_dump(&format!("{}_{}", fig, scheme.name()));
+    let goodput = dump.series_get("goodput_bytes_per_sec", 0);
     Series {
         scheme: scheme.name().to_string(),
-        t_ms: cl.history.iter().map(|r| r.t as f64 / 1e6).collect(),
-        goodput_gbps: cl.history.iter().map(|r| gbps_of(r.goodput)).collect(),
-        rtt_us: cl.history.iter().map(|r| r.avg_rtt_ns / 1e3).collect(),
-        mu_mice: cl
-            .history
+        t_ms: goodput.iter().map(|&(t, _)| t as f64 / 1e6).collect(),
+        goodput_gbps: goodput.iter().map(|&(_, v)| gbps_of(v)).collect(),
+        rtt_us: dump
+            .series_get("avg_rtt_ns", 0)
             .iter()
-            .map(|r| match r.dominant {
-                paraleon::prelude::FlowType::Mice => r.mu,
-                _ => 1.0 - r.mu,
-            })
+            .map(|&(_, v)| v / 1e3)
             .collect(),
-        trigger_times_ms: cl
-            .history
+        mu_mice: dump
+            .series_get("mu_mice", 0)
             .iter()
-            .filter(|r| r.triggered)
-            .map(|r| r.t as f64 / 1e6)
+            .map(|&(_, v)| v)
+            .collect(),
+        trigger_times_ms: dump
+            .series_get("triggered", 0)
+            .iter()
+            .filter(|&&(_, v)| v > 0.5)
+            .map(|&(t, _)| t as f64 / 1e6)
             .collect(),
         influx_start_ms: influx_start as f64 / 1e6,
         influx_end_ms: (influx_start + influx_len) as f64 / 1e6,
@@ -208,7 +216,12 @@ fn summarize(series: &[Series]) {
     }
     print_table(
         "influx summary (lower influx-RTT and higher post-influx throughput are better)",
-        &["scheme", "influx RTT (us)", "influx TP (Gbps)", "post TP (Gbps)"],
+        &[
+            "scheme",
+            "influx RTT (us)",
+            "influx TP (Gbps)",
+            "post TP (Gbps)",
+        ],
         &rows,
     );
 }
@@ -228,7 +241,7 @@ fn main() {
         ];
         let series: Vec<Series> = schemes
             .into_iter()
-            .map(|s| run_influx(scale, s, 7))
+            .map(|s| run_influx(scale, s, 7, "fig9"))
             .collect();
         summarize(&series);
         write_json("fig9", &series);
@@ -236,7 +249,7 @@ fn main() {
         println!("Figure 8 reproduction ({} scale)", scale.label());
         let series: Vec<Series> = all_schemes(scale)
             .into_iter()
-            .map(|s| run_influx(scale, s, 7))
+            .map(|s| run_influx(scale, s, 7, "fig8"))
             .collect();
         summarize(&series);
         write_json("fig8", &series);

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p paraleon-bench --bin exp_table4 [--paper]`
 
 use paraleon::prelude::*;
-use paraleon_bench::{print_table, write_json, Scale};
+use paraleon_bench::{print_table, telemetry_begin, telemetry_dump, write_json, Scale};
 use paraleon_monitor::{FsdMonitor, ParaleonMonitor};
 use paraleon_sketch::{ElasticSketch, SketchConfig, SlidingWindowClassifier};
 use rand::rngs::StdRng;
@@ -29,11 +29,32 @@ struct Overheads {
     rnic_to_controller_bytes_per_interval: f64,
     controller_to_devices_bytes_per_interval: f64,
     intervals: u64,
+    telemetry: TelemetryFootprint,
+}
+
+/// The observability subsystem's own memory cost while the run was
+/// fully instrumented (counters, gauges, histograms, time series,
+/// flight recorder).
+#[derive(Serialize)]
+struct TelemetryFootprint {
+    total_bytes: usize,
+    counters_bytes: usize,
+    histograms_bytes: usize,
+    series_bytes: usize,
+    flight_bytes: usize,
+    bytes_per_counter: usize,
+    bytes_per_histogram: usize,
+    bytes_per_event_slot: usize,
+    bytes_per_series_point: usize,
+    series_points_recorded: usize,
+    flight_events_retained: usize,
+    flight_events_evicted: u64,
 }
 
 fn main() {
     let scale = Scale::from_args();
     println!("Table IV reproduction ({} scale)", scale.label());
+    telemetry_begin();
     let mut cl = ClosedLoop::builder(scale.clos())
         .scheme(scale.paraleon())
         .loop_config(LoopConfig {
@@ -56,6 +77,25 @@ fn main() {
     let t0 = Instant::now();
     drivers::run_schedule(&mut cl, &flows, scale.fb_window());
     let wall = t0.elapsed();
+
+    // Measure the telemetry registry while it still holds the run's
+    // data, then export + clear it.
+    let fp = paraleon_telemetry::memory_footprint();
+    let dump = telemetry_dump("table4");
+    let telemetry = TelemetryFootprint {
+        total_bytes: fp.total(),
+        counters_bytes: fp.counters_bytes + fp.gauges_bytes,
+        histograms_bytes: fp.histograms_bytes,
+        series_bytes: fp.series_bytes,
+        flight_bytes: fp.flight_bytes,
+        bytes_per_counter: fp.bytes_per_counter(),
+        bytes_per_histogram: fp.bytes_per_histogram(),
+        bytes_per_event_slot: fp.bytes_per_event(),
+        bytes_per_series_point: fp.bytes_per_series_point(),
+        series_points_recorded: dump.series.len(),
+        flight_events_retained: dump.events.len(),
+        flight_events_evicted: dump.flight_dropped,
+    };
 
     // Control-plane memory: a standalone classifier fed the same load
     // measures the flow-tracking footprint; the data-plane sketch size
@@ -88,6 +128,7 @@ fn main() {
         rnic_to_controller_bytes_per_interval: rnic_b,
         controller_to_devices_bytes_per_interval: disp_b,
         intervals: cl.ledger.intervals,
+        telemetry,
     };
     let rows = vec![
         vec![
@@ -112,7 +153,10 @@ fn main() {
         ],
         vec![
             "Transfer: switches -> controller".into(),
-            format!("{:.0} B/interval", o.switch_to_controller_bytes_per_interval),
+            format!(
+                "{:.0} B/interval",
+                o.switch_to_controller_bytes_per_interval
+            ),
             "520 B".into(),
         ],
         vec![
@@ -122,7 +166,10 @@ fn main() {
         ],
         vec![
             "Transfer: controller -> devices".into(),
-            format!("{:.0} B/interval", o.controller_to_devices_bytes_per_interval),
+            format!(
+                "{:.0} B/interval",
+                o.controller_to_devices_bytes_per_interval
+            ),
             "76 B".into(),
         ],
     ];
@@ -130,6 +177,49 @@ fn main() {
         "Table IV: system overheads (measured vs paper)",
         &["category", "measured", "paper"],
         &rows,
+    );
+
+    let t = &o.telemetry;
+    let tel_rows = vec![
+        vec![
+            "total registry".into(),
+            format!("{:.1} KB", t.total_bytes as f64 / 1024.0),
+            format!(
+                "{} series pts + {} ring events",
+                t.series_points_recorded, t.flight_events_retained
+            ),
+        ],
+        vec![
+            "counters + gauges".into(),
+            format!("{} B", t.counters_bytes),
+            format!("{} B per metric", t.bytes_per_counter),
+        ],
+        vec![
+            "histograms".into(),
+            format!("{:.1} KB", t.histograms_bytes as f64 / 1024.0),
+            format!(
+                "{:.1} KB per histogram",
+                t.bytes_per_histogram as f64 / 1024.0
+            ),
+        ],
+        vec![
+            "time series".into(),
+            format!("{:.1} KB", t.series_bytes as f64 / 1024.0),
+            format!("{} B per point", t.bytes_per_series_point),
+        ],
+        vec![
+            "flight recorder".into(),
+            format!("{:.1} KB", t.flight_bytes as f64 / 1024.0),
+            format!(
+                "{} B per slot, {} evicted",
+                t.bytes_per_event_slot, t.flight_events_evicted
+            ),
+        ],
+    ];
+    print_table(
+        "Telemetry subsystem footprint (fully instrumented run)",
+        &["component", "bytes", "unit cost"],
+        &tel_rows,
     );
     write_json("table4", &o);
 }

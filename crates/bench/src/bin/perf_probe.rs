@@ -20,7 +20,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(5);
     let flows = wl.generate(&mut rng);
     println!("flows: {}", flows.len());
-    let mut cl = ClosedLoop::builder(topo).scheme(SchemeKind::Paraleon).build();
+    let mut cl = ClosedLoop::builder(topo)
+        .scheme(SchemeKind::Paraleon)
+        .build();
     let t0 = Instant::now();
     drivers::run_schedule(&mut cl, &flows, 25 * MILLI);
     let wall = t0.elapsed();

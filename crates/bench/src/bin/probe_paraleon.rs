@@ -21,13 +21,21 @@ fn main() {
     let flows = wl.generate(&mut rng);
     let mut cl = ClosedLoop::builder(scale.clos())
         .scheme(scale.paraleon())
-        .loop_config(LoopConfig { force_tuning: true, ..LoopConfig::default() })
+        .loop_config(LoopConfig {
+            force_tuning: true,
+            ..LoopConfig::default()
+        })
         .build();
     drivers::run_schedule(&mut cl, &flows, scale.fb_window());
     cl.run_to_completion(scale.fb_window() + 300 * MILLI);
     let trig = cl.history.iter().filter(|r| r.triggered).count();
     let disp = cl.history.iter().filter(|r| r.dispatched).count();
-    println!("intervals={} triggers={} dispatches={}", cl.history.len(), trig, disp);
+    println!(
+        "intervals={} triggers={} dispatches={}",
+        cl.history.len(),
+        trig,
+        disp
+    );
     for (i, r) in cl.history.iter().enumerate() {
         if i % 10 == 0 || r.triggered {
             println!(

@@ -174,6 +174,46 @@ fn results_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("results"))
 }
 
+/// Start a telemetry-instrumented experiment run: clears any previous
+/// recording and turns the registry on.
+pub fn telemetry_begin() {
+    paraleon_telemetry::reset();
+    paraleon_telemetry::set_enabled(true);
+}
+
+/// Finish a telemetry-instrumented run: export the registry to
+/// `results/telemetry/<name>.jsonl`, clear it for the next run, and
+/// return the dump read back from disk — the figure binaries build
+/// their plot data from this, so the JSONL on disk is exactly what the
+/// figures consumed.
+pub fn telemetry_dump(name: &str) -> paraleon_telemetry::export::TelemetryDump {
+    let path = results_dir()
+        .join("telemetry")
+        .join(format!("{}.jsonl", sanitize(name)));
+    let dump = paraleon_telemetry::export::write_jsonl(&path)
+        .and_then(paraleon_telemetry::export::read_jsonl)
+        .unwrap_or_else(|e| {
+            eprintln!("[telemetry export failed: {e}]");
+            Default::default()
+        });
+    println!("[telemetry -> {}]", path.display());
+    paraleon_telemetry::reset();
+    dump
+}
+
+/// File-name-safe version of a scheme/run label.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Gbps pretty-print from bytes/sec.
 pub fn gbps_of(bytes_per_sec: f64) -> f64 {
     bytes_per_sec * 8.0 / 1e9

@@ -10,11 +10,10 @@
 use std::time::{Duration, Instant};
 
 use paraleon_dcqcn::DcqcnParams;
-use paraleon_monitor::{
-    ChangeDetector, FsdMonitor, MetricSample, TransferLedger, UtilityWeights,
-};
+use paraleon_monitor::{ChangeDetector, FsdMonitor, MetricSample, TransferLedger, UtilityWeights};
 use paraleon_netsim::{FlowRecord, SimConfig, Simulator, Topology, MILLI};
 use paraleon_sketch::{FlowType, Fsd, SlidingWindowClassifier, WindowConfig};
+use paraleon_telemetry as tel;
 use paraleon_tuner::{Observation, SwitchLocalObs, TuningAction, TuningScheme};
 
 use crate::schemes::{MonitorKind, SchemeKind};
@@ -143,6 +142,11 @@ impl ClosedLoop {
         self.sim.run_until(target);
         let metrics = self.sim.collect_interval();
         self.completions.extend(self.sim.take_completions());
+        // Stamp the registry clock so everything recorded during this
+        // round (trigger/SA events, series points) carries the interval
+        // end time.
+        tel::set_time(metrics.end);
+        tel::count(tel::Ctr::Intervals);
 
         // --- Monitoring half (switch CP agents + controller merge). ---
         let t0 = Instant::now();
@@ -186,6 +190,38 @@ impl ClosedLoop {
         );
         let utility = sample.utility(&self.cfg.weights);
 
+        // --- Telemetry: the per-interval series behind Figures 8/9/12/14
+        // (entity 0 = fabric-wide, switch series keyed by switch index).
+        tel::gauge_set(tel::Gauge::LastUtility, utility);
+        tel::gauge_set(tel::Gauge::Mu, mu);
+        tel::gauge_set(tel::Gauge::ActiveFlows, self.sim.active_flows() as f64);
+        tel::series("goodput_bytes_per_sec", 0, metrics.goodput_bytes_per_sec());
+        tel::series("avg_rtt_ns", 0, metrics.avg_rtt_ns);
+        tel::series("utility", 0, utility);
+        tel::series("o_tp", 0, sample.o_tp);
+        tel::series("o_rtt", 0, sample.o_rtt);
+        tel::series("o_pfc", 0, sample.o_pfc);
+        tel::series("mu", 0, mu);
+        tel::series(
+            "mu_mice",
+            0,
+            match dominant {
+                FlowType::Mice => mu,
+                _ => 1.0 - mu,
+            },
+        );
+        tel::series("triggered", 0, if triggered { 1.0 } else { 0.0 });
+        tel::series("cnps", 0, metrics.cnps as f64);
+        tel::series("pfc_events", 0, metrics.pfc_events as f64);
+        if let Some(acc) = fsd_accuracy {
+            tel::series("fsd_accuracy", 0, acc);
+        }
+        for (i, s) in metrics.switch_obs.iter().enumerate() {
+            tel::series("switch_tx_utilization", i as u32, s.tx_utilization);
+            tel::series("switch_marking_rate", i as u32, s.marking_rate);
+            tel::series("switch_queue_frac", i as u32, s.queue_frac);
+        }
+
         // --- Tuning half. ---
         let obs = Observation {
             now: metrics.end,
@@ -217,8 +253,8 @@ impl ClosedLoop {
         if let Some(action) = action {
             self.apply(action);
         }
-        let rnic_upload = self.sim.topology().n_hosts() as u64
-            * MetricSample::wire_size_bytes() as u64;
+        let rnic_upload =
+            self.sim.topology().n_hosts() as u64 * MetricSample::wire_size_bytes() as u64;
         let switch_metric_upload =
             self.sim.n_switches() as u64 * MetricSample::wire_size_bytes() as u64;
         let uploaded_total = self.monitor.uploaded_bytes();
@@ -253,10 +289,16 @@ impl ClosedLoop {
     fn apply(&mut self, action: TuningAction) {
         match action {
             TuningAction::Global(p) => {
+                tel::event(tel::Event::Dispatch {
+                    scope: tel::DispatchScope::Global,
+                });
                 self.sim.set_dcqcn_params(&p);
                 self.last_params = p;
             }
             TuningAction::PerSwitchEcn(updates) => {
+                tel::event(tel::Event::Dispatch {
+                    scope: tel::DispatchScope::PerSwitch,
+                });
                 for (idx, p) in updates {
                     if idx < self.sim.n_switches() {
                         self.sim.set_switch_ecn(idx, &p);
@@ -472,11 +514,79 @@ mod tests {
         assert!(cl.ledger.switch_to_controller > 0);
     }
 
+    /// Drive one elephant-heavy interval.
+    fn elephant_interval(cl: &mut ClosedLoop, i: usize) {
+        cl.sim.add_flow(i % 4, 4 + i % 4, 8_000_000, cl.sim.now());
+        cl.step();
+    }
+
+    /// Drive one mice-heavy interval.
+    fn mice_interval(cl: &mut ClosedLoop) {
+        let now = cl.sim.now();
+        for k in 0..60usize {
+            cl.sim
+                .add_flow(k % 8, (k + 3) % 8, 4_000, now + k as u64 * 1_000);
+        }
+        cl.step();
+    }
+
+    #[test]
+    fn kl_trigger_fires_on_a_real_shift_only_at_window_boundaries() {
+        let window = 4u32;
+        let mut cl = ClosedLoop::builder(topo())
+            .loop_config(LoopConfig {
+                trigger_window: window,
+                ..LoopConfig::default()
+            })
+            .build();
+        // Two full elephant windows establish the baseline FSD, then a
+        // sustained mice influx shifts it.
+        for i in 0..8usize {
+            elephant_interval(&mut cl, i);
+        }
+        for _ in 0..8 {
+            mice_interval(&mut cl);
+        }
+        assert!(
+            cl.history.iter().any(|r| r.triggered),
+            "elephant→mice shift must fire the KL trigger"
+        );
+        // The detector only compares window-aggregated FSDs, so a trigger
+        // can only ever land on a window-boundary interval.
+        for (i, r) in cl.history.iter().enumerate() {
+            if r.triggered {
+                assert_eq!(
+                    (i + 1) % window as usize,
+                    0,
+                    "trigger at interval {i} is inside a window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kl_trigger_ignores_noise_under_a_stable_workload() {
+        // The same elephant pattern every interval: per-interval sampling
+        // noise must not re-fire the trigger once the baseline window is
+        // established.
+        let mut cl = ClosedLoop::builder(topo())
+            .loop_config(LoopConfig {
+                trigger_window: 4,
+                ..LoopConfig::default()
+            })
+            .build();
+        for i in 0..24usize {
+            elephant_interval(&mut cl, i);
+        }
+        assert!(
+            cl.history.iter().all(|r| !r.triggered),
+            "stable traffic re-fired the KL trigger"
+        );
+    }
+
     #[test]
     fn acc_only_touches_switch_ecn() {
-        let mut cl = ClosedLoop::builder(topo())
-            .scheme(SchemeKind::Acc)
-            .build();
+        let mut cl = ClosedLoop::builder(topo()).scheme(SchemeKind::Acc).build();
         cl.sim.add_flow(0, 5, 4_000_000, 0);
         for _ in 0..10 {
             cl.step();

@@ -54,7 +54,9 @@ pub fn run_alltoall(
                     // long-lived QP per (src, dst), as NCCL reuses QPs
                     // across rounds.
                     let qp = qp_id(f.src, f.dst);
-                    let id = cl.sim.add_flow_on_qp(f.src, f.dst, f.bytes, cl.sim.now(), qp);
+                    let id = cl
+                        .sim
+                        .add_flow_on_qp(f.src, f.dst, f.bytes, cl.sim.now(), qp);
                     flow_ids.insert(id);
                 }
                 next_round = None;

@@ -58,9 +58,7 @@ pub mod prelude {
     pub use crate::stats;
     pub use paraleon_dcqcn::{DcqcnParams, ParamId, ParamSpace};
     pub use paraleon_monitor::UtilityWeights;
-    pub use paraleon_netsim::{
-        FlowRecord, SimConfig, Simulator, Topology, MICRO, MILLI, SEC,
-    };
+    pub use paraleon_netsim::{FlowRecord, SimConfig, Simulator, Topology, MICRO, MILLI, SEC};
     pub use paraleon_sketch::{FlowType, Fsd, WindowConfig};
     pub use paraleon_tuner::SaConfig;
     pub use paraleon_workloads::{

@@ -2,7 +2,10 @@
 //! paper's evaluation, so harness code can sweep them uniformly.
 
 use paraleon_dcqcn::DcqcnParams;
-use paraleon_monitor::{FsdMonitor, NaiveSketchMonitor, NetFlowConfig, NetFlowMonitor, Nanos as MonNanos, ParaleonMonitor, SketchReadings};
+use paraleon_monitor::{
+    FsdMonitor, NaiveSketchMonitor, Nanos as MonNanos, NetFlowConfig, NetFlowMonitor,
+    ParaleonMonitor, SketchReadings,
+};
 use paraleon_netsim::SimConfig;
 use paraleon_sketch::{Fsd, WindowConfig};
 use paraleon_tuner::{
@@ -146,7 +149,7 @@ impl MonitorKind {
             MonitorKind::ParaleonWith(cfg) => Box::new(ParaleonMonitor::new(*cfg)),
             MonitorKind::NaiveSketch => Box::new(NaiveSketchMonitor::new(1 << 20)),
             MonitorKind::NetFlow => Box::new(NetFlowMonitor::new(NetFlowConfig::default())),
-            MonitorKind::NoFsd => Box::new(NoFsdMonitor::default()),
+            MonitorKind::NoFsd => Box::new(NoFsdMonitor),
         }
     }
 

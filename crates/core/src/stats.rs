@@ -48,10 +48,10 @@ pub struct SlowdownBin {
 /// The flow-size bin edges used for Figure 7(a,b) (bytes).
 pub const FIG7_BINS: [u64; 6] = [
     0,
-    120_000,     // "< 120 KB": the paper's mice bucket
-    1 << 20,     // < 1 MB
-    4 << 20,     // < 4 MB
-    16 << 20,    // < 16 MB
+    120_000,  // "< 120 KB": the paper's mice bucket
+    1 << 20,  // < 1 MB
+    4 << 20,  // < 4 MB
+    16 << 20, // < 16 MB
     u64::MAX,
 ];
 

@@ -257,6 +257,12 @@ impl RpState {
         self.last_decrease = Some(now);
         self.cnp_pending = false;
         self.decreases_applied += 1;
+        paraleon_telemetry::event_at(
+            now,
+            paraleon_telemetry::Event::RateDecrease {
+                rate_bytes_per_sec: self.rate_current,
+            },
+        );
     }
 
     /// One increase event (timer or byte-counter expiry).
@@ -278,6 +284,9 @@ impl RpState {
         self.rate_current = (self.rate_target + self.rate_current) / 2.0;
         self.increased_since_decrease = true;
         self.clamp_rates();
+        // Increase events fire in catch-up batches with no timestamp of
+        // their own; a counter is enough (the flight recorder would churn).
+        paraleon_telemetry::count(paraleon_telemetry::Ctr::RateIncreases);
     }
 }
 

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 
 use paraleon_dcqcn::{
-    mbps_to_bytes_per_sec, DcqcnParams, EcnMarker, NpState, ParamSpace, RpState, ALL_PARAMS,
-    MICRO,
+    mbps_to_bytes_per_sec, DcqcnParams, EcnMarker, NpState, ParamSpace, RpState, ALL_PARAMS, MICRO,
 };
 
 const LINE: f64 = 12.5e9;

@@ -80,10 +80,7 @@ mod tests {
 
     #[test]
     fn detects_shift_through_full_stack() {
-        let mut agg = NetworkAggregator::new(
-            ParaleonMonitor::new(WindowConfig::default()),
-            0.01,
-        );
+        let mut agg = NetworkAggregator::new(ParaleonMonitor::new(WindowConfig::default()), 0.01);
         // Stable elephant phase.
         for i in 0..5u64 {
             let v = agg.ingest(&[(0, vec![(1, 5 * MB), (2, 5 * MB)])], i);
@@ -103,10 +100,7 @@ mod tests {
 
     #[test]
     fn empty_readings_never_trigger() {
-        let mut agg = NetworkAggregator::new(
-            ParaleonMonitor::new(WindowConfig::default()),
-            0.0,
-        );
+        let mut agg = NetworkAggregator::new(ParaleonMonitor::new(WindowConfig::default()), 0.0);
         for i in 0..3u64 {
             let v = agg.ingest(&[], i);
             assert!(!v.tuning_triggered);

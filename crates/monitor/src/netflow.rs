@@ -100,7 +100,7 @@ impl FsdMonitor for NetFlowMonitor {
         let p = 1.0 / self.cfg.sampling_rate as f64;
         for (_, entries) in readings {
             for &(flow, bytes) in entries {
-                let pkts = (bytes + self.cfg.pkt_bytes as u64 - 1) / self.cfg.pkt_bytes as u64;
+                let pkts = bytes.div_ceil(self.cfg.pkt_bytes as u64);
                 let sampled = Self::sample_binomial(&mut self.rng, pkts, p);
                 if sampled > 0 {
                     // Scale the sampled packets back up.
@@ -112,7 +112,11 @@ impl FsdMonitor for NetFlowMonitor {
         if now.saturating_sub(start) >= self.cfg.export_period {
             let mut b = FsdBuilder::new();
             for (_, &bytes) in self.pending.iter() {
-                let w = if bytes >= self.cfg.tau_bytes { 1.0 } else { 0.0 };
+                let w = if bytes >= self.cfg.tau_bytes {
+                    1.0
+                } else {
+                    0.0
+                };
                 b.add_flow(bytes, w);
             }
             let fsd = b.build();

@@ -28,12 +28,7 @@ impl TransferLedger {
     }
 
     /// Record one monitor interval's transfers.
-    pub fn record_interval(
-        &mut self,
-        switch_upload: u64,
-        rnic_upload: u64,
-        dispatch: u64,
-    ) {
+    pub fn record_interval(&mut self, switch_upload: u64, rnic_upload: u64, dispatch: u64) {
         self.switch_to_controller += switch_upload;
         self.rnic_to_controller += rnic_upload;
         self.controller_to_devices += dispatch;

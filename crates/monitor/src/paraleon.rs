@@ -111,10 +111,7 @@ mod tests {
         let mut m = monitor();
         let fsd = m
             .on_interval(
-                &[
-                    (0, vec![(1, 5 * MB)]),
-                    (1, vec![(2, 2_000), (3, 3_000)]),
-                ],
+                &[(0, vec![(1, 5 * MB)]), (1, vec![(2, 2_000), (3, 3_000)])],
                 0,
             )
             .unwrap();

@@ -49,7 +49,17 @@ impl ChangeDetector {
         self.observations += 1;
         let fired = match &self.prev {
             None => false,
-            Some(prev) => fsd.kl_shares(prev) > self.theta,
+            Some(prev) => {
+                let kl = fsd.kl_shares(prev);
+                let fired = kl > self.theta;
+                if fired {
+                    paraleon_telemetry::event(paraleon_telemetry::Event::KlTrigger {
+                        kl,
+                        theta: self.theta,
+                    });
+                }
+                fired
+            }
         };
         self.prev = Some(fsd.clone());
         if fired {

@@ -1,8 +1,8 @@
 //! Simulator configuration.
 
+use crate::Nanos;
 use paraleon_dcqcn::DcqcnParams;
 use paraleon_sketch::SketchConfig;
-use crate::Nanos;
 
 /// All knobs of a simulation run that are not topology or workload.
 #[derive(Debug, Clone)]

@@ -8,7 +8,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::packet::Packet;
-use crate::{FlowId, NodeId, Nanos};
+use crate::{FlowId, Nanos, NodeId};
 
 /// Everything that can happen in the simulator.
 #[derive(Debug, Clone, PartialEq)]

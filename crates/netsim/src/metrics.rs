@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use crate::{FlowId, NodeId, Nanos};
+use crate::{FlowId, Nanos, NodeId};
 
 /// Raw per-interval counters kept by the simulator (reset every collect).
 #[derive(Debug, Default)]

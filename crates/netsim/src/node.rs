@@ -6,7 +6,7 @@ use paraleon_dcqcn::{DcqcnParams, EcnMarker, IncastScaler, NpState, RpState};
 use paraleon_sketch::ElasticSketch;
 
 use crate::packet::{Packet, N_CLASSES};
-use crate::{FlowId, NodeId, Nanos};
+use crate::{FlowId, Nanos, NodeId};
 
 /// Sender-side per-flow (per-QP) state on a host.
 #[derive(Debug)]

@@ -1,6 +1,6 @@
 //! Packets and frames carried by the simulated fabric.
 
-use crate::{FlowId, NodeId, Nanos};
+use crate::{FlowId, Nanos, NodeId};
 
 /// Traffic class indices: RoCEv2 data rides the lossless (PFC-protected)
 /// class; ACKs and CNPs ride a strict-priority control class, mirroring

@@ -28,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use paraleon_dcqcn::{DcqcnParams, EcnMarker, NpState, RpState};
 use paraleon_sketch::hash::hash64;
 use paraleon_sketch::ElasticSketch;
+use paraleon_telemetry as tel;
 
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
@@ -35,7 +36,7 @@ use crate::metrics::{FlowRecord, IntervalAccum, IntervalMetrics, SwitchObs};
 use crate::node::{HostState, RecvFlow, SenderFlow, SwitchState};
 use crate::packet::{Packet, PacketKind, CLASS_CTRL, CLASS_DATA};
 use crate::topology::{NodeKind, Topology};
-use crate::{FlowId, NodeId, Nanos, MICRO};
+use crate::{FlowId, Nanos, NodeId, MICRO};
 
 /// Static description of one admitted flow.
 #[derive(Debug, Clone, Copy)]
@@ -267,7 +268,11 @@ impl Simulator {
                 }
             }
         }
-        let avg_util = if util_n == 0 { 0.0 } else { util_sum / util_n as f64 };
+        let avg_util = if util_n == 0 {
+            0.0
+        } else {
+            util_sum / util_n as f64
+        };
 
         // O_RTT.
         let (gamma, avg_rtt) = if self.accum.rtt_count == 0 {
@@ -295,15 +300,17 @@ impl Simulator {
         for (i, sw) in self.switches.iter_mut().enumerate() {
             let node = self.topo.n_hosts() + i;
             let total_bw: f64 = self.topo.ports(node).iter().map(|p| p.bw).sum();
-            let tx_util =
-                (self.accum.switch_tx_bytes[i] as f64 / (total_bw * dt_f)).min(1.0);
+            let tx_util = (self.accum.switch_tx_bytes[i] as f64 / (total_bw * dt_f)).min(1.0);
             let seen = sw.marker.seen - sw.prev_seen;
             let marked = sw.marker.marked - sw.prev_marked;
             sw.prev_seen = sw.marker.seen;
             sw.prev_marked = sw.marker.marked;
-            let marking_rate = if seen == 0 { 0.0 } else { marked as f64 / seen as f64 };
-            let queue_frac =
-                sw.buffer_used as f64 / self.cfg.switch_buffer_bytes.max(1) as f64;
+            let marking_rate = if seen == 0 {
+                0.0
+            } else {
+                marked as f64 / seen as f64
+            };
+            let queue_frac = sw.buffer_used as f64 / self.cfg.switch_buffer_bytes.max(1) as f64;
             switch_obs.push(SwitchObs {
                 node,
                 tx_utilization: tx_util,
@@ -499,7 +506,7 @@ impl Simulator {
             *self.accum.truth_flow_bytes.entry(meta.qp).or_insert(0) += payload as u64;
         }
         if !all_sent {
-            let next = self.now + next_gap.min(RECHECK).max(1);
+            let next = self.now + next_gap.clamp(1, RECHECK);
             self.events.push(next, Event::QpSend(f));
         }
         if arm_retx {
@@ -566,6 +573,7 @@ impl Simulator {
                 self.switches[sw].drops += 1;
                 self.accum.drops += 1;
                 self.total_drops += 1;
+                tel::count(tel::Ctr::Drops);
                 return;
             }
             self.switches[sw].buffer_used += wire;
@@ -573,14 +581,21 @@ impl Simulator {
             pkt.in_port = in_port;
             // PFC XOFF on the upstream if this ingress queue exceeds the
             // dynamic threshold.
-            let th = self.switches[sw]
-                .pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes);
+            let th =
+                self.switches[sw].pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes);
             if self.switches[sw].ingress_bytes[in_port] as f64 > th
                 && !self.switches[sw].sent_xoff[in_port]
             {
                 self.switches[sw].sent_xoff[in_port] = true;
                 self.accum.pfc_events += 1;
                 self.total_pfc_events += 1;
+                tel::event_at(
+                    self.now,
+                    tel::Event::PfcXoff {
+                        switch: sw as u32,
+                        port: in_port as u32,
+                    },
+                );
                 let up = self.topo.ports(node)[in_port];
                 self.events.push(
                     self.now + up.delay,
@@ -608,10 +623,18 @@ impl Simulator {
         let out = self.topo.next_port(node, pkt.dst, hash);
         if pkt.class == CLASS_DATA {
             let q = self.switches[sw].ports[out].qbytes[CLASS_DATA];
+            tel::observe(tel::Hist::QueueBytes, q);
             let u: f64 = self.rng.gen();
             if self.switches[sw].marker.should_mark(q as f64, u) {
                 pkt.ecn = true;
                 self.accum.ecn_marks += 1;
+                tel::event_at(
+                    self.now,
+                    tel::Event::EcnMark {
+                        switch: sw as u32,
+                        queue_bytes: q,
+                    },
+                );
             }
         }
         let class = pkt.class;
@@ -641,6 +664,13 @@ impl Simulator {
                     * self.cfg.pfc_xon_frac;
                 if (self.switches[sw].ingress_bytes[pkt.in_port] as f64) <= th {
                     self.switches[sw].sent_xoff[pkt.in_port] = false;
+                    tel::event_at(
+                        self.now,
+                        tel::Event::PfcXon {
+                            switch: sw as u32,
+                            port: pkt.in_port as u32,
+                        },
+                    );
                     let up = self.topo.ports(node)[pkt.in_port];
                     self.events.push(
                         self.now + up.delay,
@@ -737,6 +767,13 @@ impl Simulator {
                 let mut to_send: Vec<Packet> = Vec::new();
                 if pkt.ecn {
                     if let Some(sig) = r.np.on_packet(self.now, true, iv) {
+                        tel::event_at(
+                            self.now,
+                            tel::Event::CnpSent {
+                                host: h as u32,
+                                flow: pkt.flow,
+                            },
+                        );
                         to_send.push(Packet::cnp(
                             pkt.flow,
                             h,
@@ -773,6 +810,7 @@ impl Simulator {
             PacketKind::Ack { acked_bytes, echo } => {
                 let meta = self.flows[pkt.flow as usize];
                 let rtt = self.now.saturating_sub(echo).max(1);
+                tel::observe(tel::Hist::RttNs, rtt);
                 let base = self.base_rtt(meta.src, meta.dst);
                 self.accum.gamma_sum += (base as f64 / rtt as f64).min(1.0);
                 self.accum.rtt_sum += rtt as f64;
@@ -792,6 +830,7 @@ impl Simulator {
                     self.hosts[h].senders.remove(&pkt.flow);
                     self.flows[pkt.flow as usize].done = true;
                     self.active_flows -= 1;
+                    tel::observe(tel::Hist::FctNs, self.now.saturating_sub(meta.start).max(1));
                     self.completions.push(FlowRecord {
                         flow: pkt.flow,
                         src: meta.src,
@@ -806,6 +845,7 @@ impl Simulator {
                 advertised_interval_us,
             } => {
                 self.accum.cnps += 1;
+                tel::count(tel::Ctr::CnpReceived);
                 let dcqcn_plus = self.cfg.dcqcn_plus;
                 let base_iv = self.cfg.dcqcn.min_time_between_cnps.max(1.0);
                 if let Some(s) = self.hosts[h].senders.get_mut(&pkt.flow) {

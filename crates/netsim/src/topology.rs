@@ -11,7 +11,7 @@
 //! hash of the flow id, so one flow always follows one path (no
 //! reordering), matching RoCEv2 deployments.
 
-use crate::{NodeId, Nanos};
+use crate::{Nanos, NodeId};
 
 /// What a node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,9 +78,9 @@ impl Topology {
         let n_hosts = n_tor * hosts_per_tor;
         let n_nodes = n_hosts + n_tor + n_leaf;
         let mut kinds = Vec::with_capacity(n_nodes);
-        kinds.extend(std::iter::repeat(NodeKind::Host).take(n_hosts));
-        kinds.extend(std::iter::repeat(NodeKind::Tor).take(n_tor));
-        kinds.extend(std::iter::repeat(NodeKind::Leaf).take(n_leaf));
+        kinds.extend(std::iter::repeat_n(NodeKind::Host, n_hosts));
+        kinds.extend(std::iter::repeat_n(NodeKind::Tor, n_tor));
+        kinds.extend(std::iter::repeat_n(NodeKind::Leaf, n_leaf));
         let mut ports: Vec<Vec<Port>> = vec![Vec::new(); n_nodes];
         let mut host_tor = vec![0usize; n_hosts];
 

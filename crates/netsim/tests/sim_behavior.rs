@@ -26,7 +26,12 @@ fn single_flow_completes_with_sane_fct() {
     // 5x of it in an empty network.
     let ideal = (bytes as f64 / 12.5e9 * 1e9) as u64;
     assert!(r.fct() >= ideal, "fct {} < ideal {}", r.fct(), ideal);
-    assert!(r.fct() < 5 * ideal, "fct {} way above ideal {}", r.fct(), ideal);
+    assert!(
+        r.fct() < 5 * ideal,
+        "fct {} way above ideal {}",
+        r.fct(),
+        ideal
+    );
     assert_eq!(s.active_flows(), 0);
 }
 
@@ -48,7 +53,12 @@ fn deterministic_replay() {
     let run = || {
         let mut s = sim(small_clos());
         for i in 0..6usize {
-            s.add_flow(i, (i + 4) % 8, 500_000 + i as u64 * 7_777, (i as u64) * 10 * MICRO);
+            s.add_flow(
+                i,
+                (i + 4) % 8,
+                500_000 + i as u64 * 7_777,
+                (i as u64) * 10 * MICRO,
+            );
         }
         s.run_until(20 * MILLI);
         let mut f: Vec<_> = s.take_completions();

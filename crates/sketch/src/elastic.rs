@@ -357,9 +357,7 @@ mod tests {
             ..SketchConfig::default()
         });
         let same = (0..64u64)
-            .filter(|&f| {
-                bucket(f, a.cfg.seed, 64) == bucket(f, b.cfg.seed, 64)
-            })
+            .filter(|&f| bucket(f, a.cfg.seed, 64) == bucket(f, b.cfg.seed, 64))
             .count();
         assert!(same < 20);
     }

@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 use paraleon_sketch::{
-    ElasticSketch, Fsd, FsdBuilder, SketchConfig, SlidingWindowClassifier, FlowState,
-    WindowConfig,
+    ElasticSketch, FlowState, Fsd, FsdBuilder, SketchConfig, SlidingWindowClassifier, WindowConfig,
 };
 
 fn inserts() -> impl Strategy<Value = Vec<(u64, u64)>> {

@@ -1,0 +1,216 @@
+//! Bounded flight recorder: a ring buffer of typed control-plane and
+//! data-plane events, dumpable on demand for post-mortem analysis.
+
+use std::collections::VecDeque;
+
+/// Which layer an adaptive dispatch targeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchScope {
+    /// One parameter set applied to every RNIC and switch.
+    Global,
+    /// Per-switch ECN thresholds (ACC-style actions).
+    PerSwitch,
+}
+
+impl DispatchScope {
+    /// Stable export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchScope::Global => "global",
+            DispatchScope::PerSwitch => "per_switch",
+        }
+    }
+}
+
+/// A typed event worth keeping in the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A switch ingress crossed the PFC pause threshold.
+    PfcXoff { switch: u32, port: u32 },
+    /// A paused ingress drained below the resume threshold.
+    PfcXon { switch: u32, port: u32 },
+    /// An egress queue probabilistically marked a packet.
+    EcnMark { switch: u32, queue_bytes: u64 },
+    /// A notification point emitted a CNP toward `host` for `flow`.
+    CnpSent { host: u32, flow: u64 },
+    /// A reaction point cut its rate in response to a CNP. Reaction
+    /// points have no fabric-wide identity, so the event carries the
+    /// post-cut rate instead of a host id.
+    RateDecrease { rate_bytes_per_sec: f64 },
+    /// A reaction point ran a (fast/additive/hyper) increase step.
+    RateIncrease,
+    /// The KL-divergence FSD change detector fired.
+    KlTrigger { kl: f64, theta: f64 },
+    /// Simulated annealing accepted a candidate.
+    SaAccept { temp: f64, utility: f64 },
+    /// Simulated annealing rejected a candidate.
+    SaReject { temp: f64, utility: f64 },
+    /// A tuning episode finished.
+    SaEpisodeEnd { best_utility: f64 },
+    /// The closed loop pushed parameters to the fabric.
+    Dispatch { scope: DispatchScope },
+}
+
+impl Event {
+    /// Stable export name for the event type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::PfcXoff { .. } => "pfc_xoff",
+            Event::PfcXon { .. } => "pfc_xon",
+            Event::EcnMark { .. } => "ecn_mark",
+            Event::CnpSent { .. } => "cnp_sent",
+            Event::RateDecrease { .. } => "rate_decrease",
+            Event::RateIncrease => "rate_increase",
+            Event::KlTrigger { .. } => "kl_trigger",
+            Event::SaAccept { .. } => "sa_accept",
+            Event::SaReject { .. } => "sa_reject",
+            Event::SaEpisodeEnd { .. } => "sa_episode_end",
+            Event::Dispatch { .. } => "dispatch",
+        }
+    }
+
+    /// The event's payload as `(field, value)` pairs for export.
+    pub fn fields(&self) -> Vec<(&'static str, f64)> {
+        match *self {
+            Event::PfcXoff { switch, port } | Event::PfcXon { switch, port } => {
+                vec![("switch", switch as f64), ("port", port as f64)]
+            }
+            Event::EcnMark {
+                switch,
+                queue_bytes,
+            } => vec![
+                ("switch", switch as f64),
+                ("queue_bytes", queue_bytes as f64),
+            ],
+            Event::CnpSent { host, flow } => {
+                vec![("host", host as f64), ("flow", flow as f64)]
+            }
+            Event::RateDecrease { rate_bytes_per_sec } => {
+                vec![("rate_bytes_per_sec", rate_bytes_per_sec)]
+            }
+            Event::RateIncrease => vec![],
+            Event::KlTrigger { kl, theta } => vec![("kl", kl), ("theta", theta)],
+            Event::SaAccept { temp, utility } | Event::SaReject { temp, utility } => {
+                vec![("temp", temp), ("utility", utility)]
+            }
+            Event::SaEpisodeEnd { best_utility } => vec![("best_utility", best_utility)],
+            Event::Dispatch { scope } => vec![(
+                "per_switch",
+                match scope {
+                    DispatchScope::Global => 0.0,
+                    DispatchScope::PerSwitch => 1.0,
+                },
+            )],
+        }
+    }
+}
+
+/// An event stamped with simulation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// Simulation time in nanoseconds.
+    pub t_ns: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Fixed-capacity ring of recent [`TimedEvent`]s. When full, the oldest
+/// entry is evicted and counted in `dropped`.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    buf: VecDeque<TimedEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            buf: VecDeque::with_capacity(capacity),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when at capacity.
+    #[inline]
+    pub fn push(&mut self, t_ns: u64, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TimedEvent { t_ns, event });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discard all retained events and the drop counter.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+
+    /// Heap + inline bytes held by this recorder (capacity-based: the
+    /// ring pre-allocates).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.buf.capacity() * std::mem::size_of::<TimedEvent>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.push(i, Event::RateIncrease);
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let ts: Vec<u64> = fr.events().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn event_names_and_fields_are_stable() {
+        let e = Event::SaAccept {
+            temp: 50.0,
+            utility: 0.9,
+        };
+        assert_eq!(e.name(), "sa_accept");
+        assert_eq!(e.fields(), vec![("temp", 50.0), ("utility", 0.9)]);
+        assert_eq!(
+            Event::Dispatch {
+                scope: DispatchScope::PerSwitch
+            }
+            .fields(),
+            vec![("per_switch", 1.0)]
+        );
+    }
+}

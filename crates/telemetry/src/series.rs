@@ -1,0 +1,113 @@
+//! Per-interval time series keyed by `(metric, entity)`.
+//!
+//! The closed loop appends one point per metric per λ_MI interval; the
+//! experiment binaries later export the log and rebuild their figure
+//! data from it. Points are stored in one flat append-only log (cheap
+//! pushes, no per-key allocation) and grouped on demand.
+
+/// One sample of one metric for one entity at one simulation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Metric name (static: instrumentation sites use literals).
+    pub metric: &'static str,
+    /// Entity index (0 for fabric-global metrics, switch/host index for
+    /// per-device metrics).
+    pub entity: u32,
+    /// Simulation time in nanoseconds.
+    pub t_ns: u64,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Append-only log of [`SeriesPoint`]s.
+#[derive(Debug, Default)]
+pub struct SeriesStore {
+    points: Vec<SeriesPoint>,
+}
+
+impl SeriesStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        SeriesStore::default()
+    }
+
+    /// Append one sample.
+    #[inline]
+    pub fn push(&mut self, metric: &'static str, entity: u32, t_ns: u64, value: f64) {
+        self.points.push(SeriesPoint {
+            metric,
+            entity,
+            t_ns,
+            value,
+        });
+    }
+
+    /// All points in append order.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Points for one `(metric, entity)` key, in time order (append
+    /// order is time order for a monotone clock).
+    pub fn get(&self, metric: &str, entity: u32) -> Vec<SeriesPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.metric == metric && p.entity == entity)
+            .copied()
+            .collect()
+    }
+
+    /// Distinct `(metric, entity)` keys present, in first-seen order.
+    pub fn keys(&self) -> Vec<(&'static str, u32)> {
+        let mut keys: Vec<(&'static str, u32)> = Vec::new();
+        for p in &self.points {
+            if !keys.contains(&(p.metric, p.entity)) {
+                keys.push((p.metric, p.entity));
+            }
+        }
+        keys
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Discard all points.
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+
+    /// Heap + inline bytes held by the log.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.points.capacity() * std::mem::size_of::<SeriesPoint>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_group_by_key() {
+        let mut s = SeriesStore::new();
+        s.push("goodput_gbps", 0, 100, 40.0);
+        s.push("rtt_us", 0, 100, 12.0);
+        s.push("goodput_gbps", 0, 200, 45.0);
+        s.push("queue_frac", 2, 200, 0.3);
+        assert_eq!(s.len(), 4);
+        let g = s.get("goodput_gbps", 0);
+        assert_eq!(g.len(), 2);
+        assert_eq!((g[0].t_ns, g[0].value), (100, 40.0));
+        assert_eq!((g[1].t_ns, g[1].value), (200, 45.0));
+        assert_eq!(
+            s.keys(),
+            vec![("goodput_gbps", 0), ("rtt_us", 0), ("queue_frac", 2)]
+        );
+    }
+}

@@ -81,9 +81,7 @@ impl Agent {
     }
 
     fn reward(cfg: &AccConfig, obs: &crate::SwitchLocalObs) -> f64 {
-        cfg.w_tx * obs.tx_utilization
-            - cfg.w_queue * obs.queue_frac
-            - cfg.w_mark * obs.marking_rate
+        cfg.w_tx * obs.tx_utilization - cfg.w_queue * obs.queue_frac - cfg.w_mark * obs.marking_rate
     }
 
     fn apply_action(&mut self, action: usize, space: &ParamSpace) {
@@ -206,9 +204,9 @@ impl TuningScheme for AccScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SwitchLocalObs;
     use paraleon_monitor::MetricSample;
     use paraleon_sketch::FlowType;
-    use crate::SwitchLocalObs;
 
     fn obs_with(switches: Vec<SwitchLocalObs>) -> Observation {
         Observation {
@@ -256,7 +254,9 @@ mod tests {
         let space = ParamSpace::standard();
         for i in 0..300 {
             let tx = (i % 10) as f64 / 10.0;
-            let action = acc.on_interval(&obs_with(vec![local(tx, 0.3, 0.6)])).unwrap();
+            let action = acc
+                .on_interval(&obs_with(vec![local(tx, 0.3, 0.6)]))
+                .unwrap();
             if let TuningAction::PerSwitchEcn(v) = action {
                 for (_, p) in v {
                     for id in [
@@ -289,7 +289,9 @@ mod tests {
         for i in 0..400 {
             // Reward structure: good obs always (tx high, queue low) so Q
             // values converge; movement then tracks exploration only.
-            let action = acc.on_interval(&obs_with(vec![local(0.9, 0.0, 0.05)])).unwrap();
+            let action = acc
+                .on_interval(&obs_with(vec![local(0.9, 0.0, 0.05)]))
+                .unwrap();
             if let TuningAction::PerSwitchEcn(v) = action {
                 let kmax = v[0].1.k_max;
                 if i > 300 && (kmax - last_kmax).abs() > 1e-9 {

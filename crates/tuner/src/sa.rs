@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use paraleon_dcqcn::{DcqcnParams, Direction, ParamSpace};
 use paraleon_sketch::FlowType;
+use paraleon_telemetry as tel;
 
 /// SA schedule and mutation configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -78,10 +79,9 @@ impl SaConfig {
 
     /// Approximate episode length in monitor intervals.
     pub fn episode_len(&self) -> u32 {
-        let levels = ((self.final_temp / self.initial_temp).ln()
-            / self.cooling_rate.ln())
-        .ceil()
-        .max(1.0) as u32;
+        let levels = ((self.final_temp / self.initial_temp).ln() / self.cooling_rate.ln())
+            .ceil()
+            .max(1.0) as u32;
         levels * self.total_iter_num
     }
 }
@@ -126,7 +126,7 @@ impl SaTuner {
             temp,
             iter: 0,
             finished: false,
-        steps: 0,
+            steps: 0,
             accepts: 0,
         }
     }
@@ -169,12 +169,7 @@ impl SaTuner {
     /// interval's FSD. Returns the next candidate to dispatch, or `None`
     /// once the episode has converged (caller should then dispatch
     /// [`SaTuner::best`]).
-    pub fn step(
-        &mut self,
-        measured_util: f64,
-        dominant: FlowType,
-        mu: f64,
-    ) -> Option<DcqcnParams> {
+    pub fn step(&mut self, measured_util: f64, dominant: FlowType, mu: f64) -> Option<DcqcnParams> {
         if self.finished {
             return None;
         }
@@ -182,13 +177,22 @@ impl SaTuner {
         // Accept/reject the measured candidate (lines 6-13).
         let delta = measured_util - self.current_util;
         let accept = delta > 0.0
-            || (self.temp > 0.0
-                && ((delta * 100.0) / self.temp).exp() > self.rng.gen::<f64>());
+            || (self.temp > 0.0 && ((delta * 100.0) / self.temp).exp() > self.rng.gen::<f64>());
         if accept {
             self.current = self.candidate.clone();
             self.current_util = measured_util;
             self.accepts += 1;
+            tel::event(tel::Event::SaAccept {
+                temp: self.temp,
+                utility: measured_util,
+            });
+        } else {
+            tel::event(tel::Event::SaReject {
+                temp: self.temp,
+                utility: measured_util,
+            });
         }
+        tel::gauge_set(tel::Gauge::SaTemp, self.temp);
         if self.current_util > self.best_util {
             self.best = self.current.clone();
             self.best_util = self.current_util;
@@ -202,6 +206,9 @@ impl SaTuner {
             self.temp *= self.cfg.cooling_rate;
             if self.temp < self.cfg.final_temp {
                 self.finished = true;
+                tel::event(tel::Event::SaEpisodeEnd {
+                    best_utility: self.best_util,
+                });
                 return None;
             }
         }

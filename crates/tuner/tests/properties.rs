@@ -6,8 +6,8 @@ use paraleon_dcqcn::{DcqcnParams, ParamSpace};
 use paraleon_monitor::MetricSample;
 use paraleon_sketch::FlowType;
 use paraleon_tuner::{
-    AccConfig, AccScheme, Observation, ParaleonScheme, ParaleonSchemeConfig, SaConfig,
-    SaTuner, SwitchLocalObs, TuningAction, TuningScheme,
+    AccConfig, AccScheme, Observation, ParaleonScheme, ParaleonSchemeConfig, SaConfig, SaTuner,
+    SwitchLocalObs, TuningAction, TuningScheme,
 };
 
 fn obs(utility: f64, mu: f64, elephant: bool, triggered: bool) -> Observation {

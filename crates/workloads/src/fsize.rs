@@ -215,10 +215,7 @@ mod tests {
         let d = FlowSizeDist::solar_rpc();
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
-        let below_16k = (0..n)
-            .filter(|_| d.sample(&mut rng) <= 16_384)
-            .count() as f64
-            / n as f64;
+        let below_16k = (0..n).filter(|_| d.sample(&mut rng) <= 16_384).count() as f64 / n as f64;
         assert!((below_16k - 0.70).abs() < 0.03, "got {below_16k}");
     }
 

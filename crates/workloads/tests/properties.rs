@@ -4,9 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use paraleon_workloads::{
-    AllToAll, AllToAllConfig, FlowSizeDist, PoissonConfig, PoissonWorkload,
-};
+use paraleon_workloads::{AllToAll, AllToAllConfig, FlowSizeDist, PoissonConfig, PoissonWorkload};
 
 /// Strategy for valid CDF control points: strictly increasing sizes and
 /// non-decreasing CDF values spanning [0, 1].

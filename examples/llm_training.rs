@@ -45,7 +45,11 @@ fn main() {
     println!("16-worker alltoall, 1 MB messages, 6 training iterations\n");
     println!("{:<10} {}", "scheme", "per-round algbw (Gbps)");
     let mut results = Vec::new();
-    for scheme in [SchemeKind::Default, SchemeKind::Expert, SchemeKind::Paraleon] {
+    for scheme in [
+        SchemeKind::Default,
+        SchemeKind::Expert,
+        SchemeKind::Paraleon,
+    ] {
         let (name, algbw) = run(scheme);
         println!(
             "{:<10} {}",

@@ -36,7 +36,8 @@ fn main() {
         for k in 0..50usize {
             let src = k % 8;
             let dst = (k + 3) % 8;
-            cl.sim.add_flow(src, dst, 4_096, now + burst * 1_000 + k as u64 * 500);
+            cl.sim
+                .add_flow(src, dst, 4_096, now + burst * 1_000 + k as u64 * 500);
         }
         step_and_log(&mut cl);
     }

@@ -67,10 +67,7 @@ fn all_schemes_survive_the_same_scenario() {
         for i in 0..6usize {
             cl.sim.add_flow(i % 8, (i + 3) % 8, 1 << 20, 0);
         }
-        assert!(
-            cl.run_to_completion(2 * SEC),
-            "{name}: flows must complete"
-        );
+        assert!(cl.run_to_completion(2 * SEC), "{name}: flows must complete");
         assert_eq!(cl.completions.len(), 6, "{name}");
         assert_eq!(cl.sim.total_drops, 0, "{name}: lossless invariant");
     }
@@ -125,7 +122,10 @@ fn fsd_accuracy_ranks_paraleon_above_naive() {
         para > naive,
         "PARALEON accuracy {para:.3} must beat naive {naive:.3}"
     );
-    assert!(para > 0.9, "windowed accuracy should be near-perfect: {para:.3}");
+    assert!(
+        para > 0.9,
+        "windowed accuracy should be near-perfect: {para:.3}"
+    );
 }
 
 #[test]
@@ -169,7 +169,8 @@ fn deterministic_end_to_end_replay() {
             .seed(99)
             .build();
         for i in 0..8usize {
-            cl.sim.add_flow(i % 8, (i + 1) % 8, 500_000 + i as u64 * 1000, 0);
+            cl.sim
+                .add_flow(i % 8, (i + 1) % 8, 500_000 + i as u64 * 1000, 0);
         }
         for _ in 0..20 {
             cl.step();

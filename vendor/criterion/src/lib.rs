@@ -1,0 +1,260 @@
+//! Offline-vendored, API-compatible subset of `criterion`.
+//!
+//! Implements the benchmark surface the workspace uses — `Criterion`,
+//! `benchmark_group`, `Bencher::iter` / `iter_batched`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple wall-clock measurement loop instead of upstream's
+//! statistical machinery. Each benchmark warms up briefly, then runs
+//! enough iterations to fill a fixed measurement window and reports the
+//! mean time per iteration (plus element/byte throughput when
+//! configured).
+//!
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets), every routine runs exactly once so
+//! the suite stays fast and merely proves the benches execute.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting throughput alongside time per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The vendored runner treats
+/// all sizes identically (setup is excluded from timing either way).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(30),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report throughput in these units for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored runner's iteration
+    /// count is driven by the measurement window, not a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.into(), &b, self.throughput);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; we report inline).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{group}/{id}: no iterations recorded");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!("{group}/{id}: {ns_per_iter:.1} ns/iter ({} iters)", b.iters);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns_per_iter * 1e-9);
+            line.push_str(&format!(", {:.2} Melem/s", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns_per_iter * 1e-9);
+            line.push_str(&format!(", {:.2} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Times a closure over many iterations.
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.elapsed = Duration::from_nanos(1);
+            self.iters = 1;
+            return;
+        }
+        // Warm-up: also calibrates how many iterations fit the window.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((self.measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = target;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.elapsed = Duration::from_nanos(1);
+            self.iters = 1;
+            return;
+        }
+        let warm_start = Instant::now();
+        let mut per_iter = {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed().as_secs_f64()
+        };
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            per_iter = 0.5 * per_iter + 0.5 * t.elapsed().as_secs_f64();
+        }
+        let target = ((self.measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, 100_000_000);
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            elapsed += t.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iters = target;
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_time() {
+        let mut c = Criterion {
+            test_mode: false,
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(1));
+        let mut x = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(black_box(3));
+                x
+            })
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 7u64, |v| v.wrapping_mul(3), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(x > 0);
+    }
+}

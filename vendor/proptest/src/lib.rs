@@ -1,0 +1,159 @@
+//! Offline-vendored, API-compatible subset of `proptest`.
+//!
+//! Implements the slice of proptest the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, `collection::vec`, `Just`, `any`, `prop_oneof!`,
+//! the `proptest!` test macro with `#![proptest_config(...)]`, and the
+//! `prop_assert*` macros. No shrinking: a failing case panics with the
+//! sampled inputs' debug output via the standard assert message, which
+//! is enough for a deterministic, seeded runner.
+//!
+//! Sampling is fully deterministic: each test's RNG is seeded from a
+//! hash of the test name plus the case index, so failures reproduce
+//! across runs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+// Re-exported so the `proptest!` expansion can name the RNG without the
+// consuming crate depending on `rand` itself.
+#[doc(hidden)]
+pub use rand;
+
+/// Re-export of the strategy module contents under the crate root, like
+/// upstream (`proptest::strategy::Strategy` etc. both resolve).
+pub mod prelude {
+    /// Upstream's prelude exposes the crate itself as `prop`, which is
+    /// how `prop::collection::vec` resolves.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// FNV-1a hash of the test name, used to decorrelate test seeds.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+pub mod macros {
+    //! The test-definition and assertion macros (exported at crate root).
+}
+
+/// Define property tests. Each function parameter is drawn from its
+/// strategy once per case; the body runs `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut rng =
+                        <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                            $crate::seed_for(stringify!($name), case),
+                        );
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<(u64, bool)>> {
+        prop::collection::vec((0u64..100, any::<bool>()), 1..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in pairs()) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (n, _) in v {
+                prop_assert!(n < 100);
+            }
+        }
+
+        #[test]
+        fn oneof_and_flat_map_compose(
+            v in (1usize..5).prop_flat_map(|n| prop::collection::vec(
+                prop_oneof![Just(0u64), (10u64..20), (90u64..100).prop_map(|x| x + 1)],
+                n,
+            )),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for x in v {
+                prop_assert!(x == 0 || (10..20).contains(&x) || (91..=100).contains(&x));
+            }
+        }
+    }
+}

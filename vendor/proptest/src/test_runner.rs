@@ -1,0 +1,23 @@
+//! Test-runner configuration.
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Upstream defaults to 256 cases; 64 keeps the suite fast while
+    /// still exercising a meaningful spread of inputs.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}

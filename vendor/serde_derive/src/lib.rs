@@ -1,0 +1,276 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! No `syn`/`quote` (the build environment is offline), so the derive
+//! input is parsed directly from the `proc_macro::TokenStream`. The
+//! supported shapes are exactly what the workspace uses:
+//!
+//! * structs with named fields → JSON objects;
+//! * tuple structs → JSON arrays;
+//! * unit structs → `null`;
+//! * enums whose variants are all unit variants → the variant name as a
+//!   JSON string.
+//!
+//! Anything else (generics, data-carrying enum variants) produces a
+//! `compile_error!` naming the limitation, which is better than silently
+//! generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` (marker impl only; see the serde stub).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let name = match &item {
+                Item::NamedStruct { name, .. }
+                | Item::TupleStruct { name, .. }
+                | Item::UnitStruct { name }
+                | Item::UnitEnum { name, .. } => name,
+            };
+            format!("impl ::serde::Deserialize for {name} {{}}")
+                .parse()
+                .expect("generated impl parses")
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error parses")
+}
+
+/// Parse the derive input down to the shape information we need.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including expanded doc comments)
+    // and visibility.
+    let mut kind: Option<String> = None;
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => continue,
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => continue,
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    continue;
+                }
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                return Err(format!("serde_derive: unexpected token `{s}`"));
+            }
+            // `pub(crate)` visibility group.
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => continue,
+            other => return Err(format!("serde_derive: unexpected token `{other}`")),
+        }
+    }
+    let kind = kind.ok_or("serde_derive: no struct/enum keyword found")?;
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    // Reject generics: the workspace derives only on concrete types.
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            } else {
+                Ok(Item::UnitEnum {
+                    name,
+                    variants: parse_unit_variants(g.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("serde_derive: malformed enum".into());
+            }
+            Ok(Item::TupleStruct {
+                name,
+                arity: split_top_level_commas(g.stream()).len(),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+        None => Ok(Item::UnitStruct { name }),
+        other => Err(format!("serde_derive: unexpected item body {other:?}")),
+    }
+}
+
+/// Split a token stream on commas that sit outside any `<...>` nesting
+/// (groups are single `TokenTree`s, so only angle brackets need manual
+/// depth tracking).
+fn split_top_level_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for tt in ts {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level_commas(ts) {
+        let mut name: Option<String> = None;
+        for tt in chunk {
+            match tt {
+                // Attributes / doc comments on the field.
+                TokenTree::Punct(p) if p.as_char() == '#' => continue,
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => continue,
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => continue,
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        continue;
+                    }
+                    name = Some(s);
+                    break; // everything after `name` is `: Type`
+                }
+                other => return Err(format!("serde_derive: unexpected field token `{other}`")),
+            }
+        }
+        fields.push(name.ok_or("serde_derive: field without a name")?);
+    }
+    Ok(fields)
+}
+
+/// Variant names of an enum body; rejects data-carrying variants.
+fn parse_unit_variants(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level_commas(ts) {
+        let mut name: Option<String> = None;
+        let mut after_eq = false;
+        for tt in chunk {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => continue,
+                TokenTree::Punct(p) if p.as_char() == '=' => after_eq = true,
+                _ if after_eq => continue, // explicit discriminant value
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => continue,
+                TokenTree::Ident(id) => {
+                    if name.is_some() {
+                        return Err(
+                            "serde_derive: data-carrying enum variants are not supported \
+                             by the vendored derive"
+                                .into(),
+                        );
+                    }
+                    name = Some(id.to_string());
+                }
+                TokenTree::Group(_) => {
+                    return Err(
+                        "serde_derive: data-carrying enum variants are not supported by \
+                         the vendored derive"
+                            .into(),
+                    );
+                }
+                other => return Err(format!("serde_derive: unexpected variant token `{other}`")),
+            }
+        }
+        variants.push(name.ok_or("serde_derive: variant without a name")?);
+    }
+    Ok(variants)
+}
+
+fn emit_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((String::from({f:?}), \
+                         ::serde::Serialize::serialize_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let pushes: String = (0..*arity)
+                .map(|i| format!("items.push(::serde::Serialize::serialize_value(&self.{i}));\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut items: Vec<::serde::Value> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Array(items)\n\
+                 }}\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::String(String::from(match self {{\n{arms}}}))\n\
+                 }}\n}}"
+            )
+        }
+    }
+}
