@@ -1,0 +1,505 @@
+//! Fault-injection + guardrail experiment: the deployment-safety story.
+//!
+//! A steady cross-ToR workload runs while the fabric takes a scheduled
+//! beating — a flapping ToR uplink plus a misbehaving host asserting a
+//! sustained-XOFF PFC storm — and, mid-fault, the tuner goes rogue and
+//! dispatches a collapsing (but bounds-valid) DCQCN parameter set.
+//!
+//! * **Unguarded** loop: the bad setting sticks; goodput stays on the
+//!   floor after the faults clear.
+//! * **Guardrailed** loop: the collapse is detected within the hold-down
+//!   window (≤ 8 monitor intervals), the fabric rolls back to the
+//!   last-known-good setting and recovers ≥ 90% of pre-fault goodput.
+//!
+//! A second scenario hammers the guardrail with repeated bad dispatches
+//! plus one out-of-bounds candidate: the candidate is rejected outright,
+//! the repeats escalate to safe mode (tuning frozen, paper-default
+//! fallback deployed), and the freeze exits after the backoff.
+//!
+//! Every fault/rollback/safe-mode transition lands in the exported
+//! telemetry JSONL; the binary exits non-zero if any acceptance check
+//! fails, so CI can run it as a smoke job:
+//!
+//! Run: `cargo run --release -p paraleon-bench --bin exp_faults [--smoke]`
+
+use paraleon::prelude::*;
+use paraleon_bench::{gbps_of, print_table, telemetry_begin, telemetry_dump, write_json};
+use paraleon_tuner::{Observation, TuningAction, TuningFeedback, TuningScheme};
+use serde::Serialize;
+
+/// Interval the rogue tuner first dispatches the collapsing setting.
+const BAD_DISPATCH_AT: u64 = 24;
+/// The ISSUE's detection budget: rollback within this many intervals.
+const DETECT_BUDGET: u64 = 8;
+
+/// A deliberately pathological — but bounds-valid — parameter set:
+/// hair-trigger marking (K_min at the floor, P_max at 1), CNPs as fast
+/// as they can be generated, rate cuts at every opportunity, and —
+/// the real poison — `clamp_tgt_rate`, which ratchets the fast-recovery
+/// target down with every cut so the RNICs death-spiral to the minimum
+/// rate, with an additive increase too timid to ever climb back.
+/// Every numeric knob is inside [`ParamSpace::standard`], so static
+/// validation cannot catch this; only the behavioral guardrail can.
+fn collapsing_params() -> DcqcnParams {
+    let mut p = DcqcnParams::nvidia_default();
+    p.ai_rate = 1.0;
+    p.hai_rate = 10.0;
+    p.rpg_time_reset = 1_500.0;
+    p.rpg_byte_reset = 4_096.0;
+    p.rpg_threshold = 10.0;
+    p.rate_reduce_monitor_period = 2.0;
+    p.min_rate = 1.0;
+    p.alpha_g_exp = 4.0;
+    p.alpha_timer = 500.0;
+    p.min_time_between_cnps = 0.0;
+    p.k_min = 5.0;
+    p.k_max = 30.0;
+    p.p_max = 1.0;
+    p.clamp_tgt_rate = true;
+    p
+}
+
+/// An out-of-bounds candidate (AI rate far past the 400 Mbps cap) that
+/// validation must refuse before it reaches a single device.
+fn out_of_bounds_params() -> DcqcnParams {
+    let mut p = DcqcnParams::nvidia_default();
+    p.ai_rate = 1e9;
+    p
+}
+
+/// A misbehaving tuner: quiet until `bad_at`, then dispatches the
+/// collapsing setting — and, if `persistent`, re-dispatches it two
+/// intervals after every rollback it is told about (the repeated-offender
+/// pattern that drives the guardrail into safe mode). Optionally emits
+/// one out-of-bounds candidate first to exercise validation.
+struct RogueScheme {
+    interval: u64,
+    bad_at: u64,
+    persistent: bool,
+    emit_out_of_bounds_at: Option<u64>,
+    redispatch_at: Option<u64>,
+    frozen: bool,
+    /// Intervals at which this scheme emitted the collapsing setting.
+    dispatches: Vec<u64>,
+}
+
+impl RogueScheme {
+    fn new(bad_at: u64, persistent: bool, emit_out_of_bounds_at: Option<u64>) -> Self {
+        Self {
+            interval: 0,
+            bad_at,
+            persistent,
+            emit_out_of_bounds_at,
+            redispatch_at: None,
+            frozen: false,
+            dispatches: Vec::new(),
+        }
+    }
+}
+
+impl TuningScheme for RogueScheme {
+    fn on_interval(&mut self, _obs: &Observation) -> Option<TuningAction> {
+        self.interval += 1;
+        if self.frozen {
+            return None;
+        }
+        if Some(self.interval) == self.emit_out_of_bounds_at {
+            return Some(TuningAction::Global(out_of_bounds_params()));
+        }
+        let due = self.interval == self.bad_at || Some(self.interval) == self.redispatch_at;
+        if due {
+            self.redispatch_at = None;
+            self.dispatches.push(self.interval);
+            return Some(TuningAction::Global(collapsing_params()));
+        }
+        None
+    }
+
+    fn on_feedback(&mut self, feedback: &TuningFeedback) {
+        match feedback {
+            TuningFeedback::RolledBack { .. } if self.persistent => {
+                self.redispatch_at = Some(self.interval + 2);
+            }
+            TuningFeedback::Frozen { .. } => self.frozen = true,
+            TuningFeedback::Unfrozen => self.frozen = false,
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Rogue"
+    }
+}
+
+/// Experiment scale: the reduced CLOS by default, a minimal fabric with
+/// shortened phases under `--smoke` (the CI job).
+#[derive(Clone, Copy)]
+struct FaultScale {
+    smoke: bool,
+}
+
+impl FaultScale {
+    fn clos(self) -> Topology {
+        if self.smoke {
+            Topology::two_tier_clos(2, 4, 2, 100.0, 100.0, 5_000)
+        } else {
+            Topology::two_tier_clos(4, 8, 2, 100.0, 100.0, 5_000)
+        }
+    }
+
+    fn n_hosts(self) -> usize {
+        if self.smoke {
+            8
+        } else {
+            32
+        }
+    }
+
+    fn hosts_per_tor(self) -> usize {
+        if self.smoke {
+            4
+        } else {
+            8
+        }
+    }
+
+    /// Per-host bytes injected per monitor interval (~80% uplink load).
+    fn bytes_per_interval(self) -> u64 {
+        if self.smoke {
+            5_000_000
+        } else {
+            2_500_000
+        }
+    }
+
+    fn total_intervals(self) -> u64 {
+        if self.smoke {
+            60
+        } else {
+            70
+        }
+    }
+
+    fn label(self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "reduced"
+        }
+    }
+}
+
+/// One interval's offered load: every host sends one cross-ToR flow to
+/// its counterpart one ToR over (host 0 receives too, so the PFC storm
+/// scenario has traffic aimed at the stormer). Fresh flows every
+/// interval keep queue pressure on the fabric — which is what lets the
+/// collapse vector bite — and mean recovery after a rollback is
+/// immediate: new QPs start clean at line rate under the restored
+/// parameters.
+fn inject_interval(cl: &mut ClosedLoop, scale: FaultScale) {
+    let n = scale.n_hosts();
+    let shift = scale.hosts_per_tor();
+    let now = cl.sim.now();
+    for src in 0..n {
+        let dst = (src + shift) % n;
+        cl.sim.add_flow(
+            src,
+            dst,
+            scale.bytes_per_interval(),
+            now + (src as u64) * 100,
+        );
+    }
+}
+
+/// Per-interval history dump for threshold tuning (`FAULTS_DEBUG=1`).
+fn debug_dump(tag: &str, cl: &ClosedLoop) {
+    if std::env::var("FAULTS_DEBUG").is_err() {
+        return;
+    }
+    for (i, r) in cl.history.iter().enumerate() {
+        eprintln!(
+            "[{tag}] MI {:>3} goodput {:>8.2} Gbps util {:.3} disp {} rej {} rb {} safe {}",
+            i + 1,
+            r.goodput * 8.0 / 1e9,
+            r.utility,
+            r.dispatched as u8,
+            r.rejected as u8,
+            r.rolled_back as u8,
+            r.safe_mode as u8
+        );
+    }
+}
+
+/// The shared fault schedule: one ToR0 uplink flaps three times and
+/// host 0 runs a sustained PFC storm, all inside the fault window.
+fn fault_plan(scale: FaultScale) -> FaultPlan {
+    let tor0 = scale.n_hosts();
+    let uplink = scale.hosts_per_tor();
+    let mut plan = FaultPlan::new(7);
+    plan.link_flap(tor0, uplink, 20 * MILLI, 2 * MILLI, 5 * MILLI, 3);
+    plan.pfc_storm(0, 22 * MILLI, 30 * MILLI);
+    plan
+}
+
+#[derive(Serialize)]
+struct LoopOutcome {
+    guarded: bool,
+    pre_fault_goodput: f64,
+    tail_goodput: f64,
+    recovery_ratio: f64,
+    bad_dispatch_interval: Option<u64>,
+    first_rollback_interval: Option<u64>,
+    detect_latency: Option<u64>,
+    rollbacks: u64,
+    rejects: u64,
+    safe_mode_entries: u64,
+    fault_drops: u64,
+}
+
+/// Run the flap+storm scenario once, guarded or not.
+fn run_scenario(scale: FaultScale, guarded: bool) -> LoopOutcome {
+    telemetry_begin();
+    let mut builder = ClosedLoop::builder(scale.clos())
+        .scheme_boxed(Box::new(RogueScheme::new(BAD_DISPATCH_AT, false, None)))
+        .seed(11);
+    if guarded {
+        builder = builder.guardrail(GuardrailConfig::default());
+    }
+    let mut cl = builder.build();
+    cl.sim.install_fault_plan(&fault_plan(scale)).expect("plan");
+    for _ in 0..scale.total_intervals() {
+        inject_interval(&mut cl, scale);
+        cl.step();
+    }
+    debug_dump(if guarded { "guarded" } else { "unguarded" }, &cl);
+
+    // Pre-fault baseline: intervals 10..20 (faults start at 20 ms).
+    let pre: Vec<f64> = cl.history[10..20].iter().map(|r| r.goodput).collect();
+    let tail_len = 10.min(cl.history.len());
+    let tail: Vec<f64> = cl.history[cl.history.len() - tail_len..]
+        .iter()
+        .map(|r| r.goodput)
+        .collect();
+    let pre_fault = paraleon::stats::mean(&pre);
+    let tail_mean = paraleon::stats::mean(&tail);
+    let first_rollback = cl
+        .history
+        .iter()
+        .position(|r| r.rolled_back)
+        .map(|i| i as u64 + 1);
+    let (rollbacks, rejects, safe_entries) = cl
+        .guard()
+        .map(|g| (g.rollbacks, g.rejects, g.safe_mode_entries))
+        .unwrap_or((0, 0, 0));
+    let name = format!(
+        "faults_{}_{}",
+        scale.label(),
+        if guarded { "guarded" } else { "unguarded" }
+    );
+    let dump = telemetry_dump(&name);
+    // The flight recorder must carry every fault transition.
+    for ev in [
+        "fault_link_down",
+        "fault_link_up",
+        "pfc_storm_start",
+        "pfc_storm_end",
+    ] {
+        assert!(
+            !dump.events_named(ev).is_empty(),
+            "telemetry is missing {ev} events"
+        );
+    }
+    LoopOutcome {
+        guarded,
+        pre_fault_goodput: pre_fault,
+        tail_goodput: tail_mean,
+        recovery_ratio: tail_mean / pre_fault.max(1.0),
+        bad_dispatch_interval: Some(BAD_DISPATCH_AT),
+        first_rollback_interval: first_rollback,
+        detect_latency: first_rollback.map(|r| r.saturating_sub(BAD_DISPATCH_AT)),
+        rollbacks,
+        rejects,
+        safe_mode_entries: safe_entries,
+        fault_drops: cl.sim.total_fault_drops,
+    }
+}
+
+#[derive(Serialize)]
+struct SafeModeOutcome {
+    rejects: u64,
+    rollbacks: u64,
+    safe_mode_entries: u64,
+    safe_mode_intervals: u64,
+    exited_safe_mode: bool,
+    rejected_interval_seen: bool,
+}
+
+/// Scenario 2: no netsim faults — a persistent rogue re-dispatches the
+/// collapsing setting after every rollback until the guardrail freezes
+/// tuning, then the freeze expires and tuning unfreezes.
+fn run_safe_mode(scale: FaultScale) -> SafeModeOutcome {
+    telemetry_begin();
+    let mut cl = ClosedLoop::builder(scale.clos())
+        .scheme_boxed(Box::new(RogueScheme::new(12, true, Some(8))))
+        .guardrail(GuardrailConfig {
+            safe_mode_backoff_intervals: 10,
+            ..GuardrailConfig::default()
+        })
+        .seed(12)
+        .build();
+    let total = scale.total_intervals() + 20;
+    for _ in 0..total {
+        inject_interval(&mut cl, scale);
+        cl.step();
+    }
+    debug_dump("safemode", &cl);
+    let guard = cl.guard().expect("guarded");
+    let safe_intervals = cl.history.iter().filter(|r| r.safe_mode).count() as u64;
+    let outcome = SafeModeOutcome {
+        rejects: guard.rejects,
+        rollbacks: guard.rollbacks,
+        safe_mode_entries: guard.safe_mode_entries,
+        safe_mode_intervals: safe_intervals,
+        exited_safe_mode: !guard.in_safe_mode(),
+        rejected_interval_seen: cl.history.iter().any(|r| r.rejected),
+    };
+    let dump = telemetry_dump(&format!("faults_{}_safemode", scale.label()));
+    for ev in [
+        "guardrail_reject",
+        "guardrail_rollback",
+        "safe_mode_enter",
+        "safe_mode_exit",
+    ] {
+        assert!(
+            !dump.events_named(ev).is_empty(),
+            "telemetry is missing {ev} events"
+        );
+    }
+    outcome
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = FaultScale { smoke };
+    println!(
+        "Fault injection + guardrail experiment ({} scale)",
+        scale.label()
+    );
+
+    let unguarded = run_scenario(scale, false);
+    let guarded = run_scenario(scale, true);
+    let safe = run_safe_mode(scale);
+
+    let row = |o: &LoopOutcome| {
+        vec![
+            if o.guarded {
+                "guardrailed"
+            } else {
+                "unguarded"
+            }
+            .to_string(),
+            format!("{:.1}", gbps_of(o.pre_fault_goodput)),
+            format!("{:.1}", gbps_of(o.tail_goodput)),
+            format!("{:.2}", o.recovery_ratio),
+            o.detect_latency
+                .map(|d| format!("{d}"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{}", o.rollbacks),
+        ]
+    };
+    print_table(
+        "Flap + PFC storm + rogue dispatch: recovery",
+        &[
+            "loop",
+            "pre-fault Gbps",
+            "tail Gbps",
+            "recovery",
+            "detect (MIs)",
+            "rollbacks",
+        ],
+        &[row(&unguarded), row(&guarded)],
+    );
+    print_table(
+        "Repeated bad dispatches: guardrail escalation",
+        &[
+            "rejects",
+            "rollbacks",
+            "safe-mode entries",
+            "frozen MIs",
+            "exited",
+        ],
+        &[vec![
+            format!("{}", safe.rejects),
+            format!("{}", safe.rollbacks),
+            format!("{}", safe.safe_mode_entries),
+            format!("{}", safe.safe_mode_intervals),
+            format!("{}", safe.exited_safe_mode),
+        ]],
+    );
+    write_json(
+        &format!("faults_{}", scale.label()),
+        &(&unguarded, &guarded, &safe),
+    );
+
+    // --- Acceptance checks (CI smoke gate): exit non-zero on failure. ---
+    let mut failures = Vec::new();
+    let mut check = |ok: bool, msg: String| {
+        if !ok {
+            failures.push(msg);
+        }
+    };
+    check(
+        guarded.first_rollback_interval.is_some(),
+        "guardrailed loop never rolled back".into(),
+    );
+    if let Some(d) = guarded.detect_latency {
+        check(
+            d <= DETECT_BUDGET,
+            format!("detection took {d} intervals (budget {DETECT_BUDGET})"),
+        );
+    }
+    check(
+        guarded.recovery_ratio >= 0.9,
+        format!(
+            "guardrailed loop recovered only {:.0}% of pre-fault goodput",
+            guarded.recovery_ratio * 100.0
+        ),
+    );
+    check(
+        guarded.recovery_ratio > unguarded.recovery_ratio,
+        format!(
+            "guardrail did not beat the unguarded loop ({:.2} vs {:.2})",
+            guarded.recovery_ratio, unguarded.recovery_ratio
+        ),
+    );
+    check(
+        unguarded.fault_drops > 0,
+        "fault plan injected no drops".into(),
+    );
+    check(
+        safe.rejects >= 1,
+        "out-of-bounds candidate not rejected".into(),
+    );
+    check(
+        safe.safe_mode_entries >= 1,
+        "repeated rollbacks never escalated to safe mode".into(),
+    );
+    check(
+        safe.exited_safe_mode,
+        "safe-mode backoff never expired".into(),
+    );
+    check(
+        safe.rejected_interval_seen,
+        "no interval recorded the rejection".into(),
+    );
+
+    if failures.is_empty() {
+        println!("\nall acceptance checks passed");
+    } else {
+        eprintln!("\nACCEPTANCE FAILURES:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -14,8 +14,9 @@ use paraleon_monitor::{ChangeDetector, FsdMonitor, MetricSample, TransferLedger,
 use paraleon_netsim::{FlowRecord, SimConfig, Simulator, Topology, MILLI};
 use paraleon_sketch::{FlowType, Fsd, SlidingWindowClassifier, WindowConfig};
 use paraleon_telemetry as tel;
-use paraleon_tuner::{Observation, SwitchLocalObs, TuningAction, TuningScheme};
+use paraleon_tuner::{Observation, SwitchLocalObs, TuningAction, TuningFeedback, TuningScheme};
 
+use crate::guardrail::{GuardAction, Guardrail, GuardrailConfig, ScreenOutcome};
 use crate::schemes::{MonitorKind, SchemeKind};
 use crate::Nanos;
 
@@ -77,6 +78,13 @@ pub struct IntervalRecord {
     pub triggered: bool,
     /// Whether the tuner dispatched new parameters.
     pub dispatched: bool,
+    /// Whether the guardrail refused the tuner's candidate this interval.
+    pub rejected: bool,
+    /// Whether the guardrail rolled the fabric back to the last-known-
+    /// good setting this interval.
+    pub rolled_back: bool,
+    /// Whether the loop is in safe mode (tuning frozen) this interval.
+    pub safe_mode: bool,
     /// CNPs this interval.
     pub cnps: u64,
     /// PFC pause frames this interval.
@@ -93,6 +101,8 @@ pub struct ClosedLoop {
     monitor: Box<dyn FsdMonitor>,
     detector: ChangeDetector,
     scheme: Box<dyn TuningScheme>,
+    /// Deployment guardrail, when armed (see [`crate::guardrail`]).
+    guard: Option<Guardrail>,
     cfg: LoopConfig,
     /// Control-channel byte accounting (Table IV).
     pub ledger: TransferLedger,
@@ -133,6 +143,11 @@ impl ClosedLoop {
     /// The monitor's display name.
     pub fn monitor_name(&self) -> &'static str {
         self.monitor.name()
+    }
+
+    /// The guardrail, when armed.
+    pub fn guard(&self) -> Option<&Guardrail> {
+        self.guard.as_ref()
     }
 
     /// Run the fabric for one monitor interval and execute one
@@ -216,11 +231,69 @@ impl ClosedLoop {
         if let Some(acc) = fsd_accuracy {
             tel::series("fsd_accuracy", 0, acc);
         }
-        for (i, s) in metrics.switch_obs.iter().enumerate() {
-            tel::series("switch_tx_utilization", i as u32, s.tx_utilization);
-            tel::series("switch_marking_rate", i as u32, s.marking_rate);
-            tel::series("switch_queue_frac", i as u32, s.queue_frac);
+        // Under fault injection unreachable switches are absent from
+        // `switch_obs`, so series are keyed by the stable switch index,
+        // not the position in the vector.
+        let n_hosts = self.sim.topology().n_hosts();
+        for s in &metrics.switch_obs {
+            let idx = (s.node - n_hosts) as u32;
+            tel::series("switch_tx_utilization", idx, s.tx_utilization);
+            tel::series("switch_marking_rate", idx, s.marking_rate);
+            tel::series("switch_queue_frac", idx, s.queue_frac);
         }
+
+        // --- Guardrail: judge the previous dispatch on this interval's
+        // health before the tuner gets to emit a new candidate.
+        let reporting: Vec<usize> = metrics
+            .switch_obs
+            .iter()
+            .map(|s| s.node - n_hosts)
+            .collect();
+        let mut rejected = false;
+        let mut rolled_back = false;
+        let mut guard_dispatch_bytes = 0u64;
+        // When the guard corrects the fabric this interval, the scheme is
+        // not consulted: a fresh candidate would overwrite the correction
+        // at the same instant.
+        let mut guard_acted = false;
+        if let Some(guard) = self.guard.as_mut() {
+            match guard.observe(
+                utility,
+                metrics.goodput_bytes_per_sec(),
+                metrics.pfc_pause_ratio,
+                &reporting,
+            ) {
+                Some(GuardAction::Rollback(p)) => {
+                    tel::event(tel::Event::GuardrailRollback);
+                    self.sim.set_dcqcn_params(&p);
+                    guard_dispatch_bytes += p.wire_size_bytes() as u64;
+                    self.last_params = p.clone();
+                    self.scheme
+                        .on_feedback(&TuningFeedback::RolledBack { restored: p });
+                    rolled_back = true;
+                    guard_acted = true;
+                }
+                Some(GuardAction::EnterSafeMode {
+                    params,
+                    backoff_intervals,
+                }) => {
+                    tel::event(tel::Event::SafeModeEnter { backoff_intervals });
+                    self.sim.set_dcqcn_params(&params);
+                    guard_dispatch_bytes += params.wire_size_bytes() as u64;
+                    self.last_params = params.clone();
+                    self.scheme
+                        .on_feedback(&TuningFeedback::Frozen { fallback: params });
+                    guard_acted = true;
+                }
+                Some(GuardAction::ExitSafeMode) => {
+                    tel::event(tel::Event::SafeModeExit);
+                    self.scheme.on_feedback(&TuningFeedback::Unfrozen);
+                }
+                None => {}
+            }
+        }
+        let safe_mode = self.guard.as_ref().is_some_and(Guardrail::in_safe_mode);
+        tel::series("safe_mode", 0, if safe_mode { 1.0 } else { 0.0 });
 
         // --- Tuning half. ---
         let obs = Observation {
@@ -234,22 +307,46 @@ impl ClosedLoop {
                 .switch_obs
                 .iter()
                 .map(|s| SwitchLocalObs {
+                    switch_index: s.node - n_hosts,
                     tx_utilization: s.tx_utilization,
                     marking_rate: s.marking_rate,
                     queue_frac: s.queue_frac,
                 })
                 .collect(),
         };
-        let t1 = Instant::now();
-        let action = self.scheme.on_interval(&obs);
-        self.tuner_cpu += t1.elapsed();
+        let action = if guard_acted {
+            None
+        } else {
+            let t1 = Instant::now();
+            let action = self.scheme.on_interval(&obs);
+            self.tuner_cpu += t1.elapsed();
+            action
+        };
 
-        // --- Dispatch + control-channel accounting. ---
-        let dispatched = action.is_some();
+        // --- Screen, dispatch + control-channel accounting. ---
+        let action = match (action, self.guard.as_mut()) {
+            (Some(a), Some(guard)) => match guard.screen(a, self.sim.n_switches()) {
+                ScreenOutcome::Dispatch(a) => Some(a),
+                ScreenOutcome::Rejected(reason) => {
+                    tel::event(tel::Event::GuardrailReject);
+                    tel::series("guardrail_reject", 0, 1.0);
+                    let _ = reason; // carried in telemetry counters
+                    self.scheme.on_feedback(&TuningFeedback::Rejected {
+                        deployed: self.last_params.clone(),
+                    });
+                    rejected = true;
+                    None
+                }
+                ScreenOutcome::Suppressed => None,
+            },
+            (a, _) => a,
+        };
+        let dispatched = action.is_some() || rolled_back || guard_acted;
         let dispatch_bytes = action
             .as_ref()
             .map(|a| self.scheme.dispatch_bytes(a))
-            .unwrap_or(0);
+            .unwrap_or(0)
+            + guard_dispatch_bytes;
         if let Some(action) = action {
             self.apply(action);
         }
@@ -279,6 +376,9 @@ impl ClosedLoop {
             mu,
             triggered,
             dispatched,
+            rejected,
+            rolled_back,
+            safe_mode,
             cnps: metrics.cnps,
             pfc_events: metrics.pfc_events,
             fsd_accuracy,
@@ -300,9 +400,9 @@ impl ClosedLoop {
                     scope: tel::DispatchScope::PerSwitch,
                 });
                 for (idx, p) in updates {
-                    if idx < self.sim.n_switches() {
-                        self.sim.set_switch_ecn(idx, &p);
-                    }
+                    // `set_switch_ecn` bounds-checks; an out-of-range
+                    // index simply does not reach any switch.
+                    let _ = self.sim.set_switch_ecn(idx, &p);
                 }
             }
         }
@@ -339,7 +439,9 @@ pub struct ClosedLoopBuilder {
     sim_cfg: SimConfig,
     loop_cfg: LoopConfig,
     scheme: SchemeKind,
+    custom_scheme: Option<Box<dyn TuningScheme>>,
     monitor: MonitorKind,
+    guardrail: Option<GuardrailConfig>,
     seed: u64,
 }
 
@@ -351,7 +453,9 @@ impl ClosedLoopBuilder {
             sim_cfg: SimConfig::default(),
             loop_cfg: LoopConfig::default(),
             scheme: SchemeKind::Paraleon,
+            custom_scheme: None,
             monitor: MonitorKind::Paraleon,
+            guardrail: None,
             seed: 1,
         }
     }
@@ -359,6 +463,15 @@ impl ClosedLoopBuilder {
     /// Select the tuning scheme.
     pub fn scheme(mut self, s: SchemeKind) -> Self {
         self.scheme = s;
+        self
+    }
+
+    /// Drive the loop with an arbitrary [`TuningScheme`] instance
+    /// (harness hooks, e.g. the fault-experiment's rogue tuner). The
+    /// simulator still boots with the [`SchemeKind`]'s initial
+    /// parameters.
+    pub fn scheme_boxed(mut self, s: Box<dyn TuningScheme>) -> Self {
+        self.custom_scheme = Some(s);
         self
     }
 
@@ -378,6 +491,12 @@ impl ClosedLoopBuilder {
     /// Override the loop configuration.
     pub fn loop_config(mut self, cfg: LoopConfig) -> Self {
         self.loop_cfg = cfg;
+        self
+    }
+
+    /// Arm the deployment guardrail (validation, rollback, safe mode).
+    pub fn guardrail(mut self, cfg: GuardrailConfig) -> Self {
+        self.guardrail = Some(cfg);
         self
     }
 
@@ -402,7 +521,12 @@ impl ClosedLoopBuilder {
             sim,
             monitor: self.monitor.build(),
             detector: ChangeDetector::new(self.loop_cfg.theta),
-            scheme: self.scheme.build_tuner(self.seed),
+            scheme: self
+                .custom_scheme
+                .unwrap_or_else(|| self.scheme.build_tuner(self.seed)),
+            guard: self
+                .guardrail
+                .map(|cfg| Guardrail::new(cfg, initial.clone())),
             cfg: self.loop_cfg,
             ledger: TransferLedger::new(),
             history: Vec::new(),

@@ -44,21 +44,27 @@
 
 pub mod closed_loop;
 pub mod drivers;
+pub mod guardrail;
 pub mod schemes;
 pub mod stats;
 
 pub use closed_loop::{ClosedLoop, ClosedLoopBuilder, IntervalRecord, LoopConfig};
+pub use guardrail::{GuardAction, Guardrail, GuardrailConfig, RejectReason, ScreenOutcome};
 pub use schemes::{MonitorKind, SchemeKind};
 
 /// Re-exports for harness and example code.
 pub mod prelude {
     pub use crate::closed_loop::{ClosedLoop, IntervalRecord, LoopConfig};
     pub use crate::drivers;
+    pub use crate::guardrail::{GuardAction, Guardrail, GuardrailConfig, ScreenOutcome};
     pub use crate::schemes::{MonitorKind, SchemeKind};
     pub use crate::stats;
     pub use paraleon_dcqcn::{DcqcnParams, ParamId, ParamSpace};
     pub use paraleon_monitor::UtilityWeights;
-    pub use paraleon_netsim::{FlowRecord, SimConfig, Simulator, Topology, MICRO, MILLI, SEC};
+    pub use paraleon_netsim::{
+        FaultEvent, FaultKind, FaultPlan, FlowRecord, SimConfig, SimError, Simulator, Topology,
+        MICRO, MILLI, SEC,
+    };
     pub use paraleon_sketch::{FlowType, Fsd, WindowConfig};
     pub use paraleon_tuner::SaConfig;
     pub use paraleon_workloads::{

@@ -12,12 +12,24 @@ use paraleon_sketch::{Fsd, SlidingWindowClassifier, WindowConfig};
 
 use crate::{FsdMonitor, Nanos, PointId, SketchReadings};
 
+/// Monitor intervals a measurement point may stay silent before its
+/// classifier state is discarded (see [`ParaleonMonitor::with_max_idle`]).
+pub const DEFAULT_MAX_IDLE_INTERVALS: u64 = 32;
+
 /// PARALEON's layered FSD monitor (Keypoint 2 on top of Keypoint 1).
 #[derive(Debug)]
 pub struct ParaleonMonitor {
     cfg: WindowConfig,
     /// One classifier per measurement point (lazy-created).
     agents: HashMap<PointId, SlidingWindowClassifier>,
+    /// Interval index each point last uploaded at.
+    last_seen: HashMap<PointId, u64>,
+    /// Intervals processed so far.
+    interval: u64,
+    /// Silence tolerance before a point's state is aged out.
+    max_idle_intervals: u64,
+    /// Measurement points aged out so far (statistics).
+    aged_out: u64,
     uploaded: u64,
     last_fsd: Fsd,
 }
@@ -28,14 +40,38 @@ impl ParaleonMonitor {
         Self {
             cfg,
             agents: HashMap::new(),
+            last_seen: HashMap::new(),
+            interval: 0,
+            max_idle_intervals: DEFAULT_MAX_IDLE_INTERVALS,
+            aged_out: 0,
             uploaded: 0,
             last_fsd: Fsd::empty(),
         }
     }
 
+    /// Override how many intervals a switch may stop uploading before
+    /// its classifier state is discarded. A dead switch's stale window
+    /// must not linger: it holds control-plane memory and would resume
+    /// with out-of-date flow history after a long outage.
+    pub fn with_max_idle(mut self, intervals: u64) -> Self {
+        self.max_idle_intervals = intervals.max(1);
+        self
+    }
+
     /// The per-switch classifier configuration.
     pub fn window_config(&self) -> &WindowConfig {
         &self.cfg
+    }
+
+    /// Number of live per-point classifiers.
+    pub fn n_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Measurement points whose state was aged out after prolonged
+    /// silence.
+    pub fn aged_out(&self) -> u64 {
+        self.aged_out
     }
 
     /// Current network-wide FSD (last merge result).
@@ -51,17 +87,35 @@ impl ParaleonMonitor {
 
 impl FsdMonitor for ParaleonMonitor {
     fn on_interval(&mut self, readings: &SketchReadings, _now: Nanos) -> Option<Fsd> {
+        self.interval += 1;
         let mut network = Fsd::empty();
+        // Only points that actually uploaded contribute: a dead switch
+        // is skipped entirely rather than averaged in as zeros.
         for (point, entries) in readings {
             let agent = self
                 .agents
                 .entry(*point)
                 .or_insert_with(|| SlidingWindowClassifier::new(self.cfg));
+            self.last_seen.insert(*point, self.interval);
             agent.end_interval(entries.iter().copied());
             let local = agent.local_fsd();
             // Layered upload: each switch ships only its local FSD.
             self.uploaded += local.wire_size_bytes() as u64;
             network.merge(&local);
+        }
+        // Age out points that stopped reporting: their window history is
+        // stale and must not survive a prolonged outage.
+        let horizon = self.interval.saturating_sub(self.max_idle_intervals);
+        let interval = self.interval;
+        let last_seen = &mut self.last_seen;
+        let before = self.agents.len();
+        self.agents.retain(|point, _| {
+            let seen = last_seen.get(point).copied().unwrap_or(interval);
+            seen > horizon
+        });
+        if self.agents.len() < before {
+            self.aged_out += (before - self.agents.len()) as u64;
+            last_seen.retain(|_, &mut seen| seen > horizon);
         }
         self.last_fsd = network.clone();
         Some(network)
@@ -142,6 +196,40 @@ mod tests {
                 "history must keep the flow an elephant"
             );
         }
+    }
+
+    #[test]
+    fn missing_upload_does_not_poison_the_merge() {
+        let mut m = monitor();
+        // Two switches each see an elephant.
+        m.on_interval(&[(0, vec![(1, 5 * MB)]), (1, vec![(2, 5 * MB)])], 0);
+        // Switch 1 dies: only switch 0 uploads. The network FSD must be
+        // built from switch 0 alone — not dragged down by zeros for the
+        // silent switch.
+        let fsd = m.on_interval(&[(0, vec![(1, 5 * MB)])], 1).unwrap();
+        assert!((fsd.flow_mass() - 1.0).abs() < 1e-9);
+        assert!(fsd.elephant_share() > 0.99);
+    }
+
+    #[test]
+    fn silent_points_age_out_after_the_idle_horizon() {
+        let mut m = monitor().with_max_idle(3);
+        m.on_interval(&[(0, vec![(1, MB)]), (1, vec![(2, MB)])], 0);
+        assert_eq!(m.n_agents(), 2);
+        // Switch 1 goes silent; its classifier survives the tolerance
+        // window, then is discarded on the third silent interval.
+        for _ in 0..2 {
+            m.on_interval(&[(0, vec![(1, MB)])], 0);
+            assert_eq!(m.n_agents(), 2, "within tolerance: state retained");
+        }
+        m.on_interval(&[(0, vec![(1, MB)])], 0);
+        assert_eq!(m.n_agents(), 1, "past tolerance: state aged out");
+        assert_eq!(m.aged_out(), 1);
+        // If it comes back, it restarts with a fresh window (no stale
+        // elephant history).
+        let fsd = m.on_interval(&[(1, vec![(9, 1_000)])], 0).unwrap();
+        assert_eq!(m.n_agents(), 2);
+        assert!(fsd.elephant_share() < 0.01, "fresh window, mice only");
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub enum Event {
     },
     /// Periodic retransmission check for a flow (loss recovery).
     RetxCheck(FlowId),
+    /// A scheduled fault transition from the installed
+    /// [`crate::fault::FaultPlan`] (index into the plan).
+    Fault(u32),
 }
 
 #[derive(Debug)]

@@ -1,0 +1,282 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a schedule of [`FaultEvent`]s — link failures and
+//! recoveries (including flapping), link rate degradation, per-link
+//! random packet corruption, and misbehaving-host PFC storms — that the
+//! simulator executes through its ordinary event engine. The plan
+//! carries its own RNG seed so corruption draws come from a dedicated
+//! stream: installing a plan never perturbs the simulator's ECN/marking
+//! randomness, and two runs with identical seeds and identical plans
+//! replay identically (packet for packet, telemetry event for telemetry
+//! event).
+//!
+//! Faults address a *link* by `(node, port)`; down/degrade/loss apply to
+//! both directions of the cable, as a physical fault would. PFC storms
+//! address a *host*: the storm models that host emitting sustained XOFF,
+//! which freezes its ToR down-port and lets congestion spread upstream
+//! through the shared buffer — exactly the deployment hazard the
+//! guardrail in `paraleon-core` exists to survive.
+
+use crate::{Nanos, NodeId};
+
+/// What a single scheduled fault does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Take the link out of service: packets serialized onto it are
+    /// lost, and ECMP steers new traffic around it where an alternate
+    /// path exists.
+    LinkDown,
+    /// Return the link to service at full rate.
+    LinkUp,
+    /// Degrade the link to `factor` × its nominal rate (0 < factor ≤ 1).
+    Degrade {
+        /// Fraction of nominal bandwidth that survives.
+        factor: f64,
+    },
+    /// Corrupt packets on the link: each serialized packet is dropped
+    /// with probability `drop_prob` (drawn from the plan's own RNG
+    /// stream). A probability of 0 restores clean transmission.
+    PktLoss {
+        /// Per-packet drop probability in `[0, 1]`.
+        drop_prob: f64,
+    },
+    /// A misbehaving host begins a sustained-XOFF PFC storm: its ToR
+    /// down-port freezes until [`FaultKind::PfcStormEnd`].
+    PfcStormStart,
+    /// The misbehaving host stops asserting XOFF.
+    PfcStormEnd,
+}
+
+/// One scheduled fault transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute simulation time at which the transition applies.
+    pub at: Nanos,
+    /// Node owning the faulted link (for storms: the misbehaving host).
+    pub node: NodeId,
+    /// Port index on `node` (ignored for storms; hosts have port 0).
+    pub port: usize,
+    /// The transition.
+    pub kind: FaultKind,
+}
+
+/// A seeded, ordered schedule of fault transitions.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for the plan's dedicated RNG (corruption draws).
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Empty plan drawing corruption randomness from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// The scheduled transitions in insertion order (the simulator's
+    /// event queue orders them by time with deterministic tie-breaks).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled transitions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Schedule a raw transition.
+    pub fn push(&mut self, ev: FaultEvent) -> &mut Self {
+        self.events.push(ev);
+        self
+    }
+
+    /// Take `(node, port)` down at `at`.
+    pub fn link_down(&mut self, at: Nanos, node: NodeId, port: usize) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            node,
+            port,
+            kind: FaultKind::LinkDown,
+        })
+    }
+
+    /// Bring `(node, port)` back up at `at`.
+    pub fn link_up(&mut self, at: Nanos, node: NodeId, port: usize) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            node,
+            port,
+            kind: FaultKind::LinkUp,
+        })
+    }
+
+    /// Flap `(node, port)`: `count` down/up cycles starting at `first`,
+    /// each outage lasting `down_for`, one cycle every `period`.
+    pub fn link_flap(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        first: Nanos,
+        down_for: Nanos,
+        period: Nanos,
+        count: u32,
+    ) -> &mut Self {
+        assert!(down_for < period, "outage must be shorter than the cycle");
+        for i in 0..count as u64 {
+            let t = first + i * period;
+            self.link_down(t, node, port);
+            self.link_up(t + down_for, node, port);
+        }
+        self
+    }
+
+    /// Degrade `(node, port)` to `factor` × nominal rate at `at`.
+    pub fn degrade(&mut self, at: Nanos, node: NodeId, port: usize, factor: f64) -> &mut Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degrade factor must be in (0, 1]"
+        );
+        self.push(FaultEvent {
+            at,
+            node,
+            port,
+            kind: FaultKind::Degrade { factor },
+        })
+    }
+
+    /// Restore `(node, port)` to nominal rate at `at`.
+    pub fn restore_rate(&mut self, at: Nanos, node: NodeId, port: usize) -> &mut Self {
+        self.degrade(at, node, port, 1.0)
+    }
+
+    /// Inject per-packet corruption with probability `drop_prob` on
+    /// `(node, port)` from `at` until `until` (when it is cleared).
+    pub fn pkt_loss(
+        &mut self,
+        at: Nanos,
+        until: Nanos,
+        node: NodeId,
+        port: usize,
+        drop_prob: f64,
+    ) -> &mut Self {
+        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob out of range");
+        assert!(until > at, "corruption window must be non-empty");
+        self.push(FaultEvent {
+            at,
+            node,
+            port,
+            kind: FaultKind::PktLoss { drop_prob },
+        });
+        self.push(FaultEvent {
+            at: until,
+            node,
+            port,
+            kind: FaultKind::PktLoss { drop_prob: 0.0 },
+        })
+    }
+
+    /// A misbehaving `host` asserts sustained XOFF from `start` to `end`.
+    pub fn pfc_storm(&mut self, host: NodeId, start: Nanos, end: Nanos) -> &mut Self {
+        assert!(end > start, "storm must be non-empty");
+        self.push(FaultEvent {
+            at: start,
+            node: host,
+            port: 0,
+            kind: FaultKind::PfcStormStart,
+        });
+        self.push(FaultEvent {
+            at: end,
+            node: host,
+            port: 0,
+            kind: FaultKind::PfcStormEnd,
+        })
+    }
+}
+
+/// Runtime state of one directed link, mutated by fault transitions.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkState {
+    /// Whether the link carries packets at all.
+    pub up: bool,
+    /// Fraction of nominal bandwidth currently available.
+    pub rate_factor: f64,
+    /// Per-packet corruption drop probability.
+    pub drop_prob: f64,
+}
+
+impl Default for LinkState {
+    fn default() -> Self {
+        Self {
+            up: true,
+            rate_factor: 1.0,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl LinkState {
+    /// Whether the link needs no per-packet fault processing.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.up && self.rate_factor >= 1.0 && self.drop_prob <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flap_builder_alternates_down_up() {
+        let mut plan = FaultPlan::new(7);
+        plan.link_flap(10, 3, 1_000, 200, 500, 3);
+        let evs = plan.events();
+        assert_eq!(evs.len(), 6);
+        assert_eq!(evs[0].at, 1_000);
+        assert_eq!(evs[0].kind, FaultKind::LinkDown);
+        assert_eq!(evs[1].at, 1_200);
+        assert_eq!(evs[1].kind, FaultKind::LinkUp);
+        assert_eq!(evs[4].at, 2_000);
+        assert!(evs.iter().all(|e| e.node == 10 && e.port == 3));
+    }
+
+    #[test]
+    fn pkt_loss_builder_clears_itself() {
+        let mut plan = FaultPlan::new(0);
+        plan.pkt_loss(100, 900, 5, 0, 0.25);
+        let evs = plan.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, FaultKind::PktLoss { drop_prob: 0.25 });
+        assert_eq!(evs[1].at, 900);
+        assert_eq!(evs[1].kind, FaultKind::PktLoss { drop_prob: 0.0 });
+    }
+
+    #[test]
+    fn storm_builder_brackets_the_window() {
+        let mut plan = FaultPlan::new(0);
+        plan.pfc_storm(2, 50, 150);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].kind, FaultKind::PfcStormStart);
+        assert_eq!(plan.events()[1].kind, FaultKind::PfcStormEnd);
+    }
+
+    #[test]
+    fn default_link_state_is_clean() {
+        let ls = LinkState::default();
+        assert!(ls.is_clean());
+        let degraded = LinkState {
+            rate_factor: 0.5,
+            ..ls
+        };
+        assert!(!degraded.is_clean());
+    }
+}

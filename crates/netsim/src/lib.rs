@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub(crate) mod node;
 pub mod packet;
@@ -30,9 +31,10 @@ pub mod sim;
 pub mod topology;
 
 pub use config::SimConfig;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{FlowRecord, IntervalMetrics, SwitchObs};
 pub use packet::{Packet, PacketKind};
-pub use sim::Simulator;
+pub use sim::{SimError, Simulator};
 pub use topology::{gbps, NodeKind, Port, Topology};
 
 /// Node identifier (index into the topology).

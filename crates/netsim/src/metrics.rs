@@ -33,6 +33,8 @@ pub(crate) struct IntervalAccum {
     pub ecn_marks: u64,
     /// Data packets dropped at full buffers.
     pub drops: u64,
+    /// Packets lost to injected faults (dead links, corruption).
+    pub fault_drops: u64,
     /// Payload bytes delivered to receivers.
     pub bytes_delivered: u64,
     /// PFC pause frames emitted.
@@ -66,6 +68,7 @@ impl IntervalAccum {
         self.cnps = 0;
         self.ecn_marks = 0;
         self.drops = 0;
+        self.fault_drops = 0;
         self.bytes_delivered = 0;
         self.pfc_events = 0;
         self.truth_flow_bytes.clear();
@@ -95,6 +98,9 @@ pub struct IntervalMetrics {
     pub ecn_marks: u64,
     /// Packets dropped (should stay 0 under functioning PFC).
     pub drops: u64,
+    /// Packets lost to injected faults this interval (dead links and
+    /// random corruption; 0 unless a fault plan is active).
+    pub fault_drops: u64,
     /// PFC pause frames emitted this interval.
     pub pfc_events: u64,
     /// Payload bytes delivered to receivers this interval.
@@ -219,6 +225,7 @@ mod tests {
             cnps: 0,
             ecn_marks: 0,
             drops: 0,
+            fault_drops: 0,
             pfc_events: 0,
             bytes_delivered: 1_250_000,
             switch_obs: Vec::new(),

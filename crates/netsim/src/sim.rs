@@ -32,11 +32,96 @@ use paraleon_telemetry as tel;
 
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, LinkState};
 use crate::metrics::{FlowRecord, IntervalAccum, IntervalMetrics, SwitchObs};
 use crate::node::{HostState, RecvFlow, SenderFlow, SwitchState};
 use crate::packet::{Packet, PacketKind, CLASS_CTRL, CLASS_DATA};
 use crate::topology::{NodeKind, Topology};
 use crate::{FlowId, Nanos, NodeId, MICRO};
+
+/// Why the simulator refused an API call (bounds-checked alternatives to
+/// the panicking entry points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A switch index at or beyond the number of switches.
+    SwitchIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Switch count (ToRs + leaves).
+        n_switches: usize,
+    },
+    /// A node id at or beyond the number of nodes.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Node count.
+        n_nodes: usize,
+    },
+    /// A port index at or beyond the node's radix.
+    PortOutOfRange {
+        /// The node addressed.
+        node: usize,
+        /// The offending port index.
+        port: usize,
+        /// The node's radix.
+        n_ports: usize,
+    },
+    /// Flow endpoints must be two distinct hosts.
+    BadEndpoints {
+        /// Requested source.
+        src: usize,
+        /// Requested destination.
+        dst: usize,
+        /// Host count.
+        n_hosts: usize,
+    },
+    /// Zero-byte flows are not admissible.
+    EmptyFlow,
+    /// Something was scheduled before the current simulation time.
+    TimeInPast {
+        /// Requested time.
+        at: Nanos,
+        /// Current simulation time.
+        now: Nanos,
+    },
+    /// A host-only fault (PFC storm) targeted a non-host node.
+    NotAHost {
+        /// The offending node id.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SimError::SwitchIndexOutOfRange { index, n_switches } => {
+                write!(f, "switch index {index} out of range (have {n_switches})")
+            }
+            SimError::NodeOutOfRange { node, n_nodes } => {
+                write!(f, "node {node} out of range (have {n_nodes})")
+            }
+            SimError::PortOutOfRange {
+                node,
+                port,
+                n_ports,
+            } => write!(
+                f,
+                "port {port} out of range on node {node} (radix {n_ports})"
+            ),
+            SimError::BadEndpoints { src, dst, n_hosts } => write!(
+                f,
+                "flow endpoints {src}->{dst} must be distinct hosts (< {n_hosts})"
+            ),
+            SimError::EmptyFlow => write!(f, "zero-byte flow"),
+            SimError::TimeInPast { at, now } => {
+                write!(f, "time {at} is in the past (now {now})")
+            }
+            SimError::NotAHost { node } => write!(f, "node {node} is not a host"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Static description of one admitted flow.
 #[derive(Debug, Clone, Copy)]
@@ -64,8 +149,18 @@ pub struct Simulator {
     interval_start: Nanos,
     active_flows: usize,
     base_rtt_cache: std::collections::HashMap<(NodeId, NodeId), Nanos>,
+    /// Per-node, per-port runtime link state (mutated by fault events;
+    /// all-clean unless a fault plan is installed).
+    links: Vec<Vec<LinkState>>,
+    /// Installed fault transitions, addressed by `Event::Fault` index.
+    fault_plan: Vec<FaultEvent>,
+    /// Dedicated RNG for corruption draws, so fault injection never
+    /// perturbs the simulator's own random stream (ECN coin flips).
+    fault_rng: StdRng,
     /// Total data packets dropped over the whole run.
     pub total_drops: u64,
+    /// Total packets lost to injected faults over the whole run.
+    pub total_fault_drops: u64,
     /// Total PFC pause frames over the whole run.
     pub total_pfc_events: u64,
     /// Total events processed (performance accounting).
@@ -96,6 +191,10 @@ impl Simulator {
         }
         let accum = IntervalAccum::new(n_nodes, n_hosts);
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let fault_rng = StdRng::seed_from_u64(cfg.seed ^ 0xFA11_FA11_FA11_FA11);
+        let links = (0..n_nodes)
+            .map(|n| vec![LinkState::default(); topo.ports(n).len()])
+            .collect();
         Self {
             cfg,
             topo,
@@ -110,7 +209,11 @@ impl Simulator {
             interval_start: 0,
             active_flows: 0,
             base_rtt_cache: std::collections::HashMap::new(),
+            links,
+            fault_plan: Vec::new(),
+            fault_rng,
             total_drops: 0,
+            total_fault_drops: 0,
             total_pfc_events: 0,
             events_processed: 0,
         }
@@ -145,10 +248,23 @@ impl Simulator {
         self.add_flow_on_qp(src, dst, bytes, start, qp)
     }
 
+    /// Bounds-checked [`Simulator::add_flow`].
+    pub fn try_add_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        start: Nanos,
+    ) -> Result<FlowId, SimError> {
+        let qp = self.flows.len() as FlowId;
+        self.try_add_flow_on_qp(src, dst, bytes, start, qp)
+    }
+
     /// Admit a flow carried on an explicit QP identity: sketches, ground
     /// truth and ECMP hashing observe `qp`, so successive transfers on
     /// one QP appear as a single long-lived entity to the monitor (NCCL
-    /// reuses QPs across collective rounds).
+    /// reuses QPs across collective rounds). Panics on invalid arguments;
+    /// see [`Simulator::try_add_flow_on_qp`] for the checked variant.
     pub fn add_flow_on_qp(
         &mut self,
         src: NodeId,
@@ -157,10 +273,34 @@ impl Simulator {
         start: Nanos,
         qp: FlowId,
     ) -> FlowId {
-        assert!(src < self.topo.n_hosts() && dst < self.topo.n_hosts());
-        assert_ne!(src, dst, "flow endpoints must differ");
-        assert!(bytes > 0, "zero-byte flow");
-        assert!(start >= self.now, "flow start in the past");
+        match self.try_add_flow_on_qp(src, dst, bytes, start, qp) {
+            Ok(id) => id,
+            Err(e) => panic!("add_flow_on_qp: {e}"),
+        }
+    }
+
+    /// Bounds-checked [`Simulator::add_flow_on_qp`].
+    pub fn try_add_flow_on_qp(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        start: Nanos,
+        qp: FlowId,
+    ) -> Result<FlowId, SimError> {
+        let n_hosts = self.topo.n_hosts();
+        if src >= n_hosts || dst >= n_hosts || src == dst {
+            return Err(SimError::BadEndpoints { src, dst, n_hosts });
+        }
+        if bytes == 0 {
+            return Err(SimError::EmptyFlow);
+        }
+        if start < self.now {
+            return Err(SimError::TimeInPast {
+                at: start,
+                now: self.now,
+            });
+        }
         let id = self.flows.len() as FlowId;
         self.flows.push(FlowMeta {
             src,
@@ -172,7 +312,7 @@ impl Simulator {
         });
         self.active_flows += 1;
         self.events.push(start, Event::FlowStart(id));
-        id
+        Ok(id)
     }
 
     /// Drain the list of flows completed since the last call.
@@ -201,13 +341,200 @@ impl Simulator {
     /// Override one switch's ECN thresholds only (ACC-style per-switch
     /// tuning; RNIC parameters are untouched). `switch_index` counts ToRs
     /// first, then leaves, matching `IntervalMetrics::switch_obs`.
-    pub fn set_switch_ecn(&mut self, switch_index: usize, params: &DcqcnParams) {
-        self.switches[switch_index].marker.set_params(params);
+    /// Bounds-checked: a stale or corrupt index from the controller must
+    /// not crash the fabric model.
+    pub fn set_switch_ecn(
+        &mut self,
+        switch_index: usize,
+        params: &DcqcnParams,
+    ) -> Result<(), SimError> {
+        let n_switches = self.switches.len();
+        let sw = self
+            .switches
+            .get_mut(switch_index)
+            .ok_or(SimError::SwitchIndexOutOfRange {
+                index: switch_index,
+                n_switches,
+            })?;
+        sw.marker.set_params(params);
+        Ok(())
     }
 
     /// Number of switches (ToRs + leaves).
     pub fn n_switches(&self) -> usize {
         self.switches.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Install a [`FaultPlan`]: validates every transition, reseeds the
+    /// dedicated corruption RNG from the plan's seed, and schedules one
+    /// `Event::Fault` per transition on the ordinary event queue (so
+    /// faults interleave deterministically with traffic).
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        let n_nodes = self.topo.n_nodes();
+        let n_hosts = self.topo.n_hosts();
+        for ev in plan.events() {
+            if ev.at < self.now {
+                return Err(SimError::TimeInPast {
+                    at: ev.at,
+                    now: self.now,
+                });
+            }
+            if ev.node >= n_nodes {
+                return Err(SimError::NodeOutOfRange {
+                    node: ev.node,
+                    n_nodes,
+                });
+            }
+            match ev.kind {
+                FaultKind::PfcStormStart | FaultKind::PfcStormEnd => {
+                    if ev.node >= n_hosts {
+                        return Err(SimError::NotAHost { node: ev.node });
+                    }
+                }
+                _ => {
+                    let n_ports = self.topo.ports(ev.node).len();
+                    if ev.port >= n_ports {
+                        return Err(SimError::PortOutOfRange {
+                            node: ev.node,
+                            port: ev.port,
+                            n_ports,
+                        });
+                    }
+                }
+            }
+        }
+        self.fault_rng = StdRng::seed_from_u64(plan.seed);
+        for ev in plan.events() {
+            let idx = self.fault_plan.len() as u32;
+            self.fault_plan.push(*ev);
+            self.events.push(ev.at, Event::Fault(idx));
+        }
+        Ok(())
+    }
+
+    /// Runtime state of the directed link at `(node, port)`.
+    pub fn link_state(&self, node: NodeId, port: usize) -> LinkState {
+        self.links[node][port]
+    }
+
+    /// Whether `node` still has at least one live link — a fully
+    /// cut-off switch cannot upload observations or sketch readings.
+    pub fn node_reachable(&self, node: NodeId) -> bool {
+        self.links[node].iter().any(|l| l.up)
+    }
+
+    fn apply_fault(&mut self, idx: u32) {
+        let ev = self.fault_plan[idx as usize];
+        let FaultEvent {
+            node, port, kind, ..
+        } = ev;
+        match kind {
+            FaultKind::LinkDown => {
+                self.set_link_both(node, port, |l| l.up = false);
+                tel::event_at(
+                    self.now,
+                    tel::Event::FaultLinkDown {
+                        node: node as u32,
+                        port: port as u32,
+                    },
+                );
+            }
+            FaultKind::LinkUp => {
+                self.set_link_both(node, port, |l| l.up = true);
+                tel::event_at(
+                    self.now,
+                    tel::Event::FaultLinkUp {
+                        node: node as u32,
+                        port: port as u32,
+                    },
+                );
+                // Restart any idle port that queued packets while down.
+                self.kick_port(node, port);
+                let peer = self.topo.ports(node)[port];
+                self.kick_port(peer.peer, peer.peer_port);
+            }
+            FaultKind::Degrade { factor } => {
+                self.set_link_both(node, port, |l| l.rate_factor = factor);
+                tel::event_at(
+                    self.now,
+                    tel::Event::FaultDegrade {
+                        node: node as u32,
+                        port: port as u32,
+                        factor,
+                    },
+                );
+            }
+            FaultKind::PktLoss { drop_prob } => {
+                self.set_link_both(node, port, |l| l.drop_prob = drop_prob);
+                tel::event_at(
+                    self.now,
+                    tel::Event::FaultPktLoss {
+                        node: node as u32,
+                        port: port as u32,
+                        drop_prob,
+                    },
+                );
+            }
+            FaultKind::PfcStormStart => {
+                // The misbehaving host asserts sustained XOFF: freeze its
+                // ToR down-port. Congestion then spreads upstream through
+                // the shared buffer exactly as a real storm would.
+                let up = self.topo.ports(node)[0];
+                self.accum.pfc_events += 1;
+                self.total_pfc_events += 1;
+                tel::event_at(self.now, tel::Event::PfcStormStart { host: node as u32 });
+                self.on_pfc_set(up.peer, up.peer_port, true);
+            }
+            FaultKind::PfcStormEnd => {
+                let up = self.topo.ports(node)[0];
+                tel::event_at(self.now, tel::Event::PfcStormEnd { host: node as u32 });
+                self.on_pfc_set(up.peer, up.peer_port, false);
+            }
+        }
+    }
+
+    fn set_link_both(&mut self, node: NodeId, port: usize, f: impl Fn(&mut LinkState)) {
+        let peer = self.topo.ports(node)[port];
+        f(&mut self.links[node][port]);
+        f(&mut self.links[peer.peer][peer.peer_port]);
+    }
+
+    fn kick_port(&mut self, node: NodeId, port: usize) {
+        match self.topo.kind(node) {
+            NodeKind::Host => {
+                if !self.hosts[node].tx_busy {
+                    self.host_try_tx(node);
+                }
+            }
+            _ => {
+                let sw = node - self.topo.n_hosts();
+                if !self.switches[sw].ports[port].busy {
+                    self.switch_try_tx(node, port);
+                }
+            }
+        }
+    }
+
+    /// A packet leaves `(node, port)`: returns `false` when an injected
+    /// fault eats it on the wire (dead link, or a corruption draw from
+    /// the plan's dedicated RNG stream).
+    fn link_delivers(&mut self, node: NodeId, port: usize) -> bool {
+        let ls = self.links[node][port];
+        if ls.is_clean() {
+            return true;
+        }
+        let delivered =
+            ls.up && (ls.drop_prob <= 0.0 || self.fault_rng.gen::<f64>() >= ls.drop_prob);
+        if !delivered {
+            self.accum.fault_drops += 1;
+            self.total_fault_drops += 1;
+            tel::count(tel::Ctr::FaultDrops);
+        }
+        delivered
     }
 
     /// Process all events up to and including time `t`, then set the
@@ -284,27 +611,39 @@ impl Simulator {
             )
         };
 
-        // O_PFC: finalize still-paused ports into the accumulator first.
+        // O_PFC over devices the controller can still hear from — a
+        // fully cut-off node cannot upload pause statistics, and must
+        // not be averaged in as a silent zero.
         self.finalize_pause_accounting();
-        let n_nodes = self.topo.n_nodes() as f64;
-        let pause_ratio = self
-            .accum
-            .pause_ns
-            .iter()
-            .map(|&p| (p.min(dt) as f64) / dt_f)
-            .sum::<f64>()
-            / n_nodes;
+        let reachable: Vec<bool> = (0..self.topo.n_nodes())
+            .map(|n| self.node_reachable(n))
+            .collect();
+        let mut pause_sum = 0.0;
+        let mut present = 0u32;
+        for (node, &p) in self.accum.pause_ns.iter().enumerate() {
+            if !reachable[node] {
+                continue;
+            }
+            present += 1;
+            pause_sum += (p.min(dt) as f64) / dt_f;
+        }
+        let pause_ratio = pause_sum / present.max(1) as f64;
 
-        // Per-switch local observations (the ACC agents' inputs).
+        // Per-switch local observations (the ACC agents' inputs). A
+        // switch with every link dead stops uploading: it is simply
+        // absent from this interval's `switch_obs`.
         let mut switch_obs = Vec::with_capacity(self.switches.len());
         for (i, sw) in self.switches.iter_mut().enumerate() {
             let node = self.topo.n_hosts() + i;
-            let total_bw: f64 = self.topo.ports(node).iter().map(|p| p.bw).sum();
-            let tx_util = (self.accum.switch_tx_bytes[i] as f64 / (total_bw * dt_f)).min(1.0);
             let seen = sw.marker.seen - sw.prev_seen;
             let marked = sw.marker.marked - sw.prev_marked;
             sw.prev_seen = sw.marker.seen;
             sw.prev_marked = sw.marker.marked;
+            if !reachable[node] {
+                continue;
+            }
+            let total_bw: f64 = self.topo.ports(node).iter().map(|p| p.bw).sum();
+            let tx_util = (self.accum.switch_tx_bytes[i] as f64 / (total_bw * dt_f)).min(1.0);
             let marking_rate = if seen == 0 {
                 0.0
             } else {
@@ -319,11 +658,16 @@ impl Simulator {
             });
         }
 
-        // Drain ToR sketches (control-plane read-and-reset).
+        // Drain ToR sketches (control-plane read-and-reset). A cut-off
+        // ToR cannot answer the read: its sketch keeps accumulating and
+        // is delivered after connectivity returns.
         let mut tor_sketches = Vec::new();
         for (i, sw) in self.switches.iter_mut().enumerate() {
+            let node = self.topo.n_hosts() + i;
+            if !reachable[node] {
+                continue;
+            }
             if let Some(sk) = sw.sketch.as_mut() {
-                let node = self.topo.n_hosts() + i;
                 let entries: Vec<(FlowId, u64)> =
                     sk.drain().into_iter().map(|e| (e.flow, e.bytes)).collect();
                 tor_sketches.push((node, entries));
@@ -343,6 +687,7 @@ impl Simulator {
             cnps: self.accum.cnps,
             ecn_marks: self.accum.ecn_marks,
             drops: self.accum.drops,
+            fault_drops: self.accum.fault_drops,
             pfc_events: self.accum.pfc_events,
             bytes_delivered: self.accum.bytes_delivered,
             switch_obs,
@@ -401,6 +746,7 @@ impl Simulator {
             },
             Event::PfcSet { node, port, paused } => self.on_pfc_set(node, port, paused),
             Event::RetxCheck(f) => self.on_retx_check(f),
+            Event::Fault(idx) => self.apply_fault(idx),
         }
     }
 
@@ -546,15 +892,18 @@ impl Simulator {
             self.accum.host_up_bytes[h] += pkt.wire_bytes as u64;
         }
         let port = self.topo.ports(h)[0];
-        let ser = ((pkt.wire_bytes as f64) / port.bw).ceil() as Nanos;
-        self.events.push(
-            self.now + ser + port.delay,
-            Event::Arrive {
-                node: port.peer,
-                in_port: port.peer_port,
-                pkt,
-            },
-        );
+        let rate = port.bw * self.links[h][0].rate_factor.max(f64::MIN_POSITIVE);
+        let ser = ((pkt.wire_bytes as f64) / rate).ceil() as Nanos;
+        if self.link_delivers(h, 0) {
+            self.events.push(
+                self.now + ser + port.delay,
+                Event::Arrive {
+                    node: port.peer,
+                    in_port: port.peer_port,
+                    pkt,
+                },
+            );
+        }
         self.events
             .push(self.now + ser, Event::PortFree { node: h, port: 0 });
     }
@@ -618,9 +967,26 @@ impl Simulator {
             }
         }
         // Route and (for data) ECN-mark on enqueue: ECMP pins the QP, so
-        // round after round of a collective follows one path.
+        // round after round of a collective follows one path — unless a
+        // fault killed it, in which case the flow rehashes over the
+        // surviving uplinks.
         let hash = hash64(pkt.qp, 0x5EED_0F10);
-        let out = self.topo.next_port(node, pkt.dst, hash);
+        let links = &self.links;
+        let out = self
+            .topo
+            .next_port_masked(node, pkt.dst, hash, |n, p| links[n][p].up);
+        let Some(out) = out else {
+            // No live egress toward the destination: the packet is lost
+            // to the fault (go-back-N recovers once a path returns).
+            if pkt.class == CLASS_DATA {
+                self.switches[sw].buffer_used -= wire;
+                self.switches[sw].ingress_bytes[pkt.in_port] -= wire;
+            }
+            self.accum.fault_drops += 1;
+            self.total_fault_drops += 1;
+            tel::count(tel::Ctr::FaultDrops);
+            return;
+        };
         if pkt.class == CLASS_DATA {
             let q = self.switches[sw].ports[out].qbytes[CLASS_DATA];
             tel::observe(tel::Hist::QueueBytes, q);
@@ -687,15 +1053,18 @@ impl Simulator {
             self.accum.switch_tx_bytes[sw] += pkt.wire_bytes as u64;
         }
         let link = self.topo.ports(node)[port];
-        let ser = ((pkt.wire_bytes as f64) / link.bw).ceil() as Nanos;
-        self.events.push(
-            self.now + ser + link.delay,
-            Event::Arrive {
-                node: link.peer,
-                in_port: link.peer_port,
-                pkt,
-            },
-        );
+        let rate = link.bw * self.links[node][port].rate_factor.max(f64::MIN_POSITIVE);
+        let ser = ((pkt.wire_bytes as f64) / rate).ceil() as Nanos;
+        if self.link_delivers(node, port) {
+            self.events.push(
+                self.now + ser + link.delay,
+                Event::Arrive {
+                    node: link.peer,
+                    in_port: link.peer_port,
+                    pkt,
+                },
+            );
+        }
         self.events
             .push(self.now + ser, Event::PortFree { node, port });
     }

@@ -187,21 +187,54 @@ impl Topology {
     /// Egress port on `node` toward destination host `dst`, using
     /// `flow_hash` to pick among ECMP uplinks. Panics if `node` is `dst`.
     pub fn next_port(&self, node: NodeId, dst: NodeId, flow_hash: u64) -> usize {
+        self.next_port_masked(node, dst, flow_hash, |_, _| true)
+            .expect("all links up")
+    }
+
+    /// Liveness-aware routing: like [`Topology::next_port`] but only
+    /// considers ports for which `link_up(node, port)` holds. A ToR with
+    /// a dead uplink rehashes its ECMP choice over the surviving
+    /// uplinks, steering flows around the failure; returns `None` when
+    /// no live port reaches `dst` (single-path segments — host uplinks,
+    /// ToR down-ports, leaf down-ports — cannot be routed around).
+    pub fn next_port_masked(
+        &self,
+        node: NodeId,
+        dst: NodeId,
+        flow_hash: u64,
+        mut link_up: impl FnMut(NodeId, usize) -> bool,
+    ) -> Option<usize> {
         assert!(dst < self.n_hosts, "destination must be a host");
+        let only_if_up = |port: usize, link_up: &mut dyn FnMut(NodeId, usize) -> bool| {
+            if link_up(node, port) {
+                Some(port)
+            } else {
+                None
+            }
+        };
         match self.kinds[node] {
-            NodeKind::Host => 0,
+            NodeKind::Host => only_if_up(0, &mut link_up),
             NodeKind::Tor => {
                 let tor_index = node - self.n_hosts;
                 let first_host = tor_index * self.hosts_per_tor;
                 if dst >= first_host && dst < first_host + self.hosts_per_tor {
-                    dst - first_host // down-port to the local host
+                    // Down-port to the local host: single path.
+                    only_if_up(dst - first_host, &mut link_up)
                 } else {
-                    self.hosts_per_tor + (flow_hash as usize % self.n_leaf)
+                    // ECMP over live uplinks only.
+                    let alive: Vec<usize> = (self.hosts_per_tor..self.hosts_per_tor + self.n_leaf)
+                        .filter(|&p| link_up(node, p))
+                        .collect();
+                    if alive.is_empty() {
+                        None
+                    } else {
+                        Some(alive[flow_hash as usize % alive.len()])
+                    }
                 }
             }
             NodeKind::Leaf => {
                 let dst_tor = self.host_tor[dst];
-                dst_tor - self.n_hosts // leaf port t connects to ToR t
+                only_if_up(dst_tor - self.n_hosts, &mut link_up)
             }
         }
     }
@@ -322,6 +355,31 @@ mod tests {
         assert_eq!(used.len(), 4, "all four uplinks should be used");
         // And one hash is always the same path (no reordering).
         assert_eq!(t.next_port(128, 127, 42), t.next_port(128, 127, 42));
+    }
+
+    #[test]
+    fn masked_ecmp_steers_around_dead_uplinks() {
+        let t = clos(); // ToR 128 has down-ports 0..16, uplinks 16..20
+        let dead = 17usize;
+        let mut used = std::collections::HashSet::new();
+        for h in 0..64u64 {
+            let p = t
+                .next_port_masked(128, 127, h, |_, port| port != dead)
+                .unwrap();
+            assert_ne!(p, dead, "dead uplink must never be chosen");
+            assert!((16..20).contains(&p));
+            used.insert(p);
+        }
+        assert_eq!(used.len(), 3, "flows rehash over the survivors");
+        // No live uplink at all: unroutable.
+        assert_eq!(t.next_port_masked(128, 127, 0, |_, port| port < 16), None);
+        // Single-path segments cannot be routed around.
+        assert_eq!(t.next_port_masked(0, 5, 0, |_, _| false), None);
+        // With everything up, the mask is a no-op.
+        assert_eq!(
+            t.next_port_masked(136, 3, 9, |_, _| true),
+            Some(t.next_port(136, 3, 9))
+        );
     }
 
     #[test]

@@ -49,9 +49,60 @@ pub enum Event {
     SaEpisodeEnd { best_utility: f64 },
     /// The closed loop pushed parameters to the fabric.
     Dispatch { scope: DispatchScope },
+    /// A fault took a link out of service (both directions).
+    FaultLinkDown { node: u32, port: u32 },
+    /// A faulted link returned to service.
+    FaultLinkUp { node: u32, port: u32 },
+    /// A fault degraded a link to `factor` × its nominal rate.
+    FaultDegrade { node: u32, port: u32, factor: f64 },
+    /// A fault set a per-packet random loss probability on a link
+    /// (0.0 restores clean transmission).
+    FaultPktLoss {
+        node: u32,
+        port: u32,
+        drop_prob: f64,
+    },
+    /// A misbehaving host began a sustained-XOFF PFC storm toward its
+    /// ToR down-port.
+    PfcStormStart { host: u32 },
+    /// The PFC storm ended; the paused down-port resumed.
+    PfcStormEnd { host: u32 },
+    /// The guardrail refused to dispatch a candidate parameter set.
+    GuardrailReject,
+    /// The guardrail restored the last-known-good parameter set after
+    /// detecting post-dispatch collapse.
+    GuardrailRollback,
+    /// The guardrail entered safe mode: fallback parameters deployed,
+    /// tuning frozen for `backoff_intervals` monitor intervals.
+    SafeModeEnter { backoff_intervals: u32 },
+    /// Safe-mode backoff expired; tuning may resume.
+    SafeModeExit,
 }
 
 impl Event {
+    /// Whether this is a rare control-plane transition (fault, guardrail,
+    /// safe-mode, trigger, dispatch) as opposed to a per-packet
+    /// data-plane event. Control-plane events live in their own
+    /// flight-recorder lane so a data-plane flood cannot evict them.
+    pub fn is_control_plane(&self) -> bool {
+        matches!(
+            self,
+            Event::KlTrigger { .. }
+                | Event::SaEpisodeEnd { .. }
+                | Event::Dispatch { .. }
+                | Event::FaultLinkDown { .. }
+                | Event::FaultLinkUp { .. }
+                | Event::FaultDegrade { .. }
+                | Event::FaultPktLoss { .. }
+                | Event::PfcStormStart { .. }
+                | Event::PfcStormEnd { .. }
+                | Event::GuardrailReject
+                | Event::GuardrailRollback
+                | Event::SafeModeEnter { .. }
+                | Event::SafeModeExit
+        )
+    }
+
     /// Stable export name for the event type.
     pub fn name(&self) -> &'static str {
         match self {
@@ -66,6 +117,16 @@ impl Event {
             Event::SaReject { .. } => "sa_reject",
             Event::SaEpisodeEnd { .. } => "sa_episode_end",
             Event::Dispatch { .. } => "dispatch",
+            Event::FaultLinkDown { .. } => "fault_link_down",
+            Event::FaultLinkUp { .. } => "fault_link_up",
+            Event::FaultDegrade { .. } => "fault_degrade",
+            Event::FaultPktLoss { .. } => "fault_pkt_loss",
+            Event::PfcStormStart { .. } => "pfc_storm_start",
+            Event::PfcStormEnd { .. } => "pfc_storm_end",
+            Event::GuardrailReject => "guardrail_reject",
+            Event::GuardrailRollback => "guardrail_rollback",
+            Event::SafeModeEnter { .. } => "safe_mode_enter",
+            Event::SafeModeExit => "safe_mode_exit",
         }
     }
 
@@ -94,6 +155,30 @@ impl Event {
                 vec![("temp", temp), ("utility", utility)]
             }
             Event::SaEpisodeEnd { best_utility } => vec![("best_utility", best_utility)],
+            Event::FaultLinkDown { node, port } | Event::FaultLinkUp { node, port } => {
+                vec![("node", node as f64), ("port", port as f64)]
+            }
+            Event::FaultDegrade { node, port, factor } => vec![
+                ("node", node as f64),
+                ("port", port as f64),
+                ("factor", factor),
+            ],
+            Event::FaultPktLoss {
+                node,
+                port,
+                drop_prob,
+            } => vec![
+                ("node", node as f64),
+                ("port", port as f64),
+                ("drop_prob", drop_prob),
+            ],
+            Event::PfcStormStart { host } | Event::PfcStormEnd { host } => {
+                vec![("host", host as f64)]
+            }
+            Event::GuardrailReject | Event::GuardrailRollback | Event::SafeModeExit => vec![],
+            Event::SafeModeEnter { backoff_intervals } => {
+                vec![("backoff_intervals", backoff_intervals as f64)]
+            }
             Event::Dispatch { scope } => vec![(
                 "per_switch",
                 match scope {
@@ -116,68 +201,105 @@ pub struct TimedEvent {
 
 /// Fixed-capacity ring of recent [`TimedEvent`]s. When full, the oldest
 /// entry is evicted and counted in `dropped`.
+///
+/// Two lanes share the budget: per-packet data-plane events (ECN marks,
+/// CNPs, rate changes) and rare control-plane transitions (faults,
+/// guardrail actions, dispatches — see [`Event::is_control_plane`]).
+/// Each lane only evicts its own kind, so a data-plane flood can never
+/// push a fault or rollback record out of the post-mortem window.
 #[derive(Debug)]
 pub struct FlightRecorder {
-    buf: VecDeque<TimedEvent>,
-    capacity: usize,
+    data: VecDeque<TimedEvent>,
+    control: VecDeque<TimedEvent>,
+    data_capacity: usize,
+    control_capacity: usize,
     dropped: u64,
 }
 
 impl FlightRecorder {
-    /// Ring holding at most `capacity` events.
+    /// Ring holding at most `capacity` data-plane events plus a
+    /// quarter of that (at least 64) control-plane transitions.
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         FlightRecorder {
-            buf: VecDeque::with_capacity(capacity),
-            capacity: capacity.max(1),
+            data: VecDeque::with_capacity(capacity),
+            control: VecDeque::new(),
+            data_capacity: capacity,
+            control_capacity: (capacity / 4).max(64),
             dropped: 0,
         }
     }
 
-    /// Append an event, evicting the oldest when at capacity.
+    /// Append an event, evicting the oldest of its lane when full.
     #[inline]
     pub fn push(&mut self, t_ns: u64, event: Event) {
-        if self.buf.len() == self.capacity {
-            self.buf.pop_front();
+        let (lane, cap) = if event.is_control_plane() {
+            (&mut self.control, self.control_capacity)
+        } else {
+            (&mut self.data, self.data_capacity)
+        };
+        if lane.len() == cap {
+            lane.pop_front();
             self.dropped += 1;
         }
-        self.buf.push_back(TimedEvent { t_ns, event });
+        lane.push_back(TimedEvent { t_ns, event });
     }
 
-    /// Events currently retained, oldest first.
+    /// Events currently retained, merged across lanes oldest first
+    /// (ties resolved control-plane first: the transition is the cause,
+    /// the data-plane burst the effect).
     pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
-        self.buf.iter()
+        let mut merged = Vec::with_capacity(self.len());
+        let (mut c, mut d) = (self.control.iter().peekable(), self.data.iter().peekable());
+        loop {
+            match (c.peek(), d.peek()) {
+                (Some(ce), Some(de)) => {
+                    if ce.t_ns <= de.t_ns {
+                        merged.push(c.next().unwrap());
+                    } else {
+                        merged.push(d.next().unwrap());
+                    }
+                }
+                (Some(_), None) => merged.push(c.next().unwrap()),
+                (None, Some(_)) => merged.push(d.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        merged.into_iter()
     }
 
-    /// Number of retained events.
+    /// Number of retained events across both lanes.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.data.len() + self.control.len()
     }
 
-    /// Whether the ring is empty.
+    /// Whether both lanes are empty.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.data.is_empty() && self.control.is_empty()
     }
 
-    /// Events evicted so far because the ring was full.
+    /// Events evicted so far because a lane was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Maximum retained events.
+    /// Maximum retained events (both lanes).
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.data_capacity + self.control_capacity
     }
 
     /// Discard all retained events and the drop counter.
     pub fn clear(&mut self) {
-        self.buf.clear();
+        self.data.clear();
+        self.control.clear();
         self.dropped = 0;
     }
 
     /// Heap + inline bytes held by this recorder (capacity-based: the
-    /// ring pre-allocates).
+    /// data lane pre-allocates).
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.buf.capacity() * std::mem::size_of::<TimedEvent>()
+        std::mem::size_of::<Self>()
+            + (self.data.capacity() + self.control.capacity()) * std::mem::size_of::<TimedEvent>()
     }
 }
 
@@ -195,6 +317,26 @@ mod tests {
         assert_eq!(fr.dropped(), 2);
         let ts: Vec<u64> = fr.events().map(|e| e.t_ns).collect();
         assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn control_plane_events_survive_a_data_plane_flood() {
+        let mut fr = FlightRecorder::new(8);
+        fr.push(5, Event::FaultLinkDown { node: 8, port: 4 });
+        for i in 0..1_000u64 {
+            fr.push(
+                10 + i,
+                Event::EcnMark {
+                    switch: 8,
+                    queue_bytes: i,
+                },
+            );
+        }
+        fr.push(2_000, Event::FaultLinkUp { node: 8, port: 4 });
+        let names: Vec<&str> = fr.events().map(|e| e.event.name()).collect();
+        assert_eq!(names.first(), Some(&"fault_link_down"));
+        assert_eq!(names.last(), Some(&"fault_link_up"));
+        assert!(fr.dropped() > 0);
     }
 
     #[test]

@@ -185,13 +185,23 @@ impl TuningScheme for AccScheme {
         if obs.switch_obs.is_empty() {
             return None;
         }
-        while self.agents.len() < obs.switch_obs.len() {
+        // Agents are keyed by the stable `switch_index`, not the position
+        // in `switch_obs`: under fault injection unreachable switches are
+        // absent from the observation and positions shift.
+        let max_index = obs
+            .switch_obs
+            .iter()
+            .map(|s| s.switch_index)
+            .max()
+            .unwrap_or(0);
+        while self.agents.len() <= max_index {
             self.agents.push(Agent::new(&self.initial));
         }
         let mut updates = Vec::with_capacity(obs.switch_obs.len());
-        for (i, local) in obs.switch_obs.iter().enumerate() {
-            let ecn = self.agents[i].step(&self.cfg, local, &self.space, &mut self.rng);
-            updates.push((i, ecn));
+        for local in &obs.switch_obs {
+            let ecn =
+                self.agents[local.switch_index].step(&self.cfg, local, &self.space, &mut self.rng);
+            updates.push((local.switch_index, ecn));
         }
         Some(TuningAction::PerSwitchEcn(updates))
     }
@@ -222,6 +232,7 @@ mod tests {
 
     fn local(tx: f64, mark: f64, q: f64) -> SwitchLocalObs {
         SwitchLocalObs {
+            switch_index: 0,
             tx_utilization: tx,
             marking_rate: mark,
             queue_frac: q,
@@ -231,9 +242,13 @@ mod tests {
     #[test]
     fn emits_per_switch_ecn_actions_only() {
         let mut acc = AccScheme::new(AccConfig::default(), DcqcnParams::nvidia_default());
-        let action = acc
-            .on_interval(&obs_with(vec![local(0.5, 0.1, 0.2); 3]))
-            .unwrap();
+        let switches: Vec<SwitchLocalObs> = (0..3)
+            .map(|i| SwitchLocalObs {
+                switch_index: i,
+                ..local(0.5, 0.1, 0.2)
+            })
+            .collect();
+        let action = acc.on_interval(&obs_with(switches)).unwrap();
         match action {
             TuningAction::PerSwitchEcn(v) => {
                 assert_eq!(v.len(), 3);

@@ -46,6 +46,11 @@ pub type Nanos = u64;
 /// One switch's locally visible state (the ACC agent inputs).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchLocalObs {
+    /// Which switch this is (stable index, `0..n_switches`). Under fault
+    /// injection `Observation::switch_obs` only carries the switches
+    /// that are still reachable, so positions in the vector are *not* a
+    /// stable identity — this field is.
+    pub switch_index: usize,
     /// Mean egress utilization, `[0, 1]`.
     pub tx_utilization: f64,
     /// ECN marking rate, `[0, 1]`.
@@ -84,6 +89,34 @@ pub enum TuningAction {
     PerSwitchEcn(Vec<(usize, DcqcnParams)>),
 }
 
+/// Control-plane feedback from the dispatch path (the guardrail in
+/// `paraleon-core`) back into the tuner: candidates can be refused
+/// before they reach the fabric, undone after they collapse it, or the
+/// whole search can be frozen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuningFeedback {
+    /// The candidate failed validation and was never dispatched;
+    /// `deployed` is what actually remains active in the fabric.
+    Rejected {
+        /// The setting still deployed.
+        deployed: DcqcnParams,
+    },
+    /// A dispatched candidate collapsed the fabric; the guardrail
+    /// restored `restored` (the last-known-good snapshot).
+    RolledBack {
+        /// The setting now deployed.
+        restored: DcqcnParams,
+    },
+    /// Tuning is frozen (safe mode): `fallback` was deployed and any
+    /// action the scheme emits will be suppressed until further notice.
+    Frozen {
+        /// The safe fallback setting now deployed.
+        fallback: DcqcnParams,
+    },
+    /// Safe mode ended; the scheme may tune again.
+    Unfrozen,
+}
+
 /// A pluggable DCQCN tuning scheme driven once per monitor interval.
 pub trait TuningScheme {
     /// Consume one interval's observation; optionally emit an action.
@@ -91,6 +124,10 @@ pub trait TuningScheme {
 
     /// Scheme name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Dispatch-path feedback (rejection, rollback, freeze). Default:
+    /// ignored — schemes without episode state need nothing here.
+    fn on_feedback(&mut self, _feedback: &TuningFeedback) {}
 
     /// Bytes the controller dispatches per action (Table IV accounting):
     /// default = one parameter vector.

@@ -9,7 +9,7 @@
 use paraleon_dcqcn::{DcqcnParams, ParamSpace};
 
 use crate::sa::{SaConfig, SaTuner};
-use crate::{Observation, TuningAction, TuningScheme};
+use crate::{Observation, TuningAction, TuningFeedback, TuningScheme};
 
 /// Configuration of the full scheme.
 #[derive(Debug, Clone)]
@@ -59,6 +59,10 @@ pub struct ParaleonScheme {
     /// Utility accumulator for the candidate under evaluation.
     eval_sum: f64,
     eval_count: u32,
+    /// The candidate under evaluation was refused or rolled back by the
+    /// guardrail: complete its SA round with zero utility so the search
+    /// moves away from it instead of waiting out the evaluation window.
+    penalty_pending: bool,
 }
 
 impl ParaleonScheme {
@@ -79,6 +83,7 @@ impl ParaleonScheme {
             eval_intervals: cfg.eval_intervals.max(1),
             eval_sum: 0.0,
             eval_count: 0,
+            penalty_pending: false,
         }
     }
 
@@ -103,6 +108,7 @@ impl TuningScheme for ParaleonScheme {
                     self.episode_dominant = Some(obs.dominant);
                     self.eval_sum = 0.0;
                     self.eval_count = 0;
+                    self.penalty_pending = false;
                     // First candidate: mutate immediately using the fresh
                     // FSD; the measured utility of the *deployed* setting
                     // seeds the accept baseline.
@@ -130,6 +136,7 @@ impl TuningScheme for ParaleonScheme {
                     self.episode_dominant = Some(obs.dominant);
                     self.eval_sum = 0.0;
                     self.eval_count = 0;
+                    self.penalty_pending = false;
                     match self.tuner.step(obs.utility, obs.dominant, obs.mu) {
                         Some(p) => {
                             self.deployed = p.clone();
@@ -140,15 +147,25 @@ impl TuningScheme for ParaleonScheme {
                 }
                 // Accumulate the candidate's utility; only complete an
                 // Algorithm-1 round once it has been measured for
-                // `eval_intervals` monitor intervals.
-                self.eval_sum += obs.utility;
-                self.eval_count += 1;
-                if self.eval_count < self.eval_intervals {
-                    return None;
-                }
-                let mean_util = self.eval_sum / self.eval_count as f64;
-                self.eval_sum = 0.0;
-                self.eval_count = 0;
+                // `eval_intervals` monitor intervals. A guardrail
+                // rejection/rollback short-circuits the window: the
+                // candidate scores zero and the search moves on now.
+                let mean_util = if self.penalty_pending {
+                    self.penalty_pending = false;
+                    self.eval_sum = 0.0;
+                    self.eval_count = 0;
+                    0.0
+                } else {
+                    self.eval_sum += obs.utility;
+                    self.eval_count += 1;
+                    if self.eval_count < self.eval_intervals {
+                        return None;
+                    }
+                    let m = self.eval_sum / self.eval_count as f64;
+                    self.eval_sum = 0.0;
+                    self.eval_count = 0;
+                    m
+                };
                 match self.tuner.step(mean_util, obs.dominant, obs.mu) {
                     Some(p) => {
                         self.deployed = p.clone();
@@ -169,6 +186,40 @@ impl TuningScheme for ParaleonScheme {
 
     fn name(&self) -> &'static str {
         "PARALEON"
+    }
+
+    fn on_feedback(&mut self, feedback: &TuningFeedback) {
+        match feedback {
+            TuningFeedback::Rejected { deployed } => {
+                // The candidate never reached the fabric: what we thought
+                // we deployed is wrong, and the candidate must score 0.
+                self.deployed = deployed.clone();
+                if self.tuning() {
+                    self.penalty_pending = true;
+                }
+            }
+            TuningFeedback::RolledBack { restored } => {
+                self.deployed = restored.clone();
+                if self.tuning() {
+                    self.penalty_pending = true;
+                }
+            }
+            TuningFeedback::Frozen { fallback } => {
+                // Safe mode: abandon the episode entirely; a fresh KL
+                // trigger after the freeze starts a new search from the
+                // fallback setting.
+                if self.tuning() {
+                    self.episodes += 1;
+                }
+                self.phase = Phase::Idle;
+                self.deployed = fallback.clone();
+                self.episode_dominant = None;
+                self.eval_sum = 0.0;
+                self.eval_count = 0;
+                self.penalty_pending = false;
+            }
+            TuningFeedback::Unfrozen => {}
+        }
     }
 }
 
@@ -251,6 +302,48 @@ mod tests {
         }
         assert!(!s.tuning(), "restarted episode must converge");
         assert_eq!(s.episodes, 2);
+    }
+
+    #[test]
+    fn rollback_feedback_penalizes_candidate_and_resyncs_deployed() {
+        let mut s = ParaleonScheme::new(ParaleonSchemeConfig {
+            eval_intervals: 4,
+            ..Default::default()
+        });
+        s.on_interval(&obs(0.5, true));
+        let candidate = s.deployed().clone();
+        let good = DcqcnParams::expert();
+        s.on_feedback(&TuningFeedback::RolledBack {
+            restored: good.clone(),
+        });
+        assert_eq!(s.deployed(), &good, "deployed must track the rollback");
+        // The next interval completes the round immediately (no waiting
+        // out the 4-interval evaluation window) and moves to a new
+        // candidate.
+        let next = s.on_interval(&obs(0.9, false));
+        assert!(next.is_some(), "penalized round must emit a new candidate");
+        if let Some(TuningAction::Global(p)) = next {
+            assert_ne!(p, candidate, "the collapsed candidate is abandoned");
+        }
+    }
+
+    #[test]
+    fn frozen_feedback_abandons_episode_until_next_trigger() {
+        let mut s = ParaleonScheme::new(ParaleonSchemeConfig::default());
+        s.on_interval(&obs(0.5, true));
+        assert!(s.tuning());
+        let fallback = DcqcnParams::nvidia_default();
+        s.on_feedback(&TuningFeedback::Frozen {
+            fallback: fallback.clone(),
+        });
+        assert!(!s.tuning(), "freeze must end the episode");
+        assert_eq!(s.deployed(), &fallback);
+        assert_eq!(s.episodes, 1, "the aborted episode is accounted");
+        // Quiet intervals keep it idle; a new trigger starts tuning again.
+        assert!(s.on_interval(&obs(0.5, false)).is_none());
+        s.on_feedback(&TuningFeedback::Unfrozen);
+        assert!(s.on_interval(&obs(0.5, true)).is_some());
+        assert!(s.tuning());
     }
 
     #[test]

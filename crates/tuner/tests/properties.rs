@@ -23,6 +23,7 @@ fn obs(utility: f64, mu: f64, elephant: bool, triggered: bool) -> Observation {
         mu,
         tuning_triggered: triggered,
         switch_obs: vec![SwitchLocalObs {
+            switch_index: 0,
             tx_utilization: utility,
             marking_rate: 1.0 - utility,
             queue_frac: 0.5,
@@ -140,14 +141,14 @@ proptest! {
         );
         for u in utils {
             let mut o = obs(u, 0.6, true, false);
-            o.switch_obs = vec![
-                SwitchLocalObs {
+            o.switch_obs = (0..n_switches)
+                .map(|i| SwitchLocalObs {
+                    switch_index: i,
                     tx_utilization: u,
                     marking_rate: (1.0 - u) / 2.0,
                     queue_frac: u / 2.0,
-                };
-                n_switches
-            ];
+                })
+                .collect();
             match acc.on_interval(&o) {
                 Some(TuningAction::PerSwitchEcn(v)) => {
                     prop_assert_eq!(v.len(), n_switches);
