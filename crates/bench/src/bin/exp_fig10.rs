@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p paraleon-bench --bin exp_fig10 [--paper]`
 
 use paraleon::prelude::*;
-use paraleon_bench::{print_table, write_json, Scale};
+use paraleon_bench::{print_table, sweep, write_json, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -83,11 +83,23 @@ fn main() {
         MonitorKind::Paraleon,
     ];
     let loads = [0.3, 0.5, 0.7];
+    // Every (load, monitor) cell is an independent simulation: fan them
+    // across worker threads, collect in cell order (so output and JSON
+    // match a `--serial` run byte for byte).
+    let jobs: Vec<_> = loads
+        .iter()
+        .flat_map(|&load| {
+            monitors
+                .iter()
+                .map(move |m| move || run_one(scale, m.clone(), load))
+        })
+        .collect();
+    let mut results = sweep::run(sweep::threads_from_args(), jobs).into_iter();
     let mut out = Vec::new();
     for load in loads {
         let mut rows = Vec::new();
-        for m in &monitors {
-            let r = run_one(scale, m.clone(), load);
+        for _ in &monitors {
+            let r = results.next().expect("one result per cell");
             rows.push(vec![
                 r.monitor.clone(),
                 format!("{:.3}", r.fsd_accuracy),

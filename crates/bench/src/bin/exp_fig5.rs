@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p paraleon-bench --bin exp_fig5 [--paper]`
 
 use paraleon::prelude::*;
-use paraleon_bench::{gbps_of, print_table, tail_goodput, tail_rtt_us, write_json, Scale};
+use paraleon_bench::{gbps_of, print_table, sweep, tail_goodput, tail_rtt_us, write_json, Scale};
 use paraleon_dcqcn::ParamId;
 use serde::Serialize;
 
@@ -30,7 +30,7 @@ struct Point {
 /// has an observable effect, as in the paper's Figure 5.
 fn measure(scale: Scale, params: DcqcnParams) -> (f64, f64) {
     let cfg = SimConfig {
-        dcqcn: params.clone(),
+        dcqcn: params,
         ..SimConfig::default()
     };
     let mut cl = ClosedLoop::builder(scale.clos())
@@ -86,17 +86,34 @@ fn main() {
         (ParamId::KMax, vec![100.0, 400.0, 1600.0, 6400.0, 12800.0]),
     ];
     println!("Figure 5 reproduction ({} scale)", scale.label());
+    // Flatten the sweep grid into independent cells and fan them across
+    // worker threads; results come back in cell order, so the tables and
+    // the JSON are byte-identical to a `--serial` run.
+    let cells: Vec<(ParamId, f64)> = sweeps
+        .iter()
+        .flat_map(|(param, values)| values.iter().map(|&v| (*param, v)))
+        .collect();
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|&(param, v)| {
+            move || {
+                let mut p = DcqcnParams::nvidia_default();
+                p.set(param, v);
+                if param == ParamId::KMax {
+                    // Keep the thresholds consistent like operators do.
+                    p.k_min = (v / 4.0).max(10.0);
+                }
+                measure(scale, p)
+            }
+        })
+        .collect();
+    let measured = sweep::run(sweep::threads_from_args(), jobs);
     let mut out = Vec::new();
+    let mut it = cells.iter().zip(measured);
     for (param, values) in &sweeps {
         let mut rows = Vec::new();
-        for &v in values {
-            let mut p = DcqcnParams::nvidia_default();
-            p.set(*param, v);
-            if *param == ParamId::KMax {
-                // Keep the thresholds consistent like operators do.
-                p.k_min = (v / 4.0).max(10.0);
-            }
-            let (tp, rtt) = measure(scale, p);
+        for _ in values {
+            let (&(_, v), (tp, rtt)) = it.next().expect("one result per cell");
             rows.push(vec![
                 format!("{v}"),
                 format!("{:.1}", gbps_of(tp)),

@@ -30,7 +30,7 @@ fn measure(scale: Scale, rpg_time_reset: f64, k_max: f64) -> (f64, f64) {
     p.k_max = k_max;
     p.k_min = (k_max / 4.0).max(10.0);
     let cfg = SimConfig {
-        dcqcn: p.clone(),
+        dcqcn: p,
         ..SimConfig::default()
     };
     let mut cl = ClosedLoop::builder(scale.clos())

@@ -159,7 +159,7 @@ fn pretrain_alltoall(scale: Scale) -> DcqcnParams {
         rounds: Some(12),
     });
     drivers::run_alltoall(&mut cl, &mut a2a, 0, 2 * SEC);
-    cl.last_params.clone()
+    cl.last_params
 }
 
 fn pretrain_fb(scale: Scale) -> DcqcnParams {
@@ -183,7 +183,7 @@ fn pretrain_fb(scale: Scale) -> DcqcnParams {
     let mut rng = StdRng::seed_from_u64(31);
     let flows = wl.generate(&mut rng);
     drivers::run_schedule(&mut cl, &flows, scale.fb_window());
-    cl.last_params.clone()
+    cl.last_params
 }
 
 fn summarize(series: &[Series]) {

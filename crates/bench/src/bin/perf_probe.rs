@@ -1,11 +1,53 @@
-//! Quick performance probe (not a paper experiment): measures simulator
-//! event throughput at paper scale to size the default experiment scale.
-use paraleon::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Performance benchmark harness for the simulator core.
+//!
+//! Three modes:
+//!
+//! * default — one human-readable run of the standard probe (quick
+//!   sanity check while hacking on the hot path).
+//! * `--json` — the full harness: single-thread event throughput
+//!   (min-of-N over the standard two-tier CLOS probe: 20 ms of load
+//!   run to a 25 ms horizon), plus
+//!   multi-seed sweep wall-clock at 1/2/4/8 worker threads through the
+//!   parallel runner. Writes `results/BENCH_netsim.json`, the committed
+//!   perf baseline.
+//! * `--check <baseline.json>` — CI regression gate: re-measures
+//!   single-thread throughput and exits non-zero if it is more than 25%
+//!   below the baseline's `events_per_sec`.
+//!
+//! Min-of-N (not mean) is deliberate: throughput noise on a shared box
+//! is strictly additive (preemption, cache pollution), so the minimum
+//! wall time is the best estimator of the code's true cost.
+
 use std::time::Instant;
 
-fn main() {
+use paraleon::prelude::*;
+use paraleon_bench::{sweep, write_json};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use serde_json::Value;
+
+/// Repetitions per measurement; the minimum wall time wins.
+const RUNS: usize = 3;
+/// `--check` fails when throughput drops more than this fraction below
+/// the committed baseline.
+const REGRESSION_FRAC: f64 = 0.25;
+/// Seeds fanned through the parallel runner for the scaling measurement.
+const SWEEP_SEEDS: u64 = 8;
+
+struct ProbeRun {
+    events: u64,
+    wall_s: f64,
+    completions: usize,
+    flows: usize,
+}
+
+/// The standard probe: the paper's 128-host two-tier CLOS under a 0.3
+/// load FB_Hadoop Poisson workload for `sim_ms` of simulated load (run
+/// to a `sim_ms + 5` horizon so in-flight flows drain), with the full
+/// PARALEON closed loop attached. One fixed seed — the run is
+/// deterministic, so every invocation simulates the identical trace.
+fn standard_probe(sim_ms: u64, seed: u64) -> ProbeRun {
     let topo = Topology::two_tier_clos(8, 16, 4, 100.0, 100.0, 5_000);
     let wl = PoissonWorkload::new(
         PoissonConfig {
@@ -13,25 +55,228 @@ fn main() {
             host_bw_bytes_per_sec: 12.5e9,
             load: 0.3,
             start: 0,
-            end: 20 * MILLI,
+            end: sim_ms * MILLI,
         },
         FlowSizeDist::fb_hadoop(),
     );
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = StdRng::seed_from_u64(seed);
     let flows = wl.generate(&mut rng);
-    println!("flows: {}", flows.len());
     let mut cl = ClosedLoop::builder(topo)
         .scheme(SchemeKind::Paraleon)
         .build();
     let t0 = Instant::now();
-    drivers::run_schedule(&mut cl, &flows, 25 * MILLI);
-    let wall = t0.elapsed();
+    drivers::run_schedule(&mut cl, &flows, (sim_ms + 5) * MILLI);
+    ProbeRun {
+        events: cl.sim.events_processed,
+        wall_s: t0.elapsed().as_secs_f64(),
+        completions: cl.completions.len(),
+        flows: flows.len(),
+    }
+}
+
+/// Best-of-N single-thread measurement of the standard probe.
+fn measure_single_thread() -> ProbeRun {
+    let mut best: Option<ProbeRun> = None;
+    for _ in 0..RUNS {
+        let r = standard_probe(20, 5);
+        if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
+            best = Some(r);
+        }
+    }
+    best.expect("RUNS > 0")
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    threads: usize,
+    wall_seconds: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    /// Bump when the shape of this file changes.
+    schema: u32,
+    /// What the probe simulates, for the reader of the JSON.
+    probe: String,
+    runs_per_measurement: usize,
+    /// Events in the deterministic probe trace (identical every run).
+    events: u64,
+    flows: usize,
+    completions: usize,
+    wall_seconds: f64,
+    /// The number the CI gate compares.
+    events_per_sec: f64,
+    /// Worker threads the measuring machine could actually run; scaling
+    /// points beyond this are expected to be flat.
+    threads_available: usize,
+    /// Multi-seed sweep through the parallel runner at 1/2/4/8 workers.
+    sweep_scaling: Vec<SweepPoint>,
+    /// Whether every thread count produced the identical result vector.
+    sweep_deterministic: bool,
+}
+
+/// One cell of the scaling sweep: a short paper-scale probe at `seed`.
+/// Returns the processed-event count — both the work done and a
+/// determinism fingerprint.
+fn sweep_cell(seed: u64) -> u64 {
+    standard_probe(3, seed).events
+}
+
+fn measure_sweep_scaling() -> (Vec<SweepPoint>, bool) {
+    let seeds: Vec<u64> = (0..SWEEP_SEEDS).collect();
+    let mut points = Vec::new();
+    let mut fingerprints: Vec<Vec<u64>> = Vec::new();
+    let mut serial_wall = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let mut best = f64::INFINITY;
+        let mut runs = RUNS;
+        if threads > 1 {
+            runs = 1; // scaling points are comparative, not baselines
+        }
+        for _ in 0..runs {
+            let jobs: Vec<_> = seeds.iter().map(|&s| move || sweep_cell(s)).collect();
+            let t0 = Instant::now();
+            let out = sweep::run(threads, jobs);
+            best = best.min(t0.elapsed().as_secs_f64());
+            fingerprints.push(out);
+        }
+        if threads == 1 {
+            serial_wall = best;
+        }
+        points.push(SweepPoint {
+            threads,
+            wall_seconds: best,
+            speedup: serial_wall / best,
+        });
+        eprintln!(
+            "sweep {} thread(s): {:.2}s (speedup {:.2}x)",
+            threads,
+            best,
+            serial_wall / best
+        );
+    }
+    let deterministic = fingerprints.windows(2).all(|w| w[0] == w[1]);
+    (points, deterministic)
+}
+
+/// `entries["key"]` on the vendored flat JSON object model.
+fn field<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn check(baseline_path: &str) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let baseline = match serde_json::from_str_value(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot parse baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let Some(base_eps) = field(&baseline, "events_per_sec").and_then(as_f64) else {
+        eprintln!("baseline {baseline_path} has no events_per_sec field");
+        return 2;
+    };
+    let r = measure_single_thread();
+    let eps = r.events as f64 / r.wall_s;
+    let floor = base_eps * (1.0 - REGRESSION_FRAC);
     println!(
-        "sim 25ms wall {:?}  events {}  ev/s {:.1}M  completions {}/{}",
-        wall,
-        cl.sim.events_processed,
-        cl.sim.events_processed as f64 / wall.as_secs_f64() / 1e6,
-        cl.completions.len(),
-        flows.len()
+        "perf check: measured {:.2}M ev/s, baseline {:.2}M ev/s, floor {:.2}M ev/s",
+        eps / 1e6,
+        base_eps / 1e6,
+        floor / 1e6
+    );
+    if eps < floor {
+        println!(
+            "REGRESSION: event throughput dropped {:.0}% (limit {:.0}%)",
+            (1.0 - eps / base_eps) * 100.0,
+            REGRESSION_FRAC * 100.0
+        );
+        1
+    } else {
+        println!("perf check passed");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("usage: perf_probe --check <baseline.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(check(path));
+    }
+    if args.iter().any(|a| a == "--json") {
+        eprintln!("measuring single-thread throughput ({RUNS} runs)...");
+        let r = measure_single_thread();
+        let eps = r.events as f64 / r.wall_s;
+        eprintln!(
+            "single thread: {:.2}s, {} events, {:.2}M ev/s",
+            r.wall_s,
+            r.events,
+            eps / 1e6
+        );
+        let (scaling, deterministic) = measure_sweep_scaling();
+        let report = Report {
+            schema: 1,
+            probe: "two_tier_clos(8x16, 4 leaves, 100G, 5us) + fb_hadoop poisson \
+                    load 0.3 seed 5, 20ms of load run to 25ms, full PARALEON loop"
+                .to_string(),
+            runs_per_measurement: RUNS,
+            events: r.events,
+            flows: r.flows,
+            completions: r.completions,
+            wall_seconds: r.wall_s,
+            events_per_sec: eps,
+            threads_available: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            sweep_scaling: scaling,
+            sweep_deterministic: deterministic,
+        };
+        assert!(
+            report.sweep_deterministic,
+            "parallel sweep produced thread-count-dependent results"
+        );
+        write_json("BENCH_netsim", &report);
+        return;
+    }
+    // Default: one human-readable probe run (`--ms N` shortens it).
+    let ms = args
+        .iter()
+        .position(|a| a == "--ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let r = standard_probe(ms, 5);
+    println!(
+        "sim {}ms wall {:.3}s  events {}  ev/s {:.1}M  completions {}/{}",
+        ms,
+        r.wall_s,
+        r.events,
+        r.events as f64 / r.wall_s / 1e6,
+        r.completions,
+        r.flows
     );
 }

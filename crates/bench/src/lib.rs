@@ -13,6 +13,8 @@
 //! Results print as aligned text tables and are also dumped as JSON under
 //! `results/` so EXPERIMENTS.md can reference machine-readable runs.
 
+pub mod sweep;
+
 use std::io::Write;
 use std::path::PathBuf;
 

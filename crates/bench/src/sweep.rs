@@ -1,0 +1,149 @@
+//! Parallel experiment sweep runner.
+//!
+//! The experiment binaries are embarrassingly parallel at the job level:
+//! every (configuration, seed) cell of a sweep runs an independent,
+//! deterministic simulation. This module fans a job list across scoped
+//! worker threads (`std::thread::scope` — no external runtime) and
+//! returns results **in job order**, regardless of which worker finished
+//! first. Because each job is a pure function of its inputs and the
+//! output vector is index-addressed, a parallel run produces *byte
+//! identical* results (and therefore identical `results/*.json`) to a
+//! serial one — the scheduler can only change wall-clock time, never
+//! content. The perf harness relies on this to measure sweep scaling.
+//!
+//! Worker count comes from `--threads N` / `PARALEON_SWEEP_THREADS`,
+//! defaulting to the machine's available parallelism; `--serial` (or
+//! `--threads 1`) forces in-place serial execution for A/B checks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread count for sweeps: `--threads N` beats
+/// `PARALEON_SWEEP_THREADS` beats available parallelism; `--serial`
+/// forces 1.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--serial") {
+        return 1;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            return n.max(1);
+        }
+    }
+    if let Ok(v) = std::env::var("PARALEON_SWEEP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run every job and return the results in job order.
+///
+/// With `threads <= 1` the jobs run serially on the calling thread — the
+/// reference execution. Otherwise `threads` scoped workers pull jobs off
+/// a shared atomic cursor (dynamic load balancing: simulation cells can
+/// differ in cost by an order of magnitude) and write each result into
+/// its job's slot.
+pub fn run<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let n = jobs.len();
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i]
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("job taken twice");
+                *slots[i].lock().expect("slot mutex poisoned") = Some(job());
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("job produced no result")
+        })
+        .collect()
+}
+
+/// Fan a (config × seed) grid: `f(config, seed)` for every cell, results
+/// in row-major `(config, seed)` order — the common shape of the
+/// experiment binaries' multi-seed sweeps.
+pub fn run_grid<C, T, F>(threads: usize, configs: &[C], seeds: &[u64], f: F) -> Vec<T>
+where
+    C: Sync,
+    F: Fn(&C, u64) -> T + Sync + Send,
+    T: Send,
+{
+    let f = &f;
+    let jobs: Vec<_> = configs
+        .iter()
+        .flat_map(|c| seeds.iter().map(move |&s| move || f(c, s)))
+        .collect();
+    run(threads, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<_> = (0..64u64)
+            .map(|i| {
+                move || {
+                    // Stagger completion so later jobs often finish first.
+                    std::thread::sleep(std::time::Duration::from_micros(64 - i));
+                    i * i
+                }
+            })
+            .collect();
+        let got = run(8, jobs);
+        let want: Vec<u64> = (0..64).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mk = |threads| {
+            let jobs: Vec<_> = (0..40u64)
+                .map(|i| move || i.wrapping_mul(0xDEAD_BEEF))
+                .collect();
+            run(threads, jobs)
+        };
+        assert_eq!(mk(1), mk(4));
+    }
+
+    #[test]
+    fn grid_is_row_major() {
+        let got = run_grid(4, &[10u64, 20], &[1, 2, 3], |c, s| c + s);
+        assert_eq!(got, vec![11, 12, 13, 21, 22, 23]);
+    }
+
+    #[test]
+    fn zero_and_single_job_edge_cases() {
+        let empty: Vec<fn() -> u32> = Vec::new();
+        assert!(run(4, empty).is_empty());
+        assert_eq!(run(4, vec![|| 7u32]), vec![7]);
+    }
+}

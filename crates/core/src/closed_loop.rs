@@ -267,7 +267,7 @@ impl ClosedLoop {
                     tel::event(tel::Event::GuardrailRollback);
                     self.sim.set_dcqcn_params(&p);
                     guard_dispatch_bytes += p.wire_size_bytes() as u64;
-                    self.last_params = p.clone();
+                    self.last_params = p;
                     self.scheme
                         .on_feedback(&TuningFeedback::RolledBack { restored: p });
                     rolled_back = true;
@@ -280,7 +280,7 @@ impl ClosedLoop {
                     tel::event(tel::Event::SafeModeEnter { backoff_intervals });
                     self.sim.set_dcqcn_params(&params);
                     guard_dispatch_bytes += params.wire_size_bytes() as u64;
-                    self.last_params = params.clone();
+                    self.last_params = params;
                     self.scheme
                         .on_feedback(&TuningFeedback::Frozen { fallback: params });
                     guard_acted = true;
@@ -332,7 +332,7 @@ impl ClosedLoop {
                     tel::series("guardrail_reject", 0, 1.0);
                     let _ = reason; // carried in telemetry counters
                     self.scheme.on_feedback(&TuningFeedback::Rejected {
-                        deployed: self.last_params.clone(),
+                        deployed: self.last_params,
                     });
                     rejected = true;
                     None
@@ -512,7 +512,7 @@ impl ClosedLoopBuilder {
         sim_cfg.seed = self.seed;
         self.scheme.apply_sim_config(&mut sim_cfg);
         sim_cfg.tos_dedup = self.monitor.wants_tos_dedup();
-        let initial = sim_cfg.dcqcn.clone();
+        let initial = sim_cfg.dcqcn;
         let truth = sim_cfg
             .track_ground_truth
             .then(|| SlidingWindowClassifier::new(WindowConfig::default()));
@@ -524,9 +524,7 @@ impl ClosedLoopBuilder {
             scheme: self
                 .custom_scheme
                 .unwrap_or_else(|| self.scheme.build_tuner(self.seed)),
-            guard: self
-                .guardrail
-                .map(|cfg| Guardrail::new(cfg, initial.clone())),
+            guard: self.guardrail.map(|cfg| Guardrail::new(cfg, initial)),
             cfg: self.loop_cfg,
             ledger: TransferLedger::new(),
             history: Vec::new(),

@@ -281,7 +281,7 @@ impl Guardrail {
                 Ok(()) => {
                     self.state = GuardState::HoldDown {
                         remaining: self.cfg.hold_down_intervals.max(1),
-                        candidate: p.clone(),
+                        candidate: p,
                     };
                     ScreenOutcome::Dispatch(TuningAction::Global(p))
                 }
@@ -374,13 +374,13 @@ impl Guardrail {
                         self.state = GuardState::SafeMode { remaining: backoff };
                         // The fallback becomes the snapshot future
                         // rollbacks restore.
-                        self.last_good = self.cfg.safe_params.clone();
+                        self.last_good = self.cfg.safe_params;
                         Some(GuardAction::EnterSafeMode {
-                            params: self.cfg.safe_params.clone(),
+                            params: self.cfg.safe_params,
                             backoff_intervals: backoff,
                         })
                     } else {
-                        Some(GuardAction::Rollback(self.last_good.clone()))
+                        Some(GuardAction::Rollback(self.last_good))
                     }
                 } else if remaining <= 1 {
                     // Survived the watch window: commit.
@@ -486,7 +486,7 @@ mod tests {
         let mut g = guard();
         warm(&mut g, 6);
         let cand = DcqcnParams::expert();
-        let out = g.screen(TuningAction::Global(cand.clone()), 4);
+        let out = g.screen(TuningAction::Global(cand), 4);
         assert!(matches!(out, ScreenOutcome::Dispatch(_)));
         assert!(g.in_hold_down());
         // Quiet hold-down: after the window the candidate is the new
@@ -502,11 +502,11 @@ mod tests {
     fn utility_collapse_rolls_back_to_last_known_good() {
         let mut g = guard();
         warm(&mut g, 6);
-        let good = g.last_known_good().clone();
+        let good = *g.last_known_good();
         g.screen(TuningAction::Global(DcqcnParams::expert()), 4);
         // Utility collapses to far below 0.6 × baseline.
         let act = g.observe(0.1, 1e9, 0.0, &[0]);
-        assert_eq!(act, Some(GuardAction::Rollback(good.clone())));
+        assert_eq!(act, Some(GuardAction::Rollback(good)));
         assert_eq!(g.rollbacks, 1);
         assert_eq!(
             g.last_known_good(),
@@ -556,7 +556,7 @@ mod tests {
         assert_eq!(
             act,
             Some(GuardAction::EnterSafeMode {
-                params: cfg.safe_params.clone(),
+                params: cfg.safe_params,
                 backoff_intervals: 4,
             })
         );

@@ -55,7 +55,7 @@ impl SchemeKind {
     pub fn initial_params(&self) -> DcqcnParams {
         match self {
             SchemeKind::Expert => DcqcnParams::expert(),
-            SchemeKind::Static(p, _) => p.clone(),
+            SchemeKind::Static(p, _) => *p,
             _ => DcqcnParams::nvidia_default(),
         }
     }
@@ -72,7 +72,7 @@ impl SchemeKind {
         match self {
             SchemeKind::Default => Box::new(StaticScheme::nvidia_default()),
             SchemeKind::Expert => Box::new(StaticScheme::expert()),
-            SchemeKind::Static(p, label) => Box::new(StaticScheme::new(p.clone(), label)),
+            SchemeKind::Static(p, label) => Box::new(StaticScheme::new(*p, label)),
             SchemeKind::DcqcnPlus => Box::new(DcqcnPlusScheme::new()),
             SchemeKind::Acc => Box::new(AccScheme::new(
                 AccConfig {

@@ -173,7 +173,7 @@ mod tests {
         let mut n = np();
         // default min_time_between_cnps = 4 µs
         assert!(n.on_packet(0, true, None).is_some());
-        assert!(n.on_packet(1 * MICRO, true, None).is_none());
+        assert!(n.on_packet(MICRO, true, None).is_none());
         assert!(n.on_packet(3 * MICRO, true, None).is_none());
         assert!(n.on_packet(4 * MICRO, true, None).is_some());
         assert_eq!(n.marked_seen, 4);

@@ -263,7 +263,11 @@ fn spec(
 ///
 /// Units follow the NVIDIA documentation: rates in Mbps, times in µs,
 /// byte counters and ECN thresholds in KB, probabilities dimensionless.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The struct is `Copy` (13 × f64 + bool, no heap): per-flow RP/NP state
+/// embeds its own parameter block by plain bitwise copy, so admitting a
+/// flow or dispatching a tuning round never allocates or clones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DcqcnParams {
     /// Additive-increase step, Mbps.
     pub ai_rate: f64,

@@ -139,7 +139,7 @@ proptest! {
         p.normalize(&space);
         let q = DcqcnParams::from_vector(&p.to_vector());
         prop_assert_eq!(p.clone(), q);
-        let mut r = p.clone();
+        let mut r = p;
         r.normalize(&space);
         prop_assert_eq!(p, r);
     }

@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod event;
+pub mod fasthash;
 pub mod fault;
 pub mod metrics;
 pub(crate) mod node;
@@ -33,7 +34,7 @@ pub mod topology;
 pub use config::SimConfig;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{FlowRecord, IntervalMetrics, SwitchObs};
-pub use packet::{Packet, PacketKind};
+pub use packet::{Packet, PacketId, PacketKind, PacketPool};
 pub use sim::{SimError, Simulator};
 pub use topology::{gbps, NodeKind, Port, Topology};
 

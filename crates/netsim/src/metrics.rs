@@ -7,8 +7,7 @@
 //! agents uploading throughput, RTT and PFC statistics to the centralized
 //! controller once per monitor interval λ_MI.
 
-use std::collections::HashMap;
-
+use crate::fasthash::FastMap;
 use crate::{FlowId, Nanos, NodeId};
 
 /// Raw per-interval counters kept by the simulator (reset every collect).
@@ -43,7 +42,7 @@ pub(crate) struct IntervalAccum {
     /// switch order).
     pub switch_tx_bytes: Vec<u64>,
     /// Ground-truth bytes injected per flow this interval (optional).
-    pub truth_flow_bytes: HashMap<FlowId, u64>,
+    pub truth_flow_bytes: FastMap<FlowId, u64>,
 }
 
 impl IntervalAccum {

@@ -1,12 +1,27 @@
 //! Per-node mutable state: host RNICs and switches.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use paraleon_dcqcn::{DcqcnParams, EcnMarker, IncastScaler, NpState, RpState};
 use paraleon_sketch::ElasticSketch;
 
-use crate::packet::{Packet, N_CLASSES};
+use crate::fasthash::FastMap;
+use crate::packet::{PacketId, N_CLASSES};
 use crate::{FlowId, Nanos, NodeId};
+
+/// An egress-queue entry: the packet's arena handle plus the two header
+/// fields the egress path needs, cached inline so dequeueing and
+/// serialization never have to chase the (usually cache-cold) arena slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueuedPkt {
+    /// Arena handle.
+    pub id: PacketId,
+    /// Wire bytes (byte accounting + serialization time).
+    pub wire: u32,
+    /// Ingress port the packet entered through (switch PFC accounting;
+    /// 0 in host egress queues, which have no ingress side).
+    pub in_port: u16,
+}
 
 /// Sender-side per-flow (per-QP) state on a host.
 #[derive(Debug)]
@@ -49,18 +64,19 @@ pub(crate) struct RecvFlow {
 /// A host with one RNIC port.
 #[derive(Debug)]
 pub(crate) struct HostState {
-    /// Per-class egress queues (data, control).
-    pub tx_queues: [VecDeque<Packet>; N_CLASSES],
+    /// Per-class egress queues (data, control); packets stay in the
+    /// simulator's arena, queues move slim handle entries.
+    pub tx_queues: [VecDeque<QueuedPkt>; N_CLASSES],
     /// Whether the port is mid-serialization.
     pub tx_busy: bool,
     /// PFC: lossless-class egress paused by the ToR.
     pub data_paused: bool,
     /// When the current pause began (for pause-duration accounting).
     pub pause_started: Option<Nanos>,
-    /// Active sender QPs.
-    pub senders: HashMap<FlowId, SenderFlow>,
+    /// Active sender QPs (hot per-packet lookups: deterministic fast map).
+    pub senders: FastMap<FlowId, SenderFlow>,
     /// Active receiver QPs.
-    pub receivers: HashMap<FlowId, RecvFlow>,
+    pub receivers: FastMap<FlowId, RecvFlow>,
     /// DCQCN+ incast scaler (receiver side, shared across QPs).
     pub incast: IncastScaler,
     /// Flows waiting for NIC queue space.
@@ -74,21 +90,21 @@ impl HostState {
             tx_busy: false,
             data_paused: false,
             pause_started: None,
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
+            senders: FastMap::default(),
+            receivers: FastMap::default(),
             incast: IncastScaler::new(base_cnp_interval_us, incast_window),
             blocked: Vec::new(),
         }
     }
 
     /// Pick the next packet to serialize: control strictly first, data
-    /// only when not paused.
-    pub(crate) fn dequeue(&mut self) -> Option<Packet> {
+    /// only when not paused. Returns the entry and its class.
+    pub(crate) fn dequeue(&mut self) -> Option<(QueuedPkt, usize)> {
         if let Some(p) = self.tx_queues[1].pop_front() {
-            return Some(p);
+            return Some((p, 1));
         }
         if !self.data_paused {
-            return self.tx_queues[0].pop_front();
+            return self.tx_queues[0].pop_front().map(|p| (p, 0));
         }
         None
     }
@@ -96,10 +112,10 @@ impl HostState {
     /// Apply a new parameter setting to every live QP.
     pub(crate) fn set_params(&mut self, params: &DcqcnParams) {
         for s in self.senders.values_mut() {
-            s.rp.set_params(params.clone());
+            s.rp.set_params(*params);
         }
         for r in self.receivers.values_mut() {
-            r.np.set_params(params.clone());
+            r.np.set_params(*params);
         }
     }
 }
@@ -107,8 +123,8 @@ impl HostState {
 /// One egress port of a switch.
 #[derive(Debug)]
 pub(crate) struct SwPort {
-    /// Per-class FIFO queues.
-    pub queues: [VecDeque<Packet>; N_CLASSES],
+    /// Per-class FIFO queues (slim handle entries, not packets).
+    pub queues: [VecDeque<QueuedPkt>; N_CLASSES],
     /// Queued bytes per class (wire bytes).
     pub qbytes: [u64; N_CLASSES],
     /// Whether the port is mid-serialization.
@@ -179,17 +195,19 @@ impl SwitchState {
         alpha * (buffer_total.saturating_sub(self.buffer_used)) as f64
     }
 
-    /// Pick the next packet on `port`: control strictly first.
-    pub(crate) fn dequeue(&mut self, port: usize) -> Option<Packet> {
+    /// Pick the next packet on `port`: control strictly first. Byte
+    /// accounting uses the wire size cached in the queue entry — the
+    /// packet arena is never touched on the egress path.
+    pub(crate) fn dequeue(&mut self, port: usize) -> Option<(QueuedPkt, usize)> {
         let p = &mut self.ports[port];
-        if let Some(pkt) = p.queues[1].pop_front() {
-            p.qbytes[1] -= pkt.wire_bytes as u64;
-            return Some(pkt);
+        if let Some(q) = p.queues[1].pop_front() {
+            p.qbytes[1] -= q.wire as u64;
+            return Some((q, 1));
         }
         if !p.data_paused {
-            if let Some(pkt) = p.queues[0].pop_front() {
-                p.qbytes[0] -= pkt.wire_bytes as u64;
-                return Some(pkt);
+            if let Some(q) = p.queues[0].pop_front() {
+                p.qbytes[0] -= q.wire as u64;
+                return Some((q, 0));
             }
         }
         None

@@ -38,6 +38,12 @@ pub enum PacketKind {
 }
 
 /// A packet in flight or queued.
+///
+/// Kept to 72 bytes: endpoints are `u32` (fabrics beyond 4 G nodes are
+/// out of scope) and per-hop scratch lives in the egress-queue entries,
+/// not here. Packets are copied into the arena once at creation and out
+/// once at consumption; in between everything moves 4-byte [`PacketId`]
+/// handles.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Payload discriminator.
@@ -48,26 +54,23 @@ pub struct Packet {
     /// reuse QPs across rounds, so sketches see one long-lived entity
     /// per (src, dst) pair — the "per-QP size statistics" of the paper.
     pub qp: FlowId,
+    /// When the packet left its source NIC (RTT echo base).
+    pub sent_at: Nanos,
     /// Source host.
-    pub src: NodeId,
+    pub src: u32,
     /// Destination host.
-    pub dst: NodeId,
+    pub dst: u32,
     /// Bytes on the wire (payload + headers).
     pub wire_bytes: u32,
     /// Payload bytes (0 for control frames).
     pub payload_bytes: u32,
-    /// When the packet left its source NIC (RTT echo base).
-    pub sent_at: Nanos,
+    /// Traffic class ([`CLASS_DATA`] or [`CLASS_CTRL`]).
+    pub class: u8,
     /// ECN Congestion Experienced mark (set by switches).
     pub ecn: bool,
     /// Keypoint 1's TOS bit: set once the packet has been inserted into a
     /// measurement sketch, so no later switch double-counts it.
     pub sketched: bool,
-    /// Traffic class ([`CLASS_DATA`] or [`CLASS_CTRL`]).
-    pub class: usize,
-    /// Ingress port at the switch currently holding the packet (per-hop
-    /// scratch used for PFC buffer accounting; rewritten at each hop).
-    pub in_port: usize,
 }
 
 impl Packet {
@@ -88,15 +91,14 @@ impl Packet {
             kind: PacketKind::Data { seq, flow_bytes },
             flow,
             qp,
-            src,
-            dst,
+            src: src as u32,
+            dst: dst as u32,
             wire_bytes: payload + header,
             payload_bytes: payload,
             sent_at: now,
             ecn: false,
             sketched: false,
-            class: CLASS_DATA,
-            in_port: 0,
+            class: CLASS_DATA as u8,
         }
     }
 
@@ -115,15 +117,14 @@ impl Packet {
             kind: PacketKind::Ack { acked_bytes, echo },
             flow,
             qp: flow,
-            src: from,
-            dst: to,
+            src: from as u32,
+            dst: to as u32,
             wire_bytes: ctrl_bytes,
             payload_bytes: 0,
             sent_at: now,
             ecn: false,
             sketched: true, // control frames are never sketched
-            class: CLASS_CTRL,
-            in_port: 0,
+            class: CLASS_CTRL as u8,
         }
     }
 
@@ -142,21 +143,110 @@ impl Packet {
             },
             flow,
             qp: flow,
-            src: from,
-            dst: to,
+            src: from as u32,
+            dst: to as u32,
             wire_bytes: ctrl_bytes,
             payload_bytes: 0,
             sent_at: now,
             ecn: false,
             sketched: true,
-            class: CLASS_CTRL,
-            in_port: 0,
+            class: CLASS_CTRL as u8,
         }
     }
 
     /// Whether this is a data segment.
     pub fn is_data(&self) -> bool {
         matches!(self.kind, PacketKind::Data { .. })
+    }
+}
+
+/// Handle of a packet parked in a [`PacketPool`] while it is "on the
+/// wire" (scheduled as an `Arrive` event). Events carry this 4-byte id
+/// through the scheduler instead of the 72-byte [`Packet`] itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketId(u32);
+
+/// A slab arena for live packets.
+///
+/// A packet enters the arena once, when its source NIC builds it, and
+/// leaves once, when its destination host consumes it (or a switch drops
+/// it). In between, NIC queues, switch queues and `Arrive` events all
+/// carry the 4-byte [`PacketId`] — enqueueing, dequeueing and hopping
+/// never copy the 72-byte [`Packet`]. Freed slots are recycled LIFO, so
+/// the pool's footprint is bounded by the peak number of simultaneously
+/// live packets (not by the run length), and slot assignment is a pure
+/// function of the insert/take sequence — replays allocate identical
+/// ids, preserving determinism trivially.
+#[derive(Debug, Default)]
+pub struct PacketPool {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+}
+
+impl PacketPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park `pkt` and return its handle.
+    #[inline]
+    pub fn insert(&mut self, pkt: Packet) -> PacketId {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = pkt;
+                PacketId(i)
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(pkt);
+                PacketId(i)
+            }
+        }
+    }
+
+    /// Remove and return the packet behind `id`. The handle is dead
+    /// afterwards; its slot is recycled by a later `insert`.
+    #[inline]
+    pub fn take(&mut self, id: PacketId) -> Packet {
+        debug_assert!(!self.free.contains(&id.0), "PacketId {} taken twice", id.0);
+        self.free.push(id.0);
+        self.slots[id.0 as usize]
+    }
+
+    /// Drop the packet behind `id` (a switch drop / fault loss): frees
+    /// the slot without copying the packet out.
+    #[inline]
+    pub fn discard(&mut self, id: PacketId) {
+        debug_assert!(
+            !self.free.contains(&id.0),
+            "PacketId {} discarded twice",
+            id.0
+        );
+        self.free.push(id.0);
+    }
+
+    /// Number of packets currently parked.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Borrow the packet behind `id`.
+    #[inline]
+    pub fn get(&self, id: PacketId) -> &Packet {
+        &self.slots[id.0 as usize]
+    }
+
+    /// Mutably borrow the packet behind `id` (per-hop header rewrites:
+    /// ECN mark, TOS sketched bit).
+    #[inline]
+    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        &mut self.slots[id.0 as usize]
+    }
+
+    /// High-water mark of simultaneously parked packets.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -170,7 +260,7 @@ mod tests {
         assert!(p.is_data());
         assert_eq!(p.wire_bytes, 1048);
         assert_eq!(p.payload_bytes, 1000);
-        assert_eq!(p.class, CLASS_DATA);
+        assert_eq!(p.class as usize, CLASS_DATA);
         assert!(!p.ecn && !p.sketched);
     }
 
@@ -179,11 +269,29 @@ mod tests {
         let a = Packet::ack(7, 1, 0, 123, 5, 64, 10);
         let c = Packet::cnp(7, 1, 0, Some(16.0), 64, 10);
         for p in [a, c] {
-            assert_eq!(p.class, CLASS_CTRL);
+            assert_eq!(p.class as usize, CLASS_CTRL);
             assert!(p.sketched, "control frames must never enter sketches");
             assert!(!p.is_data());
             assert_eq!(p.payload_bytes, 0);
         }
+    }
+
+    #[test]
+    fn pool_recycles_slots_and_tracks_in_flight() {
+        let mut pool = PacketPool::new();
+        let a = pool.insert(Packet::data(1, 1, 0, 1, 0, 1 << 20, 1000, 48, 0));
+        let b = pool.insert(Packet::ack(2, 1, 0, 99, 5, 64, 10));
+        assert_eq!(pool.in_flight(), 2);
+        let pa = pool.take(a);
+        assert_eq!(pa.flow, 1);
+        assert_eq!(pool.in_flight(), 1);
+        // Freed slot is reused (LIFO), keeping the arena compact.
+        let c = pool.insert(Packet::cnp(3, 1, 0, None, 64, 20));
+        assert_eq!(c, a);
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.take(b).flow, 2);
+        assert_eq!(pool.take(c).flow, 3);
+        assert_eq!(pool.in_flight(), 0);
     }
 
     #[test]

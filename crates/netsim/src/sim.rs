@@ -34,8 +34,8 @@ use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan, LinkState};
 use crate::metrics::{FlowRecord, IntervalAccum, IntervalMetrics, SwitchObs};
-use crate::node::{HostState, RecvFlow, SenderFlow, SwitchState};
-use crate::packet::{Packet, PacketKind, CLASS_CTRL, CLASS_DATA};
+use crate::node::{HostState, QueuedPkt, RecvFlow, SenderFlow, SwitchState};
+use crate::packet::{Packet, PacketId, PacketKind, PacketPool, CLASS_CTRL, CLASS_DATA};
 use crate::topology::{NodeKind, Topology};
 use crate::{FlowId, Nanos, NodeId, MICRO};
 
@@ -141,6 +141,17 @@ pub struct Simulator {
     hosts: Vec<HostState>,
     switches: Vec<SwitchState>,
     events: EventQueue,
+    /// Arena for live packets: a packet enters at its source NIC, exits
+    /// at its destination host (or on a drop); queues and `Arrive`
+    /// events carry 4-byte handles in between.
+    packets: PacketPool,
+    /// Per-`(node, port)` serialization time of (one full MTU, one
+    /// control frame) at clean link rate — the two wire sizes virtually
+    /// every packet has, precomputed to keep `f64` ceil-division off the
+    /// per-hop path.
+    ser_cache: Vec<Vec<(Nanos, Nanos)>>,
+    /// `cfg.mtu_wire()`, cached for the serialization fast path.
+    mtu_wire: u32,
     now: Nanos,
     rng: StdRng,
     flows: Vec<FlowMeta>,
@@ -148,10 +159,14 @@ pub struct Simulator {
     accum: IntervalAccum,
     interval_start: Nanos,
     active_flows: usize,
-    base_rtt_cache: std::collections::HashMap<(NodeId, NodeId), Nanos>,
+    base_rtt_cache: crate::fasthash::FastMap<(NodeId, NodeId), Nanos>,
     /// Per-node, per-port runtime link state (mutated by fault events;
     /// all-clean unless a fault plan is installed).
     links: Vec<Vec<LinkState>>,
+    /// Directed links currently down (recounted on LinkDown/LinkUp
+    /// faults). Zero in the common fault-free case, which lets routing
+    /// skip the per-port liveness mask entirely.
+    links_down: u32,
     /// Installed fault transitions, addressed by `Event::Fault` index.
     fault_plan: Vec<FaultEvent>,
     /// Dedicated RNG for corruption draws, so fault injection never
@@ -195,12 +210,29 @@ impl Simulator {
         let links = (0..n_nodes)
             .map(|n| vec![LinkState::default(); topo.ports(n).len()])
             .collect();
+        let mtu_wire = cfg.mtu_wire();
+        let ser_cache = (0..n_nodes)
+            .map(|n| {
+                topo.ports(n)
+                    .iter()
+                    .map(|p| {
+                        (
+                            ((mtu_wire as f64) / p.bw).ceil() as Nanos,
+                            ((cfg.ctrl_bytes as f64) / p.bw).ceil() as Nanos,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
         Self {
             cfg,
             topo,
             hosts,
             switches,
             events: EventQueue::new(),
+            packets: PacketPool::new(),
+            ser_cache,
+            mtu_wire,
             now: 0,
             rng,
             flows: Vec::new(),
@@ -208,8 +240,9 @@ impl Simulator {
             accum,
             interval_start: 0,
             active_flows: 0,
-            base_rtt_cache: std::collections::HashMap::new(),
+            base_rtt_cache: crate::fasthash::FastMap::default(),
             links,
+            links_down: 0,
             fault_plan: Vec::new(),
             fault_rng,
             total_drops: 0,
@@ -324,7 +357,7 @@ impl Simulator {
     /// (the controller's action after a tuning round; homogeneous, like
     /// the paper's centralized design).
     pub fn set_dcqcn_params(&mut self, params: &DcqcnParams) {
-        self.cfg.dcqcn = params.clone();
+        self.cfg.dcqcn = *params;
         for h in &mut self.hosts {
             h.set_params(params);
         }
@@ -435,6 +468,7 @@ impl Simulator {
         match kind {
             FaultKind::LinkDown => {
                 self.set_link_both(node, port, |l| l.up = false);
+                self.recount_links_down();
                 tel::event_at(
                     self.now,
                     tel::Event::FaultLinkDown {
@@ -445,6 +479,7 @@ impl Simulator {
             }
             FaultKind::LinkUp => {
                 self.set_link_both(node, port, |l| l.up = true);
+                self.recount_links_down();
                 tel::event_at(
                     self.now,
                     tel::Event::FaultLinkUp {
@@ -503,6 +538,18 @@ impl Simulator {
         f(&mut self.links[peer.peer][peer.peer_port]);
     }
 
+    /// Recount [`Self::links_down`] after a liveness transition. O(links),
+    /// but only runs on (rare) LinkDown/LinkUp fault events; counting
+    /// transitions instead would miscount idempotent re-application.
+    fn recount_links_down(&mut self) {
+        self.links_down = self
+            .links
+            .iter()
+            .flat_map(|ls| ls.iter())
+            .filter(|l| !l.up)
+            .count() as u32;
+    }
+
     fn kick_port(&mut self, node: NodeId, port: usize) {
         match self.topo.kind(node) {
             NodeKind::Host => {
@@ -541,11 +588,7 @@ impl Simulator {
     /// clock to `t`.
     pub fn run_until(&mut self, t: Nanos) {
         assert!(t >= self.now, "time cannot run backward");
-        while let Some(ts) = self.events.peek_time() {
-            if ts > t {
-                break;
-            }
-            let (ts, ev) = self.events.pop().expect("peeked");
+        while let Some((ts, ev)) = self.events.pop_before(t) {
             debug_assert!(ts >= self.now);
             self.now = ts;
             self.events_processed += 1;
@@ -728,23 +771,31 @@ impl Simulator {
         match ev {
             Event::FlowStart(f) => self.on_flow_start(f),
             Event::QpSend(f) => self.on_qp_send(f),
-            Event::Arrive { node, in_port, pkt } => match self.topo.kind(node) {
-                NodeKind::Host => self.host_receive(node, pkt),
-                _ => self.switch_receive(node, in_port, pkt),
-            },
-            Event::PortFree { node, port } => match self.topo.kind(node) {
-                NodeKind::Host => {
-                    self.hosts[node].tx_busy = false;
-                    self.unblock_host_flows(node);
-                    self.host_try_tx(node);
+            Event::Arrive { node, in_port, pkt } => {
+                let node = node as NodeId;
+                match self.topo.kind(node) {
+                    NodeKind::Host => self.host_receive(node, pkt),
+                    _ => self.switch_receive(node, in_port as usize, pkt),
                 }
-                _ => {
-                    let sw = node - self.topo.n_hosts();
-                    self.switches[sw].ports[port].busy = false;
-                    self.switch_try_tx(node, port);
+            }
+            Event::PortFree { node, port } => {
+                let (node, port) = (node as NodeId, port as usize);
+                match self.topo.kind(node) {
+                    NodeKind::Host => {
+                        self.hosts[node].tx_busy = false;
+                        self.unblock_host_flows(node);
+                        self.host_try_tx(node);
+                    }
+                    _ => {
+                        let sw = node - self.topo.n_hosts();
+                        self.switches[sw].ports[port].busy = false;
+                        self.switch_try_tx(node, port);
+                    }
                 }
-            },
-            Event::PfcSet { node, port, paused } => self.on_pfc_set(node, port, paused),
+            }
+            Event::PfcSet { node, port, paused } => {
+                self.on_pfc_set(node as NodeId, port as usize, paused)
+            }
             Event::RetxCheck(f) => self.on_retx_check(f),
             Event::Fault(idx) => self.apply_fault(idx),
         }
@@ -754,7 +805,7 @@ impl Simulator {
         let meta = self.flows[f as usize];
         let port = self.topo.ports(meta.src)[0];
         let line_rate = port.bw * 1e9; // bytes/ns -> bytes/sec
-        let rp = RpState::new(line_rate, self.cfg.dcqcn.clone(), self.now);
+        let rp = RpState::new(line_rate, self.cfg.dcqcn, self.now);
         self.hosts[meta.src].senders.insert(
             f,
             SenderFlow {
@@ -846,7 +897,12 @@ impl Simulator {
                 self.cfg.header_bytes,
                 self.now,
             );
-            self.hosts[h].tx_queues[CLASS_DATA].push_back(pkt);
+            let id = self.packets.insert(pkt);
+            self.hosts[h].tx_queues[CLASS_DATA].push_back(QueuedPkt {
+                id,
+                wire,
+                in_port: 0,
+            });
         }
         if self.cfg.track_ground_truth {
             *self.accum.truth_flow_bytes.entry(meta.qp).or_insert(0) += payload as u64;
@@ -860,6 +916,26 @@ impl Simulator {
                 .push(self.now + self.cfg.rto, Event::RetxCheck(f));
         }
         self.host_try_tx(h);
+    }
+
+    /// Serialization time of a `wire`-byte packet leaving `(node, port)`.
+    /// Clean links hit the precomputed MTU/control-frame entries; odd
+    /// sizes (a flow's final partial segment) and degraded links pay the
+    /// ceil-division.
+    #[inline]
+    fn ser_time(&self, node: NodeId, port: usize, wire: u32) -> Nanos {
+        let rf = self.links[node][port].rate_factor;
+        if rf == 1.0 {
+            let (ser_mtu, ser_ctrl) = self.ser_cache[node][port];
+            if wire == self.mtu_wire {
+                return ser_mtu;
+            }
+            if wire == self.cfg.ctrl_bytes {
+                return ser_ctrl;
+            }
+        }
+        let rate = self.topo.ports(node)[port].bw * rf.max(f64::MIN_POSITIVE);
+        ((wire as f64) / rate).ceil() as Nanos
     }
 
     fn unblock_host_flows(&mut self, h: NodeId) {
@@ -884,58 +960,76 @@ impl Simulator {
         if self.hosts[h].tx_busy {
             return;
         }
-        let Some(pkt) = self.hosts[h].dequeue() else {
+        let Some((q, class)) = self.hosts[h].dequeue() else {
             return;
         };
         self.hosts[h].tx_busy = true;
-        if pkt.class == CLASS_DATA {
-            self.accum.host_up_bytes[h] += pkt.wire_bytes as u64;
+        if class == CLASS_DATA {
+            self.accum.host_up_bytes[h] += q.wire as u64;
         }
         let port = self.topo.ports(h)[0];
-        let rate = port.bw * self.links[h][0].rate_factor.max(f64::MIN_POSITIVE);
-        let ser = ((pkt.wire_bytes as f64) / rate).ceil() as Nanos;
+        let ser = self.ser_time(h, 0, q.wire);
         if self.link_delivers(h, 0) {
             self.events.push(
                 self.now + ser + port.delay,
                 Event::Arrive {
-                    node: port.peer,
-                    in_port: port.peer_port,
-                    pkt,
+                    node: port.peer as u32,
+                    in_port: port.peer_port as u16,
+                    pkt: q.id,
                 },
             );
+        } else {
+            self.packets.discard(q.id);
         }
-        self.events
-            .push(self.now + ser, Event::PortFree { node: h, port: 0 });
+        self.events.push(
+            self.now + ser,
+            Event::PortFree {
+                node: h as u32,
+                port: 0,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
     // Switch path
     // ------------------------------------------------------------------
 
-    fn switch_receive(&mut self, node: NodeId, in_port: usize, mut pkt: Packet) {
+    fn switch_receive(&mut self, node: NodeId, in_port: usize, id: PacketId) {
         let n_hosts = self.topo.n_hosts();
         let sw = node - n_hosts;
-        let wire = pkt.wire_bytes as u64;
-        if pkt.class == CLASS_DATA {
+        let (wire, class, qp, dst, payload, already_sketched) = {
+            let pkt = self.packets.get(id);
+            (
+                pkt.wire_bytes as u64,
+                pkt.class as usize,
+                pkt.qp,
+                pkt.dst as NodeId,
+                pkt.payload_bytes as u64,
+                pkt.sketched,
+            )
+        };
+        if class == CLASS_DATA {
+            // One bounds-checked index into the switch table for the whole
+            // admission + PFC + sketch block (this runs per data packet
+            // per hop; `accum`/`events`/`packets` are disjoint fields, so
+            // the scoped borrow coexists with them).
+            let s = &mut self.switches[sw];
             // Shared-buffer admission.
-            if self.switches[sw].buffer_used + wire > self.cfg.switch_buffer_bytes {
-                self.switches[sw].drops += 1;
+            if s.buffer_used + wire > self.cfg.switch_buffer_bytes {
+                s.drops += 1;
                 self.accum.drops += 1;
                 self.total_drops += 1;
                 tel::count(tel::Ctr::Drops);
+                self.packets.discard(id);
                 return;
             }
-            self.switches[sw].buffer_used += wire;
-            self.switches[sw].ingress_bytes[in_port] += wire;
-            pkt.in_port = in_port;
+            s.buffer_used += wire;
+            s.ingress_bytes[in_port] += wire;
             // PFC XOFF on the upstream if this ingress queue exceeds the
             // dynamic threshold.
-            let th =
-                self.switches[sw].pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes);
-            if self.switches[sw].ingress_bytes[in_port] as f64 > th
-                && !self.switches[sw].sent_xoff[in_port]
-            {
-                self.switches[sw].sent_xoff[in_port] = true;
+            let th = s.pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes);
+            if s.ingress_bytes[in_port] as f64 > th && !s.sent_xoff[in_port] {
+                s.sent_xoff[in_port] = true;
                 self.accum.pfc_events += 1;
                 self.total_pfc_events += 1;
                 tel::event_at(
@@ -949,19 +1043,19 @@ impl Simulator {
                 self.events.push(
                     self.now + up.delay,
                     Event::PfcSet {
-                        node: up.peer,
-                        port: up.peer_port,
+                        node: up.peer as u32,
+                        port: up.peer_port as u16,
                         paused: true,
                     },
                 );
             }
             // ToR measurement point (Keypoint 1: insert once, mark TOS).
             let dedup = self.cfg.tos_dedup;
-            if let Some(sk) = self.switches[sw].sketch.as_mut() {
-                if !dedup || !pkt.sketched {
-                    sk.insert(pkt.qp, pkt.payload_bytes as u64);
+            if let Some(sk) = s.sketch.as_mut() {
+                if !dedup || !already_sketched {
+                    sk.insert(qp, payload);
                     if dedup {
-                        pkt.sketched = true;
+                        self.packets.get_mut(id).sketched = true;
                     }
                 }
             }
@@ -970,103 +1064,126 @@ impl Simulator {
         // round after round of a collective follows one path — unless a
         // fault killed it, in which case the flow rehashes over the
         // surviving uplinks.
-        let hash = hash64(pkt.qp, 0x5EED_0F10);
-        let links = &self.links;
-        let out = self
-            .topo
-            .next_port_masked(node, pkt.dst, hash, |n, p| links[n][p].up);
+        let hash = hash64(qp, 0x5EED_0F10);
+        let out = if self.links_down == 0 {
+            // Fault-free fast path: with every link up the liveness mask
+            // is vacuous, so routing collapses to pure index arithmetic
+            // (the masked ECMP picks the k-th *live* uplink, which is
+            // exactly `next_port`'s k-th uplink when none are down).
+            Some(self.topo.next_port(node, dst, hash))
+        } else {
+            let links = &self.links;
+            self.topo
+                .next_port_masked(node, dst, hash, |n, p| links[n][p].up)
+        };
         let Some(out) = out else {
             // No live egress toward the destination: the packet is lost
             // to the fault (go-back-N recovers once a path returns).
-            if pkt.class == CLASS_DATA {
+            if class == CLASS_DATA {
                 self.switches[sw].buffer_used -= wire;
-                self.switches[sw].ingress_bytes[pkt.in_port] -= wire;
+                self.switches[sw].ingress_bytes[in_port] -= wire;
             }
             self.accum.fault_drops += 1;
             self.total_fault_drops += 1;
             tel::count(tel::Ctr::FaultDrops);
+            self.packets.discard(id);
             return;
         };
-        if pkt.class == CLASS_DATA {
-            let q = self.switches[sw].ports[out].qbytes[CLASS_DATA];
-            tel::observe(tel::Hist::QueueBytes, q);
-            let u: f64 = self.rng.gen();
-            if self.switches[sw].marker.should_mark(q as f64, u) {
-                pkt.ecn = true;
-                self.accum.ecn_marks += 1;
-                tel::event_at(
-                    self.now,
-                    tel::Event::EcnMark {
-                        switch: sw as u32,
-                        queue_bytes: q,
-                    },
-                );
+        {
+            let s = &mut self.switches[sw];
+            if class == CLASS_DATA {
+                let qb = s.ports[out].qbytes[CLASS_DATA];
+                tel::observe(tel::Hist::QueueBytes, qb);
+                let u: f64 = self.rng.gen();
+                if s.marker.should_mark(qb as f64, u) {
+                    self.packets.get_mut(id).ecn = true;
+                    self.accum.ecn_marks += 1;
+                    tel::event_at(
+                        self.now,
+                        tel::Event::EcnMark {
+                            switch: sw as u32,
+                            queue_bytes: qb,
+                        },
+                    );
+                }
             }
+            let p = &mut s.ports[out];
+            p.qbytes[class] += wire;
+            p.queues[class].push_back(QueuedPkt {
+                id,
+                wire: wire as u32,
+                in_port: in_port as u16,
+            });
         }
-        let class = pkt.class;
-        self.switches[sw].ports[out].qbytes[class] += wire;
-        self.switches[sw].ports[out].queues[class].push_back(pkt);
         self.switch_try_tx(node, out);
     }
 
     fn switch_try_tx(&mut self, node: NodeId, port: usize) {
         let n_hosts = self.topo.n_hosts();
         let sw = node - n_hosts;
-        if self.switches[sw].ports[port].busy {
+        // Scoped borrow: one switch-table index for the dequeue + byte
+        // accounting block (disjoint from `accum`/`events`/`topo`).
+        let s = &mut self.switches[sw];
+        if s.ports[port].busy {
             return;
         }
-        let Some(pkt) = self.switches[sw].dequeue(port) else {
+        let Some((q, class)) = s.dequeue(port) else {
             return;
         };
-        self.switches[sw].ports[port].busy = true;
-        if pkt.class == CLASS_DATA {
-            let wire = pkt.wire_bytes as u64;
-            self.switches[sw].buffer_used -= wire;
-            self.switches[sw].ingress_bytes[pkt.in_port] -= wire;
+        s.ports[port].busy = true;
+        let id = q.id;
+        let pin_port = q.in_port as usize;
+        if class == CLASS_DATA {
+            let wire = q.wire as u64;
+            s.buffer_used -= wire;
+            s.ingress_bytes[pin_port] -= wire;
+            self.accum.switch_tx_bytes[sw] += wire;
             // PFC XON once the ingress queue drains below hysteresis.
-            if self.switches[sw].sent_xoff[pkt.in_port] {
-                let th = self.switches[sw]
-                    .pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes)
+            if s.sent_xoff[pin_port] {
+                let th = s.pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes)
                     * self.cfg.pfc_xon_frac;
-                if (self.switches[sw].ingress_bytes[pkt.in_port] as f64) <= th {
-                    self.switches[sw].sent_xoff[pkt.in_port] = false;
+                if (s.ingress_bytes[pin_port] as f64) <= th {
+                    s.sent_xoff[pin_port] = false;
                     tel::event_at(
                         self.now,
                         tel::Event::PfcXon {
                             switch: sw as u32,
-                            port: pkt.in_port as u32,
+                            port: pin_port as u32,
                         },
                     );
-                    let up = self.topo.ports(node)[pkt.in_port];
+                    let up = self.topo.ports(node)[pin_port];
                     self.events.push(
                         self.now + up.delay,
                         Event::PfcSet {
-                            node: up.peer,
-                            port: up.peer_port,
+                            node: up.peer as u32,
+                            port: up.peer_port as u16,
                             paused: false,
                         },
                     );
                 }
             }
         }
-        if pkt.class == CLASS_DATA {
-            self.accum.switch_tx_bytes[sw] += pkt.wire_bytes as u64;
-        }
         let link = self.topo.ports(node)[port];
-        let rate = link.bw * self.links[node][port].rate_factor.max(f64::MIN_POSITIVE);
-        let ser = ((pkt.wire_bytes as f64) / rate).ceil() as Nanos;
+        let ser = self.ser_time(node, port, q.wire);
         if self.link_delivers(node, port) {
             self.events.push(
                 self.now + ser + link.delay,
                 Event::Arrive {
-                    node: link.peer,
-                    in_port: link.peer_port,
-                    pkt,
+                    node: link.peer as u32,
+                    in_port: link.peer_port as u16,
+                    pkt: id,
                 },
             );
+        } else {
+            self.packets.discard(id);
         }
-        self.events
-            .push(self.now + ser, Event::PortFree { node, port });
+        self.events.push(
+            self.now + ser,
+            Event::PortFree {
+                node: node as u32,
+                port: port as u16,
+            },
+        );
     }
 
     fn on_pfc_set(&mut self, node: NodeId, port: usize, paused: bool) {
@@ -1112,13 +1229,15 @@ impl Simulator {
     // Host receive path
     // ------------------------------------------------------------------
 
-    fn host_receive(&mut self, h: NodeId, pkt: Packet) {
+    fn host_receive(&mut self, h: NodeId, id: PacketId) {
+        // Final consumption: the packet leaves the arena here.
+        let pkt = self.packets.take(id);
         match pkt.kind {
             PacketKind::Data { seq, flow_bytes } => {
                 self.accum.host_down_bytes[h] += pkt.wire_bytes as u64;
                 self.accum.bytes_delivered += pkt.payload_bytes as u64;
                 let dcqcn_plus = self.cfg.dcqcn_plus;
-                let params = self.cfg.dcqcn.clone();
+                let params = self.cfg.dcqcn;
                 let ctrl = self.cfg.ctrl_bytes;
                 let ack_every = self.cfg.ack_every;
                 let host = &mut self.hosts[h];
@@ -1133,7 +1252,10 @@ impl Simulator {
                     pkts_since_ack: 0,
                 });
                 r.received = (r.received + pkt.payload_bytes as u64).min(flow_bytes);
-                let mut to_send: Vec<Packet> = Vec::new();
+                // At most one CNP and one ACK per arrival; stack slots
+                // keep this per-packet path allocation-free.
+                let mut cnp: Option<Packet> = None;
+                let mut ack: Option<Packet> = None;
                 if pkt.ecn {
                     if let Some(sig) = r.np.on_packet(self.now, true, iv) {
                         tel::event_at(
@@ -1143,10 +1265,10 @@ impl Simulator {
                                 flow: pkt.flow,
                             },
                         );
-                        to_send.push(Packet::cnp(
+                        cnp = Some(Packet::cnp(
                             pkt.flow,
                             h,
-                            pkt.src,
+                            pkt.src as NodeId,
                             sig.advertised_interval_us,
                             ctrl,
                             self.now,
@@ -1156,10 +1278,10 @@ impl Simulator {
                 r.pkts_since_ack += 1;
                 let last = seq + pkt.payload_bytes as u64 >= flow_bytes;
                 if last || r.pkts_since_ack >= ack_every {
-                    to_send.push(Packet::ack(
+                    ack = Some(Packet::ack(
                         pkt.flow,
                         h,
-                        pkt.src,
+                        pkt.src as NodeId,
                         r.received,
                         pkt.sent_at,
                         ctrl,
@@ -1171,8 +1293,14 @@ impl Simulator {
                 if finished {
                     host.receivers.remove(&pkt.flow);
                 }
-                for p in to_send {
-                    self.hosts[h].tx_queues[CLASS_CTRL].push_back(p);
+                for p in [cnp, ack].into_iter().flatten() {
+                    let wire = p.wire_bytes;
+                    let pid = self.packets.insert(p);
+                    self.hosts[h].tx_queues[CLASS_CTRL].push_back(QueuedPkt {
+                        id: pid,
+                        wire,
+                        in_port: 0,
+                    });
                 }
                 self.host_try_tx(h);
             }

@@ -221,14 +221,18 @@ impl Topology {
                     // Down-port to the local host: single path.
                     only_if_up(dst - first_host, &mut link_up)
                 } else {
-                    // ECMP over live uplinks only.
-                    let alive: Vec<usize> = (self.hosts_per_tor..self.hosts_per_tor + self.n_leaf)
-                        .filter(|&p| link_up(node, p))
-                        .collect();
-                    if alive.is_empty() {
+                    // ECMP over live uplinks only. Two passes (count, then
+                    // select the k-th live port) keep this allocation-free:
+                    // it runs once per packet per switch hop, so a heap
+                    // allocation here dominates the routing cost. May query
+                    // `link_up` twice per port.
+                    let uplinks = self.hosts_per_tor..self.hosts_per_tor + self.n_leaf;
+                    let n_alive = uplinks.clone().filter(|&p| link_up(node, p)).count();
+                    if n_alive == 0 {
                         None
                     } else {
-                        Some(alive[flow_hash as usize % alive.len()])
+                        let k = flow_hash as usize % n_alive;
+                        uplinks.filter(|&p| link_up(node, p)).nth(k)
                     }
                 }
             }

@@ -1,0 +1,147 @@
+//! Differential property test for the event scheduler: the production
+//! calendar queue ([`EventQueue`]) and the reference binary heap
+//! ([`BinaryHeapQueue`]) must emit *identical* `(time, event)` sequences
+//! on any workload. This is the determinism contract every experiment
+//! relies on — the calendar queue is only allowed to be faster, never
+//! different.
+
+use proptest::prelude::*;
+
+use paraleon_netsim::event::{BinaryHeapQueue, Event, EventQueue};
+use paraleon_netsim::{Nanos, Packet, PacketPool};
+
+/// One scripted scheduler operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push a burst of `count` events `dt` ns after the last *popped*
+    /// time (dt = 0 exercises same-timestamp bursts and the late heap).
+    Push { dt: u64, kind: u8, count: u8 },
+    /// Pop up to `n` events, comparing both queues at each step.
+    Pop { n: u8 },
+    /// Pop everything at or before `last_popped + dt` via `pop_before`.
+    PopBefore { dt: u64 },
+}
+
+fn push_op() -> impl Strategy<Value = Op> {
+    (
+        prop_oneof![
+            Just(0u64),            // same instant — hits the late heap
+            1u64..256,             // within the active bucket
+            256u64..1 << 14,       // nearby wheel slots
+            (1u64 << 14)..1 << 21, // spread across the wheel
+            (1u64 << 21)..1 << 42, // beyond the horizon: overflow heap
+        ],
+        0u8..7,
+        1u8..12,
+    )
+        .prop_map(|(dt, kind, count)| Op::Push { dt, kind, count })
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let pop = (1u8..16).prop_map(|n| Op::Pop { n });
+    let pop_before = (0u64..1 << 22).prop_map(|dt| Op::PopBefore { dt });
+    // Uniform choice biases toward pushes by listing the arm twice.
+    prop::collection::vec(prop_oneof![push_op(), push_op(), pop, pop_before], 1..80)
+}
+
+/// Materialize event `kind` — every variant, including `Fault` and
+/// `Arrive` (whose `PacketId` handles are minted from a real arena).
+fn make_event(kind: u8, n: u64, pool: &mut PacketPool) -> Event {
+    match kind % 7 {
+        0 => Event::FlowStart(n),
+        1 => Event::QpSend(n),
+        2 => Event::Arrive {
+            node: (n % 128) as u32,
+            in_port: (n % 16) as u16,
+            pkt: pool.insert(Packet::data(n, n, 0, 1, 0, 1 << 20, 1000, 48, n)),
+        },
+        3 => Event::PortFree {
+            node: (n % 128) as u32,
+            port: (n % 16) as u16,
+        },
+        4 => Event::PfcSet {
+            node: (n % 128) as u32,
+            port: (n % 16) as u16,
+            paused: n % 2 == 0,
+        },
+        5 => Event::RetxCheck(n),
+        _ => Event::Fault((n % 32) as u32),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replay a random op script through both implementations and demand
+    /// bit-identical behavior at every step, then on the full drain.
+    #[test]
+    fn calendar_queue_matches_reference_heap(script in ops()) {
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        let mut pool = PacketPool::new();
+        let mut last_popped: Nanos = 0;
+        let mut n: u64 = 0;
+        for op in script {
+            match op {
+                Op::Push { dt, kind, count } => {
+                    for _ in 0..count {
+                        let ev = make_event(kind, n, &mut pool);
+                        n += 1;
+                        cal.push(last_popped + dt, ev);
+                        heap.push(last_popped + dt, ev);
+                    }
+                }
+                Op::Pop { n } => {
+                    for _ in 0..n {
+                        prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                        let (a, b) = (cal.pop(), heap.pop());
+                        prop_assert_eq!(a, b, "pop diverged");
+                        match a {
+                            Some((t, _)) => last_popped = t,
+                            None => break,
+                        }
+                    }
+                }
+                Op::PopBefore { dt } => {
+                    let bound = last_popped + dt;
+                    loop {
+                        let (a, b) = (cal.pop_before(bound), heap.pop_before(bound));
+                        prop_assert_eq!(a, b, "pop_before diverged");
+                        match a {
+                            Some((t, _)) => last_popped = t,
+                            None => break,
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.is_empty(), heap.is_empty());
+        }
+        // Full drain must agree to the very end.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same-timestamp bursts must pop in exact insertion order — the FIFO
+    /// tie-break the simulator's trace replay depends on.
+    #[test]
+    fn same_timestamp_bursts_pop_fifo(at in 0u64..1 << 40, count in 2usize..64) {
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        for i in 0..count as u64 {
+            cal.push(at, Event::FlowStart(i));
+            heap.push(at, Event::FlowStart(i));
+        }
+        for i in 0..count as u64 {
+            let a = cal.pop();
+            prop_assert_eq!(a, heap.pop());
+            prop_assert_eq!(a, Some((at, Event::FlowStart(i))));
+        }
+        prop_assert!(cal.is_empty() && heap.is_empty());
+    }
+}

@@ -58,7 +58,7 @@ fn bench_enabled(c: &mut Criterion) {
             t += 1;
             // Bound the append log so the measurement reflects the push,
             // not unbounded growth across millions of iterations.
-            if t % 65_536 == 0 {
+            if t.is_multiple_of(65_536) {
                 tel::reset();
             }
             tel::series(black_box("bench_metric"), 0, black_box(t as f64));

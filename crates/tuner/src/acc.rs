@@ -71,7 +71,7 @@ impl Agent {
             q1: vec![[0.0; ACTIONS]; states],
             q2: vec![[0.0; ACTIONS]; states],
             last: None,
-            ecn: initial.clone(),
+            ecn: *initial,
         }
     }
 
@@ -137,7 +137,7 @@ impl Agent {
         };
         self.last = Some((s, action));
         self.apply_action(action, space);
-        self.ecn.clone()
+        self.ecn
     }
 }
 

@@ -68,12 +68,7 @@ pub struct ParaleonScheme {
 impl ParaleonScheme {
     /// Build the scheme.
     pub fn new(cfg: ParaleonSchemeConfig) -> Self {
-        let tuner = SaTuner::new(
-            ParamSpace::standard(),
-            cfg.sa,
-            cfg.initial.clone(),
-            cfg.seed,
-        );
+        let tuner = SaTuner::new(ParamSpace::standard(), cfg.sa, cfg.initial, cfg.seed);
         Self {
             tuner,
             phase: Phase::Idle,
@@ -103,7 +98,7 @@ impl TuningScheme for ParaleonScheme {
         match self.phase {
             Phase::Idle => {
                 if obs.tuning_triggered {
-                    self.tuner.restart(self.deployed.clone());
+                    self.tuner.restart(self.deployed);
                     self.phase = Phase::Tuning;
                     self.episode_dominant = Some(obs.dominant);
                     self.eval_sum = 0.0;
@@ -114,7 +109,7 @@ impl TuningScheme for ParaleonScheme {
                     // seeds the accept baseline.
                     match self.tuner.step(obs.utility, obs.dominant, obs.mu) {
                         Some(p) => {
-                            self.deployed = p.clone();
+                            self.deployed = p;
                             Some(TuningAction::Global(p))
                         }
                         None => None,
@@ -132,14 +127,14 @@ impl TuningScheme for ParaleonScheme {
                 // young episode that is already tuning for this pattern.
                 if obs.tuning_triggered && self.episode_dominant != Some(obs.dominant) {
                     self.episodes += 1;
-                    self.tuner.restart(self.deployed.clone());
+                    self.tuner.restart(self.deployed);
                     self.episode_dominant = Some(obs.dominant);
                     self.eval_sum = 0.0;
                     self.eval_count = 0;
                     self.penalty_pending = false;
                     match self.tuner.step(obs.utility, obs.dominant, obs.mu) {
                         Some(p) => {
-                            self.deployed = p.clone();
+                            self.deployed = p;
                             return Some(TuningAction::Global(p));
                         }
                         None => return None,
@@ -168,14 +163,14 @@ impl TuningScheme for ParaleonScheme {
                 };
                 match self.tuner.step(mean_util, obs.dominant, obs.mu) {
                     Some(p) => {
-                        self.deployed = p.clone();
+                        self.deployed = p;
                         Some(TuningAction::Global(p))
                     }
                     None => {
                         // Episode converged: deploy the best found.
                         self.episodes += 1;
-                        let best = self.tuner.best().clone();
-                        self.deployed = best.clone();
+                        let best = *self.tuner.best();
+                        self.deployed = best;
                         self.phase = Phase::Idle;
                         Some(TuningAction::Global(best))
                     }
@@ -193,13 +188,13 @@ impl TuningScheme for ParaleonScheme {
             TuningFeedback::Rejected { deployed } => {
                 // The candidate never reached the fabric: what we thought
                 // we deployed is wrong, and the candidate must score 0.
-                self.deployed = deployed.clone();
+                self.deployed = *deployed;
                 if self.tuning() {
                     self.penalty_pending = true;
                 }
             }
             TuningFeedback::RolledBack { restored } => {
-                self.deployed = restored.clone();
+                self.deployed = *restored;
                 if self.tuning() {
                     self.penalty_pending = true;
                 }
@@ -212,7 +207,7 @@ impl TuningScheme for ParaleonScheme {
                     self.episodes += 1;
                 }
                 self.phase = Phase::Idle;
-                self.deployed = fallback.clone();
+                self.deployed = *fallback;
                 self.episode_dominant = None;
                 self.eval_sum = 0.0;
                 self.eval_count = 0;
@@ -311,11 +306,9 @@ mod tests {
             ..Default::default()
         });
         s.on_interval(&obs(0.5, true));
-        let candidate = s.deployed().clone();
+        let candidate = *s.deployed();
         let good = DcqcnParams::expert();
-        s.on_feedback(&TuningFeedback::RolledBack {
-            restored: good.clone(),
-        });
+        s.on_feedback(&TuningFeedback::RolledBack { restored: good });
         assert_eq!(s.deployed(), &good, "deployed must track the rollback");
         // The next interval completes the round immediately (no waiting
         // out the 4-interval evaluation window) and moves to a new
@@ -333,9 +326,7 @@ mod tests {
         s.on_interval(&obs(0.5, true));
         assert!(s.tuning());
         let fallback = DcqcnParams::nvidia_default();
-        s.on_feedback(&TuningFeedback::Frozen {
-            fallback: fallback.clone(),
-        });
+        s.on_feedback(&TuningFeedback::Frozen { fallback: fallback });
         assert!(!s.tuning(), "freeze must end the episode");
         assert_eq!(s.deployed(), &fallback);
         assert_eq!(s.episodes, 1, "the aborted episode is accounted");

@@ -118,9 +118,9 @@ impl SaTuner {
             space,
             cfg,
             rng: StdRng::seed_from_u64(seed),
-            current: initial.clone(),
+            current: initial,
             current_util: f64::NEG_INFINITY,
-            best: initial.clone(),
+            best: initial,
             best_util: f64::NEG_INFINITY,
             candidate: initial,
             temp,
@@ -154,8 +154,8 @@ impl SaTuner {
     /// Restart the episode from `from` (a new tuning trigger): resets the
     /// temperature and statistics but keeps the RNG stream.
     pub fn restart(&mut self, from: DcqcnParams) {
-        self.current = from.clone();
-        self.candidate = from.clone();
+        self.current = from;
+        self.candidate = from;
         self.best = from;
         self.current_util = f64::NEG_INFINITY;
         self.best_util = f64::NEG_INFINITY;
@@ -179,7 +179,7 @@ impl SaTuner {
         let accept = delta > 0.0
             || (self.temp > 0.0 && ((delta * 100.0) / self.temp).exp() > self.rng.gen::<f64>());
         if accept {
-            self.current = self.candidate.clone();
+            self.current = self.candidate;
             self.current_util = measured_util;
             self.accepts += 1;
             tel::event(tel::Event::SaAccept {
@@ -194,7 +194,7 @@ impl SaTuner {
         }
         tel::gauge_set(tel::Gauge::SaTemp, self.temp);
         if self.current_util > self.best_util {
-            self.best = self.current.clone();
+            self.best = self.current;
             self.best_util = self.current_util;
         }
         // Mutate a new candidate from the accepted solution (lines 14-22).
@@ -212,11 +212,11 @@ impl SaTuner {
                 return None;
             }
         }
-        Some(self.candidate.clone())
+        Some(self.candidate)
     }
 
     fn mutate(&mut self, dominant: FlowType, mu: f64) -> DcqcnParams {
-        let mut p = self.current.clone();
+        let mut p = self.current;
         let exploit = mu.min(self.cfg.eta).max(0.0);
         // High temperature explores "in more random directions and
         // steps" (paper §III-C): the step amplitude shrinks as the
@@ -350,12 +350,10 @@ mod tests {
     fn candidates_respect_bounds() {
         let space = ParamSpace::standard();
         let mut t = tuner(SaConfig::paper_default());
-        let mut cand = DcqcnParams::nvidia_default();
         for i in 0..100 {
-            match t.step((i % 10) as f64 / 10.0, FlowType::Mice, 0.7) {
-                Some(next) => cand = next,
-                None => break,
-            }
+            let Some(cand) = t.step((i % 10) as f64 / 10.0, FlowType::Mice, 0.7) else {
+                break;
+            };
             for spec in space.iter() {
                 let v = cand.get(spec.id);
                 assert!(
@@ -383,7 +381,7 @@ mod tests {
             let mut t = SaTuner::new(
                 ParamSpace::standard(),
                 SaConfig::paper_default(),
-                start.clone(),
+                start,
                 seed,
             );
             let cand = t.step(0.5, FlowType::Mice, 1.0).expect("first move");

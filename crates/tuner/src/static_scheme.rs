@@ -45,7 +45,7 @@ impl TuningScheme for StaticScheme {
             None
         } else {
             self.dispatched = true;
-            Some(TuningAction::Global(self.params.clone()))
+            Some(TuningAction::Global(self.params))
         }
     }
 

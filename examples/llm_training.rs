@@ -43,7 +43,7 @@ fn run(scheme: SchemeKind) -> (String, Vec<f64>) {
 
 fn main() {
     println!("16-worker alltoall, 1 MB messages, 6 training iterations\n");
-    println!("{:<10} {}", "scheme", "per-round algbw (Gbps)");
+    println!("{:<10} per-round algbw (Gbps)", "scheme");
     let mut results = Vec::new();
     for scheme in [
         SchemeKind::Default,

@@ -84,7 +84,7 @@ fn main() {
             }
         }
         seen = cl.completions.len();
-        if (r.t / MILLI) % 2 == 0 {
+        if (r.t / MILLI).is_multiple_of(2) {
             println!(
                 "t={:>4}ms  TP={:>6.1}Gbps  RTT={:>7.1}us  mu={:.2} {:?}{}",
                 r.t / MILLI,

@@ -146,7 +146,7 @@ mod tests {
         #[test]
         fn oneof_and_flat_map_compose(
             v in (1usize..5).prop_flat_map(|n| prop::collection::vec(
-                prop_oneof![Just(0u64), (10u64..20), (90u64..100).prop_map(|x| x + 1)],
+                prop_oneof![Just(0u64), 10u64..20, (90u64..100).prop_map(|x| x + 1)],
                 n,
             )),
         ) {
