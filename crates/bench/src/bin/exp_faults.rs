@@ -492,6 +492,15 @@ fn main() {
         safe.rejected_interval_seen,
         "no interval recorded the rejection".into(),
     );
+    // When built with the audit feature, a non-panicking (release) run
+    // still fails the gate on any recorded invariant violation.
+    if paraleon_audit::compiled_in() {
+        let v = paraleon_audit::violation_count();
+        for rep in paraleon_audit::violations().iter().take(5) {
+            eprintln!("audit violation: {}", rep.violation);
+        }
+        check(v == 0, format!("{v} invariant violations recorded"));
+    }
 
     if failures.is_empty() {
         println!("\nall acceptance checks passed");

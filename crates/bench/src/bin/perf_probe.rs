@@ -218,6 +218,31 @@ fn check(baseline_path: &str) -> i32 {
     }
 }
 
+/// `--audited` mode: run the standard probe under the invariant auditor
+/// and fail on any violation. In debug (or `-C debug-assertions`) builds
+/// the first violation panics at its detection site; in plain release
+/// builds violations are counted and reported here.
+fn audited(sim_ms: u64) -> i32 {
+    if !paraleon_audit::compiled_in() {
+        eprintln!("perf_probe --audited requires building with --features audit");
+        return 2;
+    }
+    let r = standard_probe(sim_ms, 5);
+    let violations = paraleon_audit::violation_count();
+    println!(
+        "audited probe: sim {}ms, {} events, completions {}/{}, {} audit violations",
+        sim_ms, r.events, r.completions, r.flows, violations
+    );
+    for rep in paraleon_audit::violations().iter().take(10) {
+        eprintln!("  violation: {}", rep.violation);
+    }
+    if violations == 0 {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--check") {
@@ -226,6 +251,15 @@ fn main() {
             std::process::exit(2);
         };
         std::process::exit(check(path));
+    }
+    if args.iter().any(|a| a == "--audited") {
+        let ms = args
+            .iter()
+            .position(|a| a == "--ms")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        std::process::exit(audited(ms));
     }
     if args.iter().any(|a| a == "--json") {
         eprintln!("measuring single-thread throughput ({RUNS} runs)...");

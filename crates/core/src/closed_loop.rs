@@ -156,6 +156,18 @@ impl ClosedLoop {
         let target = self.sim.now() + self.cfg.lambda_mi;
         self.sim.run_until(target);
         let metrics = self.sim.collect_interval();
+        // Audit: every monitor upload must cover exactly one λ_MI and end
+        // on a λ_MI boundary (all sim advancement goes through `step`).
+        paraleon_audit::check(
+            metrics.end == metrics.start + self.cfg.lambda_mi
+                && self.cfg.lambda_mi > 0
+                && metrics.end.is_multiple_of(self.cfg.lambda_mi),
+            || paraleon_audit::AuditViolation::MiBoundary {
+                start: metrics.start,
+                end: metrics.end,
+                lambda_mi: self.cfg.lambda_mi,
+            },
+        );
         self.completions.extend(self.sim.take_completions());
         // Stamp the registry clock so everything recorded during this
         // round (trigger/SA events, series points) carries the interval
@@ -204,6 +216,15 @@ impl ClosedLoop {
             1.0 - metrics.pfc_pause_ratio,
         );
         let utility = sample.utility(&self.cfg.weights);
+        // Audit: with weights summing to 1 and terms in [0, 1], Eq. (1)
+        // is a convex combination and must stay in [0, 1] itself.
+        paraleon_audit::check(
+            utility.is_finite() && (0.0..=1.0).contains(&utility),
+            || paraleon_audit::AuditViolation::UtilityTermBounds {
+                term: "U",
+                value: utility,
+            },
+        );
 
         // --- Telemetry: the per-interval series behind Figures 8/9/12/14
         // (entity 0 = fabric-wide, switch series keyed by switch index).

@@ -150,6 +150,11 @@ impl RpState {
     /// Process all timer expirations up to `now` (alpha decay + rate
     /// increase events). Idempotent for equal `now`.
     pub fn advance(&mut self, now: Nanos) {
+        self.advance_inner(now);
+        self.audit_bounds();
+    }
+
+    fn advance_inner(&mut self, now: Nanos) {
         self.decay_alpha(now);
         // A pending CNP whose decrease-monitor window has reopened applies
         // before any increase events accrue.
@@ -210,6 +215,7 @@ impl RpState {
             self.byte_count = self.byte_count.saturating_add(1);
             self.increase_event();
         }
+        self.audit_bounds();
     }
 
     /// Process a CNP received at `now`. The multiplicative decrease applies
@@ -226,6 +232,35 @@ impl RpState {
             }
             _ => self.apply_decrease(now),
         }
+        self.audit_bounds();
+    }
+
+    /// Invariant epilogue for the audit feature: the machine must keep
+    /// `min_rate ≤ R_C ≤ R_T ≤ line_rate` and `α ∈ [0, 1]` at every
+    /// observable instant. Folds to nothing unless `audit` is on.
+    #[inline]
+    fn audit_bounds(&self) {
+        use paraleon_audit as audit;
+        if !audit::enabled() {
+            return;
+        }
+        // Rates are ~1e10 bytes/sec; tolerate relative f64 rounding.
+        let eps = 1e-9 * self.line_rate;
+        let lo = self.min_rate();
+        audit::check(
+            self.rate_current >= lo - eps
+                && self.rate_current <= self.rate_target + eps
+                && self.rate_target <= self.line_rate + eps,
+            || audit::AuditViolation::RateBounds {
+                rate_current: self.rate_current,
+                rate_target: self.rate_target,
+                min_rate: lo,
+                line_rate: self.line_rate,
+            },
+        );
+        audit::check(self.alpha >= 0.0 && self.alpha <= 1.0, || {
+            audit::AuditViolation::AlphaBounds { alpha: self.alpha }
+        });
     }
 
     fn apply_decrease(&mut self, now: Nanos) {

@@ -71,8 +71,18 @@ pub struct MetricSample {
 }
 
 impl MetricSample {
-    /// Build a sample, clamping each term into `[0, 1]`.
+    /// Build a sample, clamping each term into `[0, 1]`. The clamp is a
+    /// safety net, not a license: the collection layer is supposed to
+    /// deliver in-range terms, so the audit feature flags any raw input
+    /// the clamp would silently repair.
     pub fn new(o_tp: f64, o_rtt: f64, o_pfc: f64) -> Self {
+        if paraleon_audit::enabled() {
+            for (term, value) in [("O_TP", o_tp), ("O_RTT", o_rtt), ("O_PFC", o_pfc)] {
+                paraleon_audit::check(value.is_finite() && (0.0..=1.0).contains(&value), || {
+                    paraleon_audit::AuditViolation::UtilityTermBounds { term, value }
+                });
+            }
+        }
         Self {
             o_tp: o_tp.clamp(0.0, 1.0),
             o_rtt: o_rtt.clamp(0.0, 1.0),
@@ -130,9 +140,20 @@ mod tests {
 
     #[test]
     fn inputs_are_clamped() {
+        // Out-of-range inputs are exactly what the auditor flags; this
+        // test exercises the clamp itself, so count instead of panicking.
+        paraleon_audit::set_panic_on_violation(false);
+        let audit_before = paraleon_audit::violation_count();
         let s = MetricSample::new(1.5, -0.2, 0.5);
         assert_eq!(s.o_tp, 1.0);
         assert_eq!(s.o_rtt, 0.0);
+        if paraleon_audit::compiled_in() {
+            assert_eq!(
+                paraleon_audit::violation_count() - audit_before,
+                2,
+                "audit must flag both out-of-range terms"
+            );
+        }
     }
 
     #[test]

@@ -166,6 +166,8 @@ pub struct EventQueue {
     /// Total pending events.
     len: usize,
     next_seq: u64,
+    /// Pop-order invariant monitor (ZST unless the `audit` feature is on).
+    order: paraleon_audit::OrderAudit,
 }
 
 impl Default for EventQueue {
@@ -180,6 +182,7 @@ impl Default for EventQueue {
             wheel_len: 0,
             len: 0,
             next_seq: 0,
+            order: paraleon_audit::OrderAudit::default(),
         }
     }
 }
@@ -267,17 +270,20 @@ impl EventQueue {
     #[inline]
     fn take_min(&mut self) -> Scheduled {
         self.len -= 1;
-        match (self.sorted.get(self.head), self.late.peek()) {
+        let s = match (self.sorted.get(self.head), self.late.peek()) {
             (Some(a), Some(b)) if (b.at, b.seq) < (a.at, a.seq) => {
                 let _ = b;
                 self.late.pop().expect("peeked")
             }
             (Some(a), _) => {
+                let s = *a;
                 self.head += 1;
-                *a
+                s
             }
             (None, _) => self.late.pop().expect("primed non-empty"),
-        }
+        };
+        self.order.observe(s.at, s.seq);
+        s
     }
 
     /// Time of the earliest pending event.

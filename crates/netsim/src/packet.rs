@@ -181,6 +181,9 @@ pub struct PacketId(u32);
 pub struct PacketPool {
     slots: Vec<Packet>,
     free: Vec<u32>,
+    /// Per-flow conservation tallies (ZST unless the `audit` feature is
+    /// on): insert = injected, take = delivered, discard = dropped.
+    audit: paraleon_audit::ConservationAudit,
 }
 
 impl PacketPool {
@@ -192,6 +195,7 @@ impl PacketPool {
     /// Park `pkt` and return its handle.
     #[inline]
     pub fn insert(&mut self, pkt: Packet) -> PacketId {
+        self.audit.injected(pkt.flow);
         match self.free.pop() {
             Some(i) => {
                 self.slots[i as usize] = pkt;
@@ -210,6 +214,7 @@ impl PacketPool {
     #[inline]
     pub fn take(&mut self, id: PacketId) -> Packet {
         debug_assert!(!self.free.contains(&id.0), "PacketId {} taken twice", id.0);
+        self.audit.delivered(self.slots[id.0 as usize].flow);
         self.free.push(id.0);
         self.slots[id.0 as usize]
     }
@@ -223,6 +228,7 @@ impl PacketPool {
             "PacketId {} discarded twice",
             id.0
         );
+        self.audit.dropped(self.slots[id.0 as usize].flow);
         self.free.push(id.0);
     }
 
@@ -247,6 +253,14 @@ impl PacketPool {
     /// High-water mark of simultaneously parked packets.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Cross-check the conservation tallies against the arena's live
+    /// count: Σ per-flow (injected − delivered − dropped) must equal
+    /// `in_flight()`. No-op unless the `audit` feature is on.
+    #[inline]
+    pub fn audit_check(&self) {
+        self.audit.check_pool(self.in_flight() as u64);
     }
 }
 

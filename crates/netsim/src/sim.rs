@@ -35,7 +35,7 @@ use crate::event::{Event, EventQueue};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan, LinkState};
 use crate::metrics::{FlowRecord, IntervalAccum, IntervalMetrics, SwitchObs};
 use crate::node::{HostState, QueuedPkt, RecvFlow, SenderFlow, SwitchState};
-use crate::packet::{Packet, PacketId, PacketKind, PacketPool, CLASS_CTRL, CLASS_DATA};
+use crate::packet::{Packet, PacketId, PacketKind, PacketPool, CLASS_CTRL, CLASS_DATA, N_CLASSES};
 use crate::topology::{NodeKind, Topology};
 use crate::{FlowId, Nanos, NodeId, MICRO};
 
@@ -172,6 +172,8 @@ pub struct Simulator {
     /// Dedicated RNG for corruption draws, so fault injection never
     /// perturbs the simulator's own random stream (ECN coin flips).
     fault_rng: StdRng,
+    /// XOFF/XON pairing mirror (ZST unless the `audit` feature is on).
+    pfc_audit: paraleon_audit::PfcPairAudit,
     /// Total data packets dropped over the whole run.
     pub total_drops: u64,
     /// Total packets lost to injected faults over the whole run.
@@ -245,6 +247,7 @@ impl Simulator {
             links_down: 0,
             fault_plan: Vec::new(),
             fault_rng,
+            pfc_audit: paraleon_audit::PfcPairAudit::default(),
             total_drops: 0,
             total_fault_drops: 0,
             total_pfc_events: 0,
@@ -737,9 +740,76 @@ impl Simulator {
             tor_sketches,
             truth_flow_bytes: truth,
         };
+        self.audit_sweep(dt);
         self.accum.reset();
         self.interval_start = self.now;
         m
+    }
+
+    /// Structural invariant sweep run at every interval collection (the
+    /// natural event boundary where no packet is mid-function). Folds to
+    /// nothing unless the `audit` feature is on.
+    fn audit_sweep(&self, dt: Nanos) {
+        use paraleon_audit as audit;
+        if !audit::enabled() {
+            return;
+        }
+        // Packet conservation: per-flow tallies must match the arena.
+        self.packets.audit_check();
+        let n_hosts = self.topo.n_hosts();
+        for (i, s) in self.switches.iter().enumerate() {
+            let node = (n_hosts + i) as u32;
+            // Shared-buffer occupancy == Σ lossless queued bytes == Σ
+            // per-ingress accounting, and never above capacity.
+            let queued: u64 = s.ports.iter().map(|p| p.qbytes[CLASS_DATA]).sum();
+            let ingress: u64 = s.ingress_bytes.iter().sum();
+            audit::check(s.buffer_used == queued && s.buffer_used == ingress, || {
+                audit::AuditViolation::BufferAccounting {
+                    switch: node,
+                    buffer_used: s.buffer_used,
+                    queued,
+                    ingress,
+                }
+            });
+            audit::check(s.buffer_used <= self.cfg.switch_buffer_bytes, || {
+                audit::AuditViolation::BufferOverflow {
+                    switch: node,
+                    buffer_used: s.buffer_used,
+                    buffer_total: self.cfg.switch_buffer_bytes,
+                }
+            });
+            // Per-(port, class) byte counters == wire bytes actually
+            // sitting in the queues.
+            for (pi, p) in s.ports.iter().enumerate() {
+                for c in 0..N_CLASSES {
+                    let sum: u64 = p.queues[c].iter().map(|q| q.wire as u64).sum();
+                    audit::check(p.qbytes[c] == sum, || {
+                        audit::AuditViolation::QueueAccounting {
+                            switch: node,
+                            port: pi as u32,
+                            class: c as u32,
+                            qbytes: p.qbytes[c],
+                            queued: sum,
+                        }
+                    });
+                }
+            }
+        }
+        // Pause-time budgets: a host has one port, so its accumulated
+        // pause cannot exceed the interval; a switch accumulates per
+        // node, so its bound is dt × radix.
+        for (node, &p) in self.accum.pause_ns.iter().enumerate() {
+            let budget = if node < n_hosts {
+                dt
+            } else {
+                dt * self.topo.ports(node).len() as u64
+            };
+            audit::check(p <= budget, || audit::AuditViolation::PfcPauseOverflow {
+                node: node as u32,
+                pause_ns: p,
+                budget_ns: budget,
+            });
+        }
     }
 
     /// Close out pause intervals that span the collection instant.
@@ -963,6 +1033,12 @@ impl Simulator {
         let Some((q, class)) = self.hosts[h].dequeue() else {
             return;
         };
+        paraleon_audit::check(!(class == CLASS_DATA && self.hosts[h].data_paused), || {
+            paraleon_audit::AuditViolation::PfcPausedDequeue {
+                node: h as u32,
+                port: 0,
+            }
+        });
         self.hosts[h].tx_busy = true;
         if class == CLASS_DATA {
             self.accum.host_up_bytes[h] += q.wire as u64;
@@ -1030,6 +1106,7 @@ impl Simulator {
             let th = s.pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes);
             if s.ingress_bytes[in_port] as f64 > th && !s.sent_xoff[in_port] {
                 s.sent_xoff[in_port] = true;
+                self.pfc_audit.xoff(sw as u32, in_port as u32);
                 self.accum.pfc_events += 1;
                 self.total_pfc_events += 1;
                 tel::event_at(
@@ -1130,6 +1207,12 @@ impl Simulator {
         let Some((q, class)) = s.dequeue(port) else {
             return;
         };
+        paraleon_audit::check(!(class == CLASS_DATA && s.ports[port].data_paused), || {
+            paraleon_audit::AuditViolation::PfcPausedDequeue {
+                node: node as u32,
+                port: port as u32,
+            }
+        });
         s.ports[port].busy = true;
         let id = q.id;
         let pin_port = q.in_port as usize;
@@ -1144,6 +1227,7 @@ impl Simulator {
                     * self.cfg.pfc_xon_frac;
                 if (s.ingress_bytes[pin_port] as f64) <= th {
                     s.sent_xoff[pin_port] = false;
+                    self.pfc_audit.xon(sw as u32, pin_port as u32);
                     tel::event_at(
                         self.now,
                         tel::Event::PfcXon {
