@@ -155,17 +155,23 @@ impl RpState {
     }
 
     fn advance_inner(&mut self, now: Nanos) {
-        self.decay_alpha(now);
-        // A pending CNP whose decrease-monitor window has reopened applies
-        // before any increase events accrue.
+        // A pending CNP applies the instant the decrease-monitor window
+        // reopens, not whenever the machine next happens to be observed:
+        // stamping the cut at `now` would let the observation cadence
+        // leak into alpha decay, the next monitor window and the increase
+        // timer anchor. Alpha catches up to the reopen instant first so
+        // the cut uses the α the machine had at that moment.
         if self.cnp_pending {
             if let Some(last) = self.last_decrease {
                 let window = (self.params.rate_reduce_monitor_period * MICRO as f64) as Nanos;
-                if now >= last.saturating_add(window) {
-                    self.apply_decrease(now);
+                let reopen = last.saturating_add(window);
+                if now >= reopen {
+                    self.decay_alpha(reopen);
+                    self.apply_decrease(reopen);
                 }
             }
         }
+        self.decay_alpha(now);
         let period = (self.params.rpg_time_reset.max(1.0) * MICRO as f64) as Nanos;
         let period = period.max(1);
         // Shortcut: once both rates sit at line rate further increase
@@ -375,6 +381,48 @@ mod tests {
         r.advance(1000 + 5 * MICRO); // window (4 µs) reopens
         assert!(r.rate() < after_first);
         assert_eq!(r.decreases_applied, 2);
+    }
+
+    #[test]
+    fn pending_decrease_is_observation_cadence_invariant() {
+        // Lazy evaluation must be unobservable: a machine polled every
+        // microsecond and one polled once, long after the fact, must agree
+        // on when a deferred CNP cut took effect — and therefore on rate,
+        // target and alpha ever after. Stamping the deferred cut at the
+        // observation instant (instead of the window-reopen instant) makes
+        // the trajectory depend on who calls `advance` when.
+        let mut fine = rp();
+        let mut coarse = rp();
+        for r in [&mut fine, &mut coarse] {
+            r.on_cnp(1000);
+            r.on_cnp(2000); // inside the 4 µs monitor window: deferred
+        }
+        let horizon = 2 * 1000 * MICRO;
+        let mut t = 2000;
+        while t < horizon {
+            t += MICRO;
+            fine.advance(t.min(horizon));
+        }
+        coarse.advance(horizon);
+        assert_eq!(fine.decreases_applied, coarse.decreases_applied);
+        assert!(
+            (fine.rate() - coarse.rate()).abs() < 1.0,
+            "rate diverged: fine {} vs coarse {}",
+            fine.rate(),
+            coarse.rate()
+        );
+        assert!(
+            (fine.target_rate() - coarse.target_rate()).abs() < 1.0,
+            "target diverged: fine {} vs coarse {}",
+            fine.target_rate(),
+            coarse.target_rate()
+        );
+        assert!(
+            (fine.alpha() - coarse.alpha()).abs() < 1e-9,
+            "alpha diverged: fine {} vs coarse {}",
+            fine.alpha(),
+            coarse.alpha()
+        );
     }
 
     #[test]
