@@ -47,6 +47,11 @@ pub struct RpState {
     byte_count: u32,
     /// Bytes accumulated toward the next byte-counter expiration.
     bytes_acc: u64,
+    /// Hyper-increase rounds since the last decrease (the `i` in
+    /// `R_T ← R_T + i · hai_rate`). Counts hyper *events*, not raw
+    /// counter expirations — the two disagree whenever only one counter
+    /// advances past the threshold.
+    hyper_round: u32,
     /// Time of the last rate-increase timer reset.
     timer_anchor: Nanos,
     /// Time of the last alpha update (CNP or decay).
@@ -85,6 +90,7 @@ impl RpState {
             timer_count: 0,
             byte_count: 0,
             bytes_acc: 0,
+            hyper_round: 0,
             timer_anchor: now,
             alpha_anchor: now,
             last_decrease: None,
@@ -294,6 +300,7 @@ impl RpState {
         self.timer_count = 0;
         self.byte_count = 0;
         self.bytes_acc = 0;
+        self.hyper_round = 0;
         self.timer_anchor = now;
         self.last_decrease = Some(now);
         self.cnp_pending = false;
@@ -313,7 +320,8 @@ impl RpState {
         let b = self.byte_count;
         if t > f && b > f {
             // Hyper increase: step grows with the hyper round index.
-            let i = (t.min(b) - f) as f64;
+            self.hyper_round += 1;
+            let i = self.hyper_round as f64;
             let hai = mbps_to_bytes_per_sec(self.params.hai_rate) * self.increase_scale;
             self.rate_target += i * hai;
         } else if t > f || b > f {
@@ -462,6 +470,55 @@ mod tests {
         // Eventually recovers to line rate.
         r.advance(2 * SEC);
         assert_eq!(r.rate(), LINE);
+    }
+
+    #[test]
+    fn hyper_increase_step_grows_with_each_hyper_event() {
+        // DCQCN's hyper stage steps the target by i·hai_rate with i the
+        // *hyper round index* — 1 for the first hyper event since the last
+        // decrease, 2 for the second, and so on. Deriving i from the raw
+        // counters (min(T, BC) − F) breaks that: when only one counter
+        // advances (timer expirations with no new sends), min(T, BC)
+        // freezes and every subsequent hyper event repeats the same step.
+        let mut p = DcqcnParams::nvidia_default();
+        p.rpg_threshold = 1.0; // F = 1: hyper after two expiries of each
+        let mut r = RpState::new(LINE, p, 0);
+        let threshold = (r.params().rpg_byte_reset * 1024.0) as u64;
+
+        // Two cuts with an increase in between so the target clamps below
+        // line rate and increase steps are observable.
+        r.on_cnp(0);
+        r.on_send(MICRO, threshold); // fast recovery; marks "increased"
+        r.on_cnp(5 * MICRO); // window reopened: clamps target down
+        assert!(r.target_rate() < LINE);
+
+        // Byte counter to 2 (> F) with no further timer expirations.
+        r.on_send(5 * MICRO + 1, 2 * threshold);
+        let period = (r.params().rpg_time_reset * MICRO as f64) as Nanos;
+        let t0 = 5 * MICRO;
+
+        // Timer expiry 1: T=1 ≤ F, BC=2 > F → additive.
+        r.advance(t0 + period + 1);
+        let after_additive = r.target_rate();
+        // Timer expiry 2: T=2, BC=2 both > F → hyper round 1.
+        r.advance(t0 + 2 * period + 1);
+        let after_hyper1 = r.target_rate();
+        // Timer expiry 3: T=3, BC=2 → hyper round 2.
+        r.advance(t0 + 3 * period + 1);
+        let after_hyper2 = r.target_rate();
+
+        let hai = mbps_to_bytes_per_sec(r.params().hai_rate);
+        let step1 = after_hyper1 - after_additive;
+        let step2 = after_hyper2 - after_hyper1;
+        assert!(
+            (step1 - hai).abs() < 1.0,
+            "first hyper step should be 1·hai ({hai}), got {step1}"
+        );
+        assert!(
+            (step2 - 2.0 * hai).abs() < 1.0,
+            "second hyper step should be 2·hai ({}), got {step2}",
+            2.0 * hai
+        );
     }
 
     #[test]
