@@ -63,6 +63,21 @@ impl Hasher for IntHasher {
     }
 }
 
+/// Full-avalanche SplitMix64 mix of one word: every input bit affects
+/// every output bit, so related inputs (a base seed XOR a small node id)
+/// come out pseudo-independent. This is the derivation for per-switch
+/// sketch seeds — arithmetic derivations like `base + node` leave
+/// structured, low-weight XOR differences between the derived seeds,
+/// which downstream XOR-keyed hash families turn into identical hash
+/// functions on different switches.
+#[inline]
+pub fn mix64(n: u64) -> u64 {
+    let mut z = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A `HashMap` with the deterministic integer hasher.
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<IntHasher>>;
 

@@ -184,6 +184,18 @@ pub struct Simulator {
     pub events_processed: u64,
 }
 
+/// Per-ToR sketch seed: the configured base seed decorrelated by switch
+/// id through a full-avalanche mix. The derivation must not leave
+/// related switches' seeds a small XOR apart: the sketch keys its
+/// count-min rows as `seed ^ (row constant)`, so a low-weight difference
+/// between two switches' seeds can make a row on one switch hash every
+/// flow identically to a row on another — correlated estimation errors
+/// that the controller's merge (which assumes independent per-switch
+/// error) cannot average away.
+pub fn tor_sketch_seed(base: u64, node: usize) -> u64 {
+    crate::fasthash::mix64(base ^ node as u64)
+}
+
 impl Simulator {
     /// Build a simulator over `topo` with configuration `cfg`.
     pub fn new(topo: Topology, cfg: SimConfig) -> Self {
@@ -199,7 +211,7 @@ impl Simulator {
             let sketch = if topo.kind(node) == NodeKind::Tor {
                 let mut sk_cfg = cfg.sketch.clone();
                 // Distinct hash seeds per switch, like distinct hardware.
-                sk_cfg.seed = sk_cfg.seed.wrapping_add(node as u64);
+                sk_cfg.seed = tor_sketch_seed(sk_cfg.seed, node);
                 Some(ElasticSketch::new(sk_cfg))
             } else {
                 None

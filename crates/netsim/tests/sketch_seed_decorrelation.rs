@@ -1,0 +1,64 @@
+//! Per-switch sketch seeds must be pairwise decorrelated.
+//!
+//! Each ToR runs its sketch with its own seed, "like distinct hardware".
+//! The previous derivation, `base + node`, left adjacent ToRs' seeds a
+//! tiny XOR apart — and the Elastic light part keys its count-min row
+//! `r` as `seed ^ (row constant + r)`, so a small seed delta can equal a
+//! row-constant delta. Concretely, with the default base seed on the
+//! 128-host CLOS, ToR 128's row 1 and ToR 129's row 0 hashed every flow
+//! identically: their estimation errors were perfectly correlated, and
+//! the controller merge (which assumes independent per-switch error)
+//! preserved the shared error instead of averaging it away.
+//!
+//! Both tests here fail against the additive derivation.
+
+use paraleon_netsim::sim::tor_sketch_seed;
+
+/// Base seeds to exercise: the sketch default, the degenerate zero, and
+/// two arbitrary extremes. All fixed — the tests are deterministic.
+const BASES: [u64; 4] = [0xE1A5_71C5, 0, 0xDEAD_BEEF, u64::MAX];
+
+/// Node-id range covering every switch id any supported topology
+/// produces (hosts come first, so ToR ids start in the hundreds).
+const NODES: std::ops::Range<usize> = 0..512;
+
+/// Seeds derived from related inputs must avalanche: any two switches'
+/// seeds should differ like independent random words (~32 bits), never
+/// by a handful of bits as `base + node` produces for neighbours.
+#[test]
+fn derived_seeds_avalanche() {
+    for base in BASES {
+        let seeds: Vec<u64> = NODES.map(|n| tor_sketch_seed(base, n)).collect();
+        let mut min_dist = u32::MAX;
+        for (i, &a) in seeds.iter().enumerate() {
+            for &b in &seeds[i + 1..] {
+                min_dist = min_dist.min((a ^ b).count_ones());
+            }
+        }
+        assert!(
+            min_dist >= 8,
+            "base {base:#x}: two derived seeds differ by only {min_dist} bits"
+        );
+    }
+}
+
+/// No two derived seeds may sit within a row-constant-sized XOR delta of
+/// each other — that is exactly the distance at which the sketch's
+/// XOR-keyed row family collapses two switches' rows into the same hash
+/// function.
+#[test]
+fn derived_seeds_never_differ_by_a_row_constant_delta() {
+    for base in BASES {
+        let seeds: Vec<u64> = NODES.map(|n| tor_sketch_seed(base, n)).collect();
+        for (i, &a) in seeds.iter().enumerate() {
+            for &b in &seeds[i + 1..] {
+                assert!(
+                    (a ^ b) > 0xFFFF,
+                    "base {base:#x}: seeds {a:#x} and {b:#x} differ by a \
+                     small delta ({:#x})",
+                    a ^ b
+                );
+            }
+        }
+    }
+}
