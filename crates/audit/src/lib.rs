@@ -377,6 +377,25 @@ pub fn reset() {
     });
 }
 
+/// Atomically take this thread's violation count and stored reports,
+/// leaving the registry empty. Harnesses that evaluate several runs in
+/// one process (e.g. the anomaly hunter) drain per run so violations
+/// never leak across run boundaries.
+pub fn drain() -> (u64, Vec<AuditReport>) {
+    #[cfg(feature = "enabled")]
+    {
+        REGISTRY.with(|r| {
+            let n = r.count.replace(0);
+            let reports = std::mem::take(&mut *r.reports.borrow_mut());
+            (n, reports)
+        })
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        (0, Vec::new())
+    }
+}
+
 /// Record a violation: count it, attach the flight tail, and either
 /// panic (debug/CI) or continue (release).
 pub fn report(violation: AuditViolation) {

@@ -24,6 +24,7 @@
 
 use paraleon::prelude::*;
 use paraleon_bench::{gbps_of, print_table, telemetry_begin, telemetry_dump, write_json};
+use paraleon_hunt::oracle::{goodput_collapse, pfc_storm};
 use paraleon_tuner::{Observation, TuningAction, TuningFeedback, TuningScheme};
 use serde::Serialize;
 
@@ -241,12 +242,20 @@ fn fault_plan(scale: FaultScale) -> FaultPlan {
     plan
 }
 
+/// Storm-oracle sliding window (intervals) — mirrors the anomaly
+/// hunter's default so both harnesses judge "sustained storm" the same
+/// way.
+const STORM_WINDOW: usize = 5;
+
 #[derive(Serialize)]
 struct LoopOutcome {
     guarded: bool,
     pre_fault_goodput: f64,
     tail_goodput: f64,
     recovery_ratio: f64,
+    /// Peak sliding-window mean PFC pause ratio (the shared
+    /// `hunt::oracle::pfc_storm` measure over the loop's history).
+    peak_pause_window: f64,
     bad_dispatch_interval: Option<u64>,
     first_rollback_interval: Option<u64>,
     detect_latency: Option<u64>,
@@ -273,24 +282,19 @@ fn run_scenario(scale: FaultScale, guarded: bool) -> LoopOutcome {
     }
     debug_dump(if guarded { "guarded" } else { "unguarded" }, &cl);
 
-    // Pre-fault baseline: intervals 10..20 (faults start at 20 ms).
-    let pre: Vec<f64> = cl.history[10..20].iter().map(|r| r.goodput).collect();
-    let tail_len = 10.min(cl.history.len());
-    let tail: Vec<f64> = cl.history[cl.history.len() - tail_len..]
-        .iter()
-        .map(|r| r.goodput)
-        .collect();
-    let pre_fault = paraleon::stats::mean(&pre);
-    let tail_mean = paraleon::stats::mean(&tail);
+    // Recovery and storm measures come from the shared oracle detectors
+    // (crates/hunt), judged over the closed-loop history: baseline is
+    // intervals 10..20 (faults start at 20 ms), tail is the last 10.
+    let goodputs: Vec<f64> = cl.history.iter().map(|r| r.goodput).collect();
+    let collapse = goodput_collapse(&goodputs, 10..20, 10);
+    let pauses: Vec<f64> = cl.history.iter().map(|r| r.pause_ratio()).collect();
+    let storm = pfc_storm(&pauses, STORM_WINDOW, 0.25);
     let first_rollback = cl
         .history
         .iter()
         .position(|r| r.rolled_back)
         .map(|i| i as u64 + 1);
-    let (rollbacks, rejects, safe_entries) = cl
-        .guard()
-        .map(|g| (g.rollbacks, g.rejects, g.safe_mode_entries))
-        .unwrap_or((0, 0, 0));
+    let guard_stats = cl.guard().map(|g| g.stats()).unwrap_or_default();
     let name = format!(
         "faults_{}_{}",
         scale.label(),
@@ -311,15 +315,16 @@ fn run_scenario(scale: FaultScale, guarded: bool) -> LoopOutcome {
     }
     LoopOutcome {
         guarded,
-        pre_fault_goodput: pre_fault,
-        tail_goodput: tail_mean,
-        recovery_ratio: tail_mean / pre_fault.max(1.0),
+        pre_fault_goodput: collapse.baseline,
+        tail_goodput: collapse.tail,
+        recovery_ratio: collapse.recovery_ratio,
+        peak_pause_window: storm.peak_window_mean,
         bad_dispatch_interval: Some(BAD_DISPATCH_AT),
         first_rollback_interval: first_rollback,
         detect_latency: first_rollback.map(|r| r.saturating_sub(BAD_DISPATCH_AT)),
-        rollbacks,
-        rejects,
-        safe_mode_entries: safe_entries,
+        rollbacks: guard_stats.rollbacks,
+        rejects: guard_stats.rejects,
+        safe_mode_entries: guard_stats.safe_mode_entries,
         fault_drops: cl.sim.total_fault_drops,
     }
 }
@@ -353,14 +358,14 @@ fn run_safe_mode(scale: FaultScale) -> SafeModeOutcome {
         cl.step();
     }
     debug_dump("safemode", &cl);
-    let guard = cl.guard().expect("guarded");
+    let guard = cl.guard().expect("guarded").stats();
     let safe_intervals = cl.history.iter().filter(|r| r.safe_mode).count() as u64;
     let outcome = SafeModeOutcome {
         rejects: guard.rejects,
         rollbacks: guard.rollbacks,
         safe_mode_entries: guard.safe_mode_entries,
         safe_mode_intervals: safe_intervals,
-        exited_safe_mode: !guard.in_safe_mode(),
+        exited_safe_mode: !guard.in_safe_mode,
         rejected_interval_seen: cl.history.iter().any(|r| r.rejected),
     };
     let dump = telemetry_dump(&format!("faults_{}_safemode", scale.label()));
@@ -476,6 +481,17 @@ fn main() {
         unguarded.fault_drops > 0,
         "fault plan injected no drops".into(),
     );
+    // The shared storm oracle must see the injected sustained-XOFF storm
+    // in both loops (it runs 22–30 ms regardless of tuning).
+    for o in [&unguarded, &guarded] {
+        check(
+            o.peak_pause_window > 0.0,
+            format!(
+                "storm detector saw no pause pressure ({} loop)",
+                if o.guarded { "guarded" } else { "unguarded" }
+            ),
+        );
+    }
     check(
         safe.rejects >= 1,
         "out-of-bounds candidate not rejected".into(),

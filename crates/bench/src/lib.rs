@@ -13,7 +13,10 @@
 //! Results print as aligned text tables and are also dumped as JSON under
 //! `results/` so EXPERIMENTS.md can reference machine-readable runs.
 
-pub mod sweep;
+// The parallel sweep runner moved into `paraleon-hunt` (its search loop
+// fans candidate evaluations through it); re-exported here so the
+// experiment binaries keep their `paraleon_bench::sweep::` paths.
+pub use paraleon_hunt::sweep;
 
 use std::io::Write;
 use std::path::PathBuf;

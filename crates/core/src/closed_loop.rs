@@ -94,6 +94,15 @@ pub struct IntervalRecord {
     pub fsd_accuracy: Option<f64>,
 }
 
+impl IntervalRecord {
+    /// The interval's PFC pause fraction. `o_pfc` is defined as
+    /// `1 − pause fraction` (see `MetricSample`), so this inverts it —
+    /// the pause-storm detectors consume the fraction directly.
+    pub fn pause_ratio(&self) -> f64 {
+        1.0 - self.o_pfc
+    }
+}
+
 /// The full PARALEON closed loop over one simulated fabric.
 pub struct ClosedLoop {
     /// The fabric. Exposed so harnesses can inject flows between steps.

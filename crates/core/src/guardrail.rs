@@ -30,6 +30,23 @@ use std::collections::HashMap;
 
 use paraleon_dcqcn::{DcqcnParams, ParamId, ParamSpace};
 use paraleon_tuner::TuningAction;
+use serde::Serialize;
+
+/// One serializable snapshot of the guardrail's event counters — what a
+/// harness (fault experiment, anomaly-hunter oracle) reads after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct GuardrailStats {
+    /// Candidates refused by validation.
+    pub rejects: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Safe-mode entries.
+    pub safe_mode_entries: u64,
+    /// Actions swallowed while frozen.
+    pub suppressed: u64,
+    /// Whether tuning is frozen right now.
+    pub in_safe_mode: bool,
+}
 
 /// Why a candidate parameter set was refused.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -253,6 +270,19 @@ impl Guardrail {
     /// Whether tuning is currently frozen.
     pub fn in_safe_mode(&self) -> bool {
         matches!(self.state, GuardState::SafeMode { .. })
+    }
+
+    /// Snapshot of the guardrail's event counters, in one serializable
+    /// struct (harnesses and oracles consume this instead of reaching
+    /// into the individual counter fields).
+    pub fn stats(&self) -> GuardrailStats {
+        GuardrailStats {
+            rejects: self.rejects,
+            rollbacks: self.rollbacks,
+            safe_mode_entries: self.safe_mode_entries,
+            suppressed: self.suppressed,
+            in_safe_mode: self.in_safe_mode(),
+        }
     }
 
     /// Whether a dispatched candidate is still under watch.

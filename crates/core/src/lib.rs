@@ -49,14 +49,18 @@ pub mod schemes;
 pub mod stats;
 
 pub use closed_loop::{ClosedLoop, ClosedLoopBuilder, IntervalRecord, LoopConfig};
-pub use guardrail::{GuardAction, Guardrail, GuardrailConfig, RejectReason, ScreenOutcome};
+pub use guardrail::{
+    GuardAction, Guardrail, GuardrailConfig, GuardrailStats, RejectReason, ScreenOutcome,
+};
 pub use schemes::{MonitorKind, SchemeKind};
 
 /// Re-exports for harness and example code.
 pub mod prelude {
     pub use crate::closed_loop::{ClosedLoop, IntervalRecord, LoopConfig};
     pub use crate::drivers;
-    pub use crate::guardrail::{GuardAction, Guardrail, GuardrailConfig, ScreenOutcome};
+    pub use crate::guardrail::{
+        GuardAction, Guardrail, GuardrailConfig, GuardrailStats, ScreenOutcome,
+    };
     pub use crate::schemes::{MonitorKind, SchemeKind};
     pub use crate::stats;
     pub use paraleon_dcqcn::{DcqcnParams, ParamId, ParamSpace};

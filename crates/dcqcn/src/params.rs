@@ -108,6 +108,18 @@ impl ParamId {
     pub fn is_switch_side(self) -> bool {
         matches!(self, ParamId::KMin | ParamId::KMax | ParamId::PMax)
     }
+
+    /// The [`DcqcnParams`] struct field holding this parameter — the key
+    /// the derived `Serialize` emits (differs from [`ParamId::name`] for
+    /// the parameters whose NVIDIA doc name is not the field name).
+    pub fn json_field(self) -> &'static str {
+        match self {
+            ParamId::MinRate => "min_rate",
+            ParamId::AlphaGExp => "alpha_g_exp",
+            ParamId::AlphaTimer => "alpha_timer",
+            other => other.name(),
+        }
+    }
 }
 
 /// Direction in which moving a parameter favours throughput over delay.
@@ -409,6 +421,25 @@ impl DcqcnParams {
         }
     }
 
+    /// Reconstruct from the [`Serialize`] representation (the vendored
+    /// serde has no derived deserialization, so readers are hand-rolled).
+    pub fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(serde::Value::as_f64)
+                .ok_or_else(|| format!("DcqcnParams: missing `{name}`"))
+        };
+        let mut p = Self::nvidia_default();
+        for id in ALL_PARAMS {
+            p.set(id, field(id.json_field())?);
+        }
+        p.clamp_tgt_rate = v
+            .get("clamp_tgt_rate")
+            .and_then(serde::Value::as_bool)
+            .ok_or("DcqcnParams: missing `clamp_tgt_rate`")?;
+        Ok(p)
+    }
+
     /// Alpha EWMA gain `g` as a fraction.
     pub fn alpha_g(&self) -> f64 {
         1.0 / 2f64.powf(self.alpha_g_exp)
@@ -500,6 +531,15 @@ mod tests {
         assert!(!ParamId::AiRate.is_switch_side());
         let n_switch = ALL_PARAMS.iter().filter(|p| p.is_switch_side()).count();
         assert_eq!(n_switch, 3);
+    }
+
+    #[test]
+    fn params_round_trip_through_value() {
+        use serde::Serialize;
+        let mut p = DcqcnParams::expert();
+        p.clamp_tgt_rate = true;
+        let back = DcqcnParams::from_value(&p.serialize_value()).unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

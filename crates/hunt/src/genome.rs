@@ -1,0 +1,413 @@
+//! The hunt genome: everything that defines one adversarial scenario.
+//!
+//! A [`HuntPoint`] is a *complete, self-contained recipe* for a
+//! simulation run — topology spec, workload, fault plan, DCQCN
+//! parameters and RNG seed. It round-trips through JSON byte-identically
+//! (hand-rolled readers over the vendored serde's `Value` tree), which
+//! is what makes corpus cases replayable: the repro *is* the genome.
+
+use paraleon_dcqcn::DcqcnParams;
+use paraleon_netsim::{ClosSpec, FaultKind, FaultPlan, Nanos, NodeId};
+use serde::{Serialize, Value};
+
+/// A burst of identical flows: `count` flows of `bytes` from `src` to
+/// `dst`, the i-th starting at `start + i·gap`. Repetition is explicit
+/// (rather than listing each flow) so the minimizer can shrink sustained
+/// load by halving `count` instead of deleting flows one by one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FlowSpec {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host (must differ from `src`).
+    pub dst: NodeId,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// Start time of the first repetition (ns).
+    pub start: Nanos,
+    /// Number of repetitions.
+    pub count: u32,
+    /// Spacing between consecutive repetitions (ns).
+    pub gap: Nanos,
+}
+
+impl FlowSpec {
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let num = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("FlowSpec: missing `{name}`"))
+        };
+        let spec = Self {
+            src: num("src")? as NodeId,
+            dst: num("dst")? as NodeId,
+            bytes: num("bytes")?,
+            start: num("start")?,
+            count: num("count")? as u32,
+            gap: num("gap")?,
+        };
+        if spec.src == spec.dst {
+            return Err("FlowSpec: src == dst".into());
+        }
+        if spec.bytes == 0 || spec.count == 0 {
+            return Err("FlowSpec: empty flow".into());
+        }
+        Ok(spec)
+    }
+}
+
+/// One point in the hunt search space.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HuntPoint {
+    /// Topology recipe.
+    pub topo: ClosSpec,
+    /// Offered load.
+    pub workload: Vec<FlowSpec>,
+    /// Scheduled fabric faults.
+    pub faults: FaultPlan,
+    /// DCQCN parameter setting under test.
+    pub params: DcqcnParams,
+    /// Simulator RNG seed (ECN coin flips etc.).
+    pub seed: u64,
+}
+
+impl HuntPoint {
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| format!("HuntPoint: missing `{name}`"))
+        };
+        let point = Self {
+            topo: ClosSpec::from_value(field("topo")?)?,
+            workload: field("workload")?
+                .as_array()
+                .ok_or("HuntPoint: `workload` is not an array")?
+                .iter()
+                .map(FlowSpec::from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            faults: FaultPlan::from_value(field("faults")?)?,
+            params: DcqcnParams::from_value(field("params")?)?,
+            seed: field("seed")?
+                .as_u64()
+                .ok_or("HuntPoint: `seed` is not an integer")?,
+        };
+        point.validate()?;
+        Ok(point)
+    }
+
+    /// Check internal consistency: every flow endpoint and fault target
+    /// must exist in the topology the spec builds.
+    pub fn validate(&self) -> Result<(), String> {
+        let n_hosts = self.topo.n_hosts();
+        for (i, f) in self.workload.iter().enumerate() {
+            if f.src >= n_hosts || f.dst >= n_hosts {
+                return Err(format!("workload[{i}]: host out of range"));
+            }
+            if f.src == f.dst {
+                return Err(format!("workload[{i}]: src == dst"));
+            }
+        }
+        // Cross-parameter constraint the simulator asserts at admission
+        // (`EcnMarker::new`): per-param clamping cannot catch it.
+        if self.params.k_min > self.params.k_max {
+            return Err(format!(
+                "params: k_min {} > k_max {}",
+                self.params.k_min, self.params.k_max
+            ));
+        }
+        for (i, ev) in self.faults.events().iter().enumerate() {
+            if node_class(&self.topo, ev.node).is_none() {
+                return Err(format!("faults[{i}]: node {} out of range", ev.node));
+            }
+            if port_valid(&self.topo, ev.node, ev.port).is_none() {
+                return Err(format!("faults[{i}]: port {} invalid", ev.port));
+            }
+            if matches!(ev.kind, FaultKind::PfcStormStart | FaultKind::PfcStormEnd)
+                && ev.node >= n_hosts
+            {
+                return Err(format!("faults[{i}]: storm target must be a host"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand the workload into concrete `(src, dst, bytes, start)` flow
+    /// admissions, in deterministic spec-then-repetition order.
+    pub fn expand_flows(&self) -> Vec<(NodeId, NodeId, u64, Nanos)> {
+        let mut out = Vec::new();
+        for f in &self.workload {
+            for i in 0..f.count as u64 {
+                out.push((f.src, f.dst, f.bytes, f.start + i * f.gap));
+            }
+        }
+        out
+    }
+
+    /// Canonical compact-JSON form: the dedup key during search and the
+    /// byte-comparison basis for replay.
+    pub fn key(&self) -> String {
+        serde_json::to_string(self).expect("genome serializes")
+    }
+}
+
+/// Which tier a node id belongs to under `spec`'s id layout (hosts
+/// `0..H`, ToRs `H..H+n_tor`, leaves after).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeClass {
+    /// Host `(tor_index, local_index)`.
+    Host(usize, usize),
+    /// ToR `tor_index`.
+    Tor(usize),
+    /// Leaf `leaf_index`.
+    Leaf(usize),
+}
+
+/// Classify `node` under `spec`'s id layout, if it exists.
+pub fn node_class(spec: &ClosSpec, node: NodeId) -> Option<NodeClass> {
+    let h = spec.n_hosts();
+    if node < h {
+        Some(NodeClass::Host(
+            node / spec.hosts_per_tor,
+            node % spec.hosts_per_tor,
+        ))
+    } else if node < h + spec.n_tor {
+        Some(NodeClass::Tor(node - h))
+    } else if node < spec.n_nodes() {
+        Some(NodeClass::Leaf(node - h - spec.n_tor))
+    } else {
+        None
+    }
+}
+
+/// Classify `port` on `node`: `Some(class)` if the port exists. Hosts
+/// have port 0; ToR ports are down `0..hosts_per_tor` then uplinks
+/// `hosts_per_tor..hosts_per_tor+n_leaf`; leaf port `t` faces ToR `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortClass {
+    /// A host's single uplink.
+    HostUplink,
+    /// ToR down-port toward local host `local_index`.
+    TorDown(usize),
+    /// ToR uplink toward leaf `leaf_index`.
+    TorUp(usize),
+    /// Leaf down-port toward ToR `tor_index`.
+    LeafDown(usize),
+}
+
+/// Classify `(node, port)` under `spec`, if the port exists.
+pub fn port_valid(spec: &ClosSpec, node: NodeId, port: usize) -> Option<PortClass> {
+    match node_class(spec, node)? {
+        NodeClass::Host(..) => (port == 0).then_some(PortClass::HostUplink),
+        NodeClass::Tor(_) => {
+            if port < spec.hosts_per_tor {
+                Some(PortClass::TorDown(port))
+            } else if port < spec.hosts_per_tor + spec.n_leaf {
+                Some(PortClass::TorUp(port - spec.hosts_per_tor))
+            } else {
+                None
+            }
+        }
+        NodeClass::Leaf(_) => (port < spec.n_tor).then_some(PortClass::LeafDown(port)),
+    }
+}
+
+/// Re-address `point` onto the smaller (or differently shaped) topology
+/// `new`: every workload endpoint and fault target is re-classified
+/// under the old layout and re-encoded under the new one. Returns `None`
+/// when anything falls off the shrunken fabric (a flow's host no longer
+/// exists, a fault's uplink index exceeds the new leaf count) — the
+/// minimizer simply treats that shrink as a failed trial.
+pub fn remap_point(point: &HuntPoint, new: ClosSpec) -> Option<HuntPoint> {
+    let old = &point.topo;
+    let map_node = |node: NodeId| -> Option<NodeId> {
+        match node_class(old, node)? {
+            NodeClass::Host(t, l) => {
+                (t < new.n_tor && l < new.hosts_per_tor).then(|| t * new.hosts_per_tor + l)
+            }
+            NodeClass::Tor(t) => (t < new.n_tor).then(|| new.n_hosts() + t),
+            NodeClass::Leaf(l) => (l < new.n_leaf).then(|| new.n_hosts() + new.n_tor + l),
+        }
+    };
+    let map_port = |node: NodeId, port: usize| -> Option<usize> {
+        match port_valid(old, node, port)? {
+            PortClass::HostUplink => Some(0),
+            PortClass::TorDown(l) => (l < new.hosts_per_tor).then_some(l),
+            PortClass::TorUp(l) => (l < new.n_leaf).then(|| new.hosts_per_tor + l),
+            PortClass::LeafDown(t) => (t < new.n_tor).then_some(t),
+        }
+    };
+
+    let mut workload = Vec::with_capacity(point.workload.len());
+    for f in &point.workload {
+        workload.push(FlowSpec {
+            src: map_node(f.src)?,
+            dst: map_node(f.dst)?,
+            ..*f
+        });
+    }
+    let mut faults = FaultPlan::new(point.faults.seed);
+    for ev in point.faults.events() {
+        let mut ev = *ev;
+        ev.port = map_port(ev.node, ev.port)?;
+        ev.node = map_node(ev.node)?;
+        faults.push(ev);
+    }
+    let out = HuntPoint {
+        topo: new,
+        workload,
+        faults,
+        params: point.params,
+        seed: point.seed,
+    };
+    out.validate().ok()?;
+    Some(out)
+}
+
+/// Bounds the mutation operators respect, keeping every candidate small
+/// enough for a CI-budget evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct GenomeCaps {
+    /// Max ToR switches.
+    pub max_tor: usize,
+    /// Max hosts per ToR.
+    pub max_hosts_per_tor: usize,
+    /// Max leaf switches.
+    pub max_leaf: usize,
+    /// Max workload specs.
+    pub max_flow_specs: usize,
+    /// Max fault events.
+    pub max_fault_events: usize,
+    /// Max bytes per individual flow.
+    pub max_flow_bytes: u64,
+    /// Max repetitions per spec.
+    pub max_count: u32,
+    /// Scenario horizon: starts/fault times stay below this (ns).
+    pub horizon: Nanos,
+}
+
+impl Default for GenomeCaps {
+    fn default() -> Self {
+        Self {
+            max_tor: 3,
+            max_hosts_per_tor: 6,
+            max_leaf: 2,
+            max_flow_specs: 12,
+            max_fault_events: 12,
+            max_flow_bytes: 8_000_000,
+            max_count: 40,
+            horizon: 30 * paraleon_netsim::MILLI,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    fn spec() -> ClosSpec {
+        ClosSpec {
+            n_tor: 2,
+            hosts_per_tor: 4,
+            n_leaf: 2,
+            host_gbps: 100.0,
+            uplink_gbps: 100.0,
+            delay_ns: 5_000,
+        }
+    }
+
+    fn point() -> HuntPoint {
+        let mut faults = FaultPlan::new(7);
+        faults.link_flap(8, 4, 1_000_000, 200_000, 500_000, 2);
+        faults.pfc_storm(0, 2_000_000, 3_000_000);
+        HuntPoint {
+            topo: spec(),
+            workload: vec![
+                FlowSpec {
+                    src: 0,
+                    dst: 4,
+                    bytes: 1_000_000,
+                    start: 0,
+                    count: 10,
+                    gap: 1_000_000,
+                },
+                FlowSpec {
+                    src: 5,
+                    dst: 1,
+                    bytes: 500_000,
+                    start: 100_000,
+                    count: 3,
+                    gap: 2_000_000,
+                },
+            ],
+            faults,
+            params: DcqcnParams::expert(),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn genome_round_trips_through_value() {
+        let p = point();
+        let back = HuntPoint::from_value(&p.serialize_value()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn expansion_is_spec_then_repetition_ordered() {
+        let flows = point().expand_flows();
+        assert_eq!(flows.len(), 13);
+        assert_eq!(flows[0], (0, 4, 1_000_000, 0));
+        assert_eq!(flows[1], (0, 4, 1_000_000, 1_000_000));
+        assert_eq!(flows[10], (5, 1, 500_000, 100_000));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_targets() {
+        let mut p = point();
+        p.workload[0].dst = 99;
+        assert!(p.validate().is_err());
+        let mut p = point();
+        p.faults.link_down(0, 50, 0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn remap_keeps_classes_and_rejects_overflow() {
+        let p = point();
+        // Shrink to 2×2 hosts, 1 leaf: flows touching local index >= 2
+        // or the second uplink must fail; a fitting point remaps.
+        let small = ClosSpec {
+            hosts_per_tor: 2,
+            n_leaf: 1,
+            ..spec()
+        };
+        let mut unfit = p.clone();
+        unfit.workload[0].dst = 2; // ToR0 local index 2 — gone at 2 hosts/ToR
+        assert!(remap_point(&unfit, small).is_none(), "host 2 cannot fit");
+
+        let mut fits = p.clone();
+        fits.workload = vec![FlowSpec {
+            src: 0,
+            dst: 4,
+            bytes: 1_000,
+            start: 0,
+            count: 1,
+            gap: 0,
+        }];
+        fits.faults = {
+            let mut f = FaultPlan::new(1);
+            f.link_down(1_000, 8, 4); // ToR0 uplink to leaf 0
+            f.pfc_storm(0, 10, 20);
+            f
+        };
+        let got = remap_point(&fits, small).expect("fits");
+        assert_eq!(got.topo.n_hosts(), 4);
+        // ToR0 is node 4 in the new layout; its leaf-0 uplink is port 2.
+        assert_eq!(got.faults.events()[0].node, 4);
+        assert_eq!(got.faults.events()[0].port, 2);
+        // Host 0 stays host 0; dst host 4 (ToR1 local 0) becomes 2.
+        assert_eq!(got.workload[0].dst, 2);
+    }
+}

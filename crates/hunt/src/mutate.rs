@@ -1,0 +1,421 @@
+//! Genome mutation operators, targeted by oracle kind.
+//!
+//! Collie's insight is that anomaly search needs *directed* mutation:
+//! random scenario soup rarely trips a pause storm, but "pile an incast
+//! onto one ToR and slow its uplink" does. Each [`OracleKind`] therefore
+//! gets its own operator palette — a storm hunt favors incasts, host
+//! PFC storms and uplink degrades; a livelock hunt favors corruption
+//! windows and starvation-prone parameter extremes — on top of a shared
+//! pool of generic tweaks. All randomness flows from the caller's seeded
+//! RNG, so hunts replay exactly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use paraleon_dcqcn::{ParamSpace, ALL_PARAMS};
+use paraleon_netsim::{FaultPlan, Nanos, NodeId};
+
+use crate::genome::{GenomeCaps, HuntPoint};
+use crate::oracle::OracleKind;
+
+/// Time quantum for generated starts/durations (ns). Coarse times keep
+/// genomes readable and give the minimizer fewer distinct values to
+/// preserve.
+const QUANTUM: Nanos = 100_000;
+
+fn quantized(rng: &mut StdRng, lo: Nanos, hi: Nanos) -> Nanos {
+    let lo_steps = lo / QUANTUM;
+    let steps = (hi / QUANTUM).max(1).max(lo_steps);
+    rng.gen_range(lo_steps..=steps) * QUANTUM
+}
+
+fn random_host(point: &HuntPoint, rng: &mut StdRng) -> NodeId {
+    rng.gen_range(0..point.topo.n_hosts())
+}
+
+fn random_host_pair(point: &HuntPoint, rng: &mut StdRng) -> (NodeId, NodeId) {
+    let n = point.topo.n_hosts();
+    let src = rng.gen_range(0..n);
+    let mut dst = rng.gen_range(0..n - 1);
+    if dst >= src {
+        dst += 1;
+    }
+    (src, dst)
+}
+
+/// A random existing `(node, port)` edge endpoint, weighted toward the
+/// contended ones (ToR ports and host uplinks).
+fn random_edge(point: &HuntPoint, rng: &mut StdRng) -> (NodeId, usize) {
+    let t = &point.topo;
+    match rng.gen_range(0u32..4) {
+        // A host's uplink.
+        0 => (rng.gen_range(0..t.n_hosts()), 0),
+        // A ToR down-port.
+        1 => (
+            t.n_hosts() + rng.gen_range(0..t.n_tor),
+            rng.gen_range(0..t.hosts_per_tor),
+        ),
+        // A ToR uplink.
+        2 => (
+            t.n_hosts() + rng.gen_range(0..t.n_tor),
+            t.hosts_per_tor + rng.gen_range(0..t.n_leaf),
+        ),
+        // A leaf down-port.
+        _ => (
+            t.n_hosts() + t.n_tor + rng.gen_range(0..t.n_leaf),
+            rng.gen_range(0..t.n_tor),
+        ),
+    }
+}
+
+/// The individual operators. Each returns `true` when it changed the
+/// point (an op can be a no-op when a cap is already saturated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Nudge one DCQCN parameter by a random factor, clamped to the
+    /// standard space.
+    TweakParam,
+    /// Pin one DCQCN parameter to its min or max.
+    ExtremeParam,
+    /// Toggle target-rate clamping.
+    FlipClamp,
+    /// Add one random flow spec.
+    AddFlow,
+    /// Remove one flow spec.
+    DropFlow,
+    /// Add a many-to-one incast onto a single destination.
+    AddIncast,
+    /// Double one spec's repetition count.
+    BoostCount,
+    /// Double one spec's flow size.
+    BoostBytes,
+    /// Flap a random edge.
+    AddFlap,
+    /// Degrade a random edge hard.
+    AddDegrade,
+    /// Open a packet-corruption window on a random edge.
+    AddLoss,
+    /// A host asserts a sustained PFC storm.
+    AddStorm,
+    /// Remove one fault event.
+    DropFault,
+    /// Re-seed the simulator RNG.
+    Reseed,
+}
+
+/// Generic pool every hunt draws from.
+const GENERIC: &[Op] = &[
+    Op::TweakParam,
+    Op::AddFlow,
+    Op::DropFlow,
+    Op::BoostCount,
+    Op::BoostBytes,
+    Op::DropFault,
+    Op::Reseed,
+    Op::FlipClamp,
+];
+
+/// Kind-targeted palette, mixed 50/50 with [`GENERIC`].
+fn palette(kind: OracleKind) -> &'static [Op] {
+    match kind {
+        OracleKind::GoodputCollapse => &[
+            Op::AddFlap,
+            Op::AddDegrade,
+            Op::AddLoss,
+            Op::ExtremeParam,
+            Op::AddIncast,
+        ],
+        OracleKind::PfcStorm => &[
+            Op::AddIncast,
+            Op::AddStorm,
+            Op::AddDegrade,
+            Op::BoostCount,
+            Op::ExtremeParam,
+        ],
+        OracleKind::Unfairness => &[
+            Op::AddDegrade,
+            Op::AddLoss,
+            Op::AddIncast,
+            Op::ExtremeParam,
+            Op::AddStorm,
+        ],
+        OracleKind::AuditViolation => &[
+            Op::AddStorm,
+            Op::AddFlap,
+            Op::AddLoss,
+            Op::AddIncast,
+            Op::AddDegrade,
+        ],
+        OracleKind::Livelock => &[
+            Op::AddLoss,
+            Op::AddStorm,
+            Op::ExtremeParam,
+            Op::AddIncast,
+            Op::AddFlap,
+        ],
+    }
+}
+
+/// Restore `k_min <= k_max` after a parameter mutation by swapping the
+/// thresholds — an inverted pair fails [`HuntPoint::validate`] (the
+/// simulator asserts the ordering at admission), and swapping keeps the
+/// mutated value in play instead of discarding the operator's work.
+fn repair_marking_thresholds(p: &mut HuntPoint) {
+    if p.params.k_min > p.params.k_max {
+        std::mem::swap(&mut p.params.k_min, &mut p.params.k_max);
+    }
+}
+
+fn apply(op: Op, p: &mut HuntPoint, caps: &GenomeCaps, rng: &mut StdRng) -> bool {
+    let space = ParamSpace::standard();
+    match op {
+        Op::TweakParam => {
+            let id = ALL_PARAMS[rng.gen_range(0..ALL_PARAMS.len())];
+            let spec = space.spec(id);
+            let factor = rng.gen_range(0.25f64..4.0);
+            p.params.set(id, spec.clamp(p.params.get(id) * factor));
+            repair_marking_thresholds(p);
+            true
+        }
+        Op::ExtremeParam => {
+            let id = ALL_PARAMS[rng.gen_range(0..ALL_PARAMS.len())];
+            let spec = space.spec(id);
+            let v = if rng.gen_bool(0.5) {
+                spec.min
+            } else {
+                spec.max
+            };
+            p.params.set(id, spec.clamp(v));
+            repair_marking_thresholds(p);
+            true
+        }
+        Op::FlipClamp => {
+            p.params.clamp_tgt_rate = !p.params.clamp_tgt_rate;
+            true
+        }
+        Op::AddFlow => {
+            if p.workload.len() >= caps.max_flow_specs {
+                return false;
+            }
+            let (src, dst) = random_host_pair(p, rng);
+            p.workload.push(crate::genome::FlowSpec {
+                src,
+                dst,
+                bytes: rng.gen_range(8u64..=caps.max_flow_bytes / 1024) * 1024,
+                start: quantized(rng, 0, caps.horizon / 2),
+                count: rng.gen_range(1..=caps.max_count / 4),
+                gap: quantized(rng, QUANTUM, caps.horizon / 8),
+            });
+            true
+        }
+        Op::DropFlow => {
+            if p.workload.len() <= 1 {
+                return false;
+            }
+            let i = rng.gen_range(0..p.workload.len());
+            p.workload.remove(i);
+            true
+        }
+        Op::AddIncast => {
+            let dst = random_host(p, rng);
+            let fanin = rng.gen_range(2usize..=4);
+            let start = quantized(rng, 0, caps.horizon / 2);
+            let mut added = false;
+            for _ in 0..fanin {
+                if p.workload.len() >= caps.max_flow_specs {
+                    break;
+                }
+                let n = p.topo.n_hosts();
+                let mut src = rng.gen_range(0..n - 1);
+                if src >= dst {
+                    src += 1;
+                }
+                p.workload.push(crate::genome::FlowSpec {
+                    src,
+                    dst,
+                    bytes: rng.gen_range(64u64..=caps.max_flow_bytes / 1024) * 1024,
+                    start,
+                    count: rng.gen_range(2..=caps.max_count / 2),
+                    gap: quantized(rng, QUANTUM, caps.horizon / 16),
+                });
+                added = true;
+            }
+            added
+        }
+        Op::BoostCount => {
+            if p.workload.is_empty() {
+                return false;
+            }
+            let i = rng.gen_range(0..p.workload.len());
+            let f = &mut p.workload[i];
+            let new = (f.count * 2).min(caps.max_count);
+            let changed = new != f.count;
+            f.count = new;
+            changed
+        }
+        Op::BoostBytes => {
+            if p.workload.is_empty() {
+                return false;
+            }
+            let i = rng.gen_range(0..p.workload.len());
+            let f = &mut p.workload[i];
+            let new = (f.bytes * 2).min(caps.max_flow_bytes);
+            let changed = new != f.bytes;
+            f.bytes = new;
+            changed
+        }
+        Op::AddFlap => {
+            if p.faults.len() + 4 > caps.max_fault_events {
+                return false;
+            }
+            let (node, port) = random_edge(p, rng);
+            let first = quantized(rng, 0, caps.horizon / 2);
+            let period = quantized(rng, 2 * QUANTUM, caps.horizon / 8).max(2 * QUANTUM);
+            let down_for = (period / 2).max(QUANTUM).min(period - QUANTUM);
+            p.faults.link_flap(node, port, first, down_for, period, 2);
+            true
+        }
+        Op::AddDegrade => {
+            if p.faults.len() >= caps.max_fault_events {
+                return false;
+            }
+            let (node, port) = random_edge(p, rng);
+            let at = quantized(rng, 0, caps.horizon / 2);
+            let factor = rng.gen_range(0.02f64..0.3);
+            p.faults.degrade(at, node, port, factor);
+            true
+        }
+        Op::AddLoss => {
+            if p.faults.len() + 2 > caps.max_fault_events {
+                return false;
+            }
+            let (node, port) = random_edge(p, rng);
+            let at = quantized(rng, 0, caps.horizon / 2);
+            let until = at + quantized(rng, QUANTUM, caps.horizon / 4).max(QUANTUM);
+            let prob = rng.gen_range(0.02f64..0.4);
+            p.faults.pkt_loss(at, until, node, port, prob);
+            true
+        }
+        Op::AddStorm => {
+            if p.faults.len() + 2 > caps.max_fault_events {
+                return false;
+            }
+            let host = random_host(p, rng);
+            let start = quantized(rng, 0, caps.horizon / 2);
+            let end = start + quantized(rng, QUANTUM, caps.horizon / 3).max(QUANTUM);
+            p.faults.pfc_storm(host, start, end);
+            true
+        }
+        Op::DropFault => {
+            if p.faults.is_empty() {
+                return false;
+            }
+            let i = rng.gen_range(0..p.faults.len());
+            let mut faults = FaultPlan::new(p.faults.seed);
+            for (j, ev) in p.faults.events().iter().enumerate() {
+                if j != i {
+                    faults.push(*ev);
+                }
+            }
+            p.faults = faults;
+            true
+        }
+        Op::Reseed => {
+            p.seed = rng.gen_range(0u64..1 << 32);
+            true
+        }
+    }
+}
+
+/// A fresh random starting point: a small fabric with a couple of flow
+/// specs and no faults — deliberately bland, so whatever the search
+/// finds is attributable to mutation pressure, not a loaded seed.
+pub fn seed_point(caps: &GenomeCaps, rng: &mut StdRng) -> HuntPoint {
+    let topo = paraleon_netsim::ClosSpec {
+        n_tor: rng.gen_range(2..=caps.max_tor),
+        hosts_per_tor: rng.gen_range(2..=caps.max_hosts_per_tor),
+        n_leaf: rng.gen_range(1..=caps.max_leaf),
+        host_gbps: 100.0,
+        uplink_gbps: if rng.gen_bool(0.5) { 100.0 } else { 200.0 },
+        delay_ns: 4_000,
+    };
+    let mut point = HuntPoint {
+        topo,
+        workload: Vec::new(),
+        faults: FaultPlan::new(rng.gen_range(0u64..1 << 32)),
+        params: paraleon_dcqcn::DcqcnParams::nvidia_default(),
+        seed: rng.gen_range(0u64..1 << 32),
+    };
+    for _ in 0..2 {
+        apply(Op::AddFlow, &mut point, caps, rng);
+    }
+    point
+}
+
+/// Mutate `base` toward `target`: 1–3 operators drawn from the target's
+/// palette mixed with the generic pool. The result always satisfies
+/// [`HuntPoint::validate`]; ops that cannot apply (saturated caps) are
+/// skipped, and if nothing applied the point is re-seeded instead of
+/// returned unchanged (a duplicate would waste an evaluation).
+pub fn mutate(
+    base: &HuntPoint,
+    target: OracleKind,
+    caps: &GenomeCaps,
+    rng: &mut StdRng,
+) -> HuntPoint {
+    let targeted = palette(target);
+    let mut point = base.clone();
+    let n_ops = rng.gen_range(1usize..=3);
+    let mut changed = false;
+    for _ in 0..n_ops {
+        let op = if rng.gen_bool(0.5) {
+            targeted[rng.gen_range(0..targeted.len())]
+        } else {
+            GENERIC[rng.gen_range(0..GENERIC.len())]
+        };
+        changed |= apply(op, &mut point, caps, rng);
+    }
+    debug_assert!(point.validate().is_ok(), "mutation broke the genome");
+    if !changed || point.validate().is_err() {
+        return seed_point(caps, rng);
+    }
+    point
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ALL_ORACLES;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutants_stay_valid_and_capped() {
+        let caps = GenomeCaps::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut p = seed_point(&caps, &mut rng);
+        for i in 0..300 {
+            let kind = ALL_ORACLES[i % ALL_ORACLES.len()];
+            p = mutate(&p, kind, &caps, &mut rng);
+            p.validate().expect("mutant valid");
+            assert!(p.workload.len() <= caps.max_flow_specs);
+            assert!(p.faults.len() <= caps.max_fault_events);
+            for f in &p.workload {
+                assert!(f.bytes <= caps.max_flow_bytes && f.count <= caps.max_count);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_in_the_seed() {
+        let caps = GenomeCaps::default();
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut p = seed_point(&caps, &mut rng);
+            for _ in 0..50 {
+                p = mutate(&p, OracleKind::PfcStorm, &caps, &mut rng);
+            }
+            p.key()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,303 @@
+//! The hunt loop: seeded (µ+λ)-style guided search over the genome.
+//!
+//! Each generation builds a batch of candidates — every targeted oracle
+//! kind gets slots, each mutated from that kind's current elite (or a
+//! fresh seed point while none exists) — and fans their evaluations
+//! across worker threads with [`crate::sweep::run`]. Because the batch
+//! is assembled on the coordinator thread from one seeded RNG and sweep
+//! results come back in job order, a hunt is a pure function of
+//! [`SearchConfig`]: `--threads 8` finds byte-for-byte what `--serial`
+//! finds, only sooner.
+//!
+//! Selection is per-kind elitism on the oracle's smooth score, which
+//! gives the search a gradient to climb before anything fires (a 40%
+//! goodput dip breeds toward a 60% collapse). The best *fired* point per
+//! kind is kept as that kind's finding and optionally delta-debugged
+//! down to a minimal repro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::eval::{evaluate, EvalConfig, Evaluation};
+use crate::genome::{GenomeCaps, HuntPoint};
+use crate::minimize::{minimize, MinimizeStats};
+use crate::mutate::{mutate, seed_point};
+use crate::oracle::{OracleConfig, OracleKind, OracleReport, ALL_ORACLES};
+use crate::sweep;
+
+/// Everything that defines one hunt. A hunt is deterministic in this
+/// struct: same config, same findings, any thread count.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Total candidate evaluations to spend.
+    pub budget: u64,
+    /// Search RNG seed.
+    pub seed: u64,
+    /// Worker threads for fanning evaluations.
+    pub threads: usize,
+    /// Candidates per generation.
+    pub batch: usize,
+    /// Per-candidate run length and budgets.
+    pub eval: EvalConfig,
+    /// Oracle thresholds.
+    pub oracles: OracleConfig,
+    /// Genome bounds for mutation.
+    pub caps: GenomeCaps,
+    /// Which pathology classes to hunt (empty means all).
+    pub targets: Vec<OracleKind>,
+    /// Delta-debug each finding down to a minimal repro.
+    pub minimize: bool,
+    /// Trial budget per minimization.
+    pub minimize_trials: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        let eval = EvalConfig::default();
+        let caps = GenomeCaps {
+            // Faults scheduled beyond the run's end would be dead genes;
+            // keep mutation inside the observed horizon.
+            horizon: eval.intervals * eval.lambda_mi,
+            ..GenomeCaps::default()
+        };
+        Self {
+            budget: 64,
+            seed: 42,
+            threads: 1,
+            batch: 16,
+            eval,
+            oracles: OracleConfig::default(),
+            caps,
+            targets: ALL_ORACLES.to_vec(),
+            minimize: true,
+            minimize_trials: 400,
+        }
+    }
+}
+
+/// One confirmed, (optionally) minimized pathology.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which oracle confirmed it.
+    pub kind: OracleKind,
+    /// The repro genome (minimized when the hunt minimizes).
+    pub point: HuntPoint,
+    /// The oracle report of `point` — re-judged after minimization, so
+    /// it always describes the committed genome.
+    pub report: OracleReport,
+    /// The score at which the un-minimized ancestor was selected.
+    pub found_score: f64,
+    /// Evaluations spent when the ancestor first fired.
+    pub found_at_eval: u64,
+    /// Minimization accounting, when it ran.
+    pub minimize: Option<MinimizeStats>,
+}
+
+/// Aggregate result of one hunt.
+#[derive(Debug, Clone)]
+pub struct HuntResult {
+    /// Best confirmed finding per fired kind, in [`ALL_ORACLES`] order.
+    pub findings: Vec<Finding>,
+    /// Evaluations actually spent in the search loop (minimization
+    /// trials are accounted separately, inside each finding).
+    pub evals: u64,
+    /// Generations run.
+    pub generations: u64,
+}
+
+/// Per-kind search state.
+struct Lane {
+    kind: OracleKind,
+    /// Highest-scoring point so far (fired or not) — the breeding elite.
+    elite: Option<(HuntPoint, f64)>,
+    /// Highest-scoring *fired* point so far.
+    fired: Option<(HuntPoint, OracleReport, f64, u64)>,
+}
+
+/// Run the hunt.
+pub fn hunt(cfg: &SearchConfig) -> HuntResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let targets = if cfg.targets.is_empty() {
+        ALL_ORACLES.to_vec()
+    } else {
+        cfg.targets.clone()
+    };
+    let mut lanes: Vec<Lane> = targets
+        .iter()
+        .map(|&kind| Lane {
+            kind,
+            elite: None,
+            fired: None,
+        })
+        .collect();
+
+    let mut evals = 0u64;
+    let mut generations = 0u64;
+    let mut seen = std::collections::HashSet::new();
+
+    while evals < cfg.budget {
+        let want = (cfg.budget - evals).min(cfg.batch.max(1) as u64) as usize;
+        // Assemble the generation on the coordinator thread: lane
+        // round-robin, mutate from the lane elite once one exists.
+        let mut batch: Vec<(usize, HuntPoint)> = Vec::with_capacity(want);
+        let mut attempts = 0;
+        while batch.len() < want && attempts < want * 10 {
+            attempts += 1;
+            let li = (batch.len() + attempts) % lanes.len();
+            let lane = &lanes[li];
+            let cand = match &lane.elite {
+                Some((elite, _)) => mutate(elite, lane.kind, &cfg.caps, &mut rng),
+                None => {
+                    let p = seed_point(&cfg.caps, &mut rng);
+                    mutate(&p, lane.kind, &cfg.caps, &mut rng)
+                }
+            };
+            if seen.insert(cand.key()) {
+                batch.push((li, cand));
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+
+        let eval_cfg = cfg.eval;
+        let oracle_cfg = cfg.oracles;
+        let jobs: Vec<_> = batch
+            .iter()
+            .map(|(_, p)| {
+                let p = p.clone();
+                move || evaluate(&eval_cfg, &oracle_cfg, &p)
+            })
+            .collect();
+        let results: Vec<Result<Evaluation, String>> = sweep::run(cfg.threads, jobs);
+
+        for ((li, point), result) in batch.into_iter().zip(results) {
+            evals += 1;
+            let Ok(ev) = result else { continue };
+            let lane = &mut lanes[li];
+            let score = ev.report.score(lane.kind);
+            if lane.elite.as_ref().is_none_or(|(_, s)| score > *s) {
+                lane.elite = Some((point.clone(), score));
+            }
+            if ev.report.fired(lane.kind)
+                && lane.fired.as_ref().is_none_or(|(_, _, s, _)| score > *s)
+            {
+                lane.fired = Some((point, ev.report, score, evals));
+            }
+        }
+        generations += 1;
+    }
+
+    let mut findings = Vec::new();
+    for lane in lanes {
+        let Some((point, report, found_score, found_at_eval)) = lane.fired else {
+            continue;
+        };
+        let (point, report, stats) = if cfg.minimize {
+            let (small, stats) = minimize(
+                &point,
+                lane.kind,
+                &cfg.eval,
+                &cfg.oracles,
+                cfg.minimize_trials,
+            );
+            let rejudged = evaluate(&cfg.eval, &cfg.oracles, &small)
+                .expect("minimized point evaluates")
+                .report;
+            (small, rejudged, Some(stats))
+        } else {
+            (point, report, None)
+        };
+        findings.push(Finding {
+            kind: lane.kind,
+            point,
+            report,
+            found_score,
+            found_at_eval,
+            minimize: stats,
+        });
+    }
+    HuntResult {
+        findings,
+        evals,
+        generations,
+    }
+}
+
+/// Compact JSON summary of a hunt, for the CLI and logs.
+#[derive(Debug, Clone, Serialize)]
+pub struct HuntSummary {
+    /// Evaluations spent.
+    pub evals: u64,
+    /// Generations run.
+    pub generations: u64,
+    /// Fired oracle names.
+    pub fired: Vec<String>,
+}
+
+impl HuntResult {
+    /// Summarize for printing.
+    pub fn summary(&self) -> HuntSummary {
+        HuntSummary {
+            evals: self.evals,
+            generations: self.generations,
+            fired: self
+                .findings
+                .iter()
+                .map(|f| f.kind.name().to_string())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SearchConfig {
+        SearchConfig {
+            budget: 6,
+            seed: 1,
+            threads: 2,
+            batch: 3,
+            eval: EvalConfig {
+                intervals: 4,
+                lambda_mi: paraleon_netsim::MILLI,
+                event_budget: 5_000_000,
+                tail: 2,
+            },
+            minimize: false,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn hunt_is_deterministic_across_thread_counts() {
+        let serial = hunt(&SearchConfig {
+            threads: 1,
+            ..tiny_cfg()
+        });
+        let parallel = hunt(&SearchConfig {
+            threads: 4,
+            ..tiny_cfg()
+        });
+        assert_eq!(serial.evals, parallel.evals);
+        assert_eq!(serial.findings.len(), parallel.findings.len());
+        for (a, b) in serial.findings.iter().zip(&parallel.findings) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.point.key(), b.point.key());
+            assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn hunt_respects_its_budget() {
+        let r = hunt(&tiny_cfg());
+        assert!(r.evals <= 6);
+        assert!(r.generations >= 1);
+    }
+}

@@ -1,7 +1,9 @@
-//! Parallel experiment sweep runner.
+//! Parallel sweep runner (re-exported by `paraleon-bench` for the
+//! experiment binaries; the hunter uses it to fan candidate evaluation).
 //!
-//! The experiment binaries are embarrassingly parallel at the job level:
-//! every (configuration, seed) cell of a sweep runs an independent,
+//! The experiment binaries and the hunter's evaluation batches are
+//! embarrassingly parallel at the job level: every (configuration, seed)
+//! cell of a sweep runs an independent,
 //! deterministic simulation. This module fans a job list across scoped
 //! worker threads (`std::thread::scope` — no external runtime) and
 //! returns results **in job order**, regardless of which worker finished

@@ -1,0 +1,39 @@
+//! Regression gate over the committed corpus: every minimized pathology
+//! the hunter ever found must still reproduce, and its oracle report
+//! must re-serialize byte-identically to the committed file.
+
+use std::collections::BTreeSet;
+
+use paraleon_hunt::corpus::{corpus_dir, load_dir, replay};
+
+#[test]
+fn committed_corpus_cases_still_fire() {
+    let dir = corpus_dir();
+    let cases = load_dir(&dir).expect("corpus loads");
+    assert!(
+        cases.len() >= 2,
+        "expected at least 2 committed corpus cases in {}, found {}",
+        dir.display(),
+        cases.len()
+    );
+    let mut kinds = BTreeSet::new();
+    for case in &cases {
+        let r = replay(case).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        assert!(
+            r.fired,
+            "{}: the {} oracle no longer fires",
+            case.name,
+            case.kind.name()
+        );
+        assert!(
+            r.identical,
+            "{}: oracle report drifted\nwant: {}\ngot:  {}",
+            case.name, r.want, r.got
+        );
+        kinds.insert(case.kind.name());
+    }
+    assert!(
+        kinds.len() >= 2,
+        "corpus must cover at least 2 distinct pathology classes, got {kinds:?}"
+    );
+}

@@ -18,6 +18,7 @@
 //! guardrail in `paraleon-core` exists to survive.
 
 use crate::{Nanos, NodeId};
+use serde::{Serialize, Value};
 
 /// What a single scheduled fault does.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,8 +48,59 @@ pub enum FaultKind {
     PfcStormEnd,
 }
 
+// The vendored derive handles unit-only enums; `Degrade`/`PktLoss`
+// carry data, so the enum serializes by hand as an internally tagged
+// object with a stable field order (`kind` first).
+impl Serialize for FaultKind {
+    fn serialize_value(&self) -> Value {
+        let tag = |name: &str| (String::from("kind"), Value::String(name.into()));
+        match self {
+            FaultKind::LinkDown => Value::Object(vec![tag("LinkDown")]),
+            FaultKind::LinkUp => Value::Object(vec![tag("LinkUp")]),
+            FaultKind::Degrade { factor } => Value::Object(vec![
+                tag("Degrade"),
+                (String::from("factor"), Value::Float(*factor)),
+            ]),
+            FaultKind::PktLoss { drop_prob } => Value::Object(vec![
+                tag("PktLoss"),
+                (String::from("drop_prob"), Value::Float(*drop_prob)),
+            ]),
+            FaultKind::PfcStormStart => Value::Object(vec![tag("PfcStormStart")]),
+            FaultKind::PfcStormEnd => Value::Object(vec![tag("PfcStormEnd")]),
+        }
+    }
+}
+
+impl FaultKind {
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let tag = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("FaultKind: missing `kind` tag")?;
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("FaultKind::{tag}: missing `{name}`"))
+        };
+        match tag {
+            "LinkDown" => Ok(FaultKind::LinkDown),
+            "LinkUp" => Ok(FaultKind::LinkUp),
+            "Degrade" => Ok(FaultKind::Degrade {
+                factor: field("factor")?,
+            }),
+            "PktLoss" => Ok(FaultKind::PktLoss {
+                drop_prob: field("drop_prob")?,
+            }),
+            "PfcStormStart" => Ok(FaultKind::PfcStormStart),
+            "PfcStormEnd" => Ok(FaultKind::PfcStormEnd),
+            other => Err(format!("FaultKind: unknown tag `{other}`")),
+        }
+    }
+}
+
 /// One scheduled fault transition.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FaultEvent {
     /// Absolute simulation time at which the transition applies.
     pub at: Nanos,
@@ -60,8 +112,25 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+impl FaultEvent {
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let num = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("FaultEvent: missing `{name}`"))
+        };
+        Ok(FaultEvent {
+            at: num("at")?,
+            node: num("node")? as NodeId,
+            port: num("port")? as usize,
+            kind: FaultKind::from_value(v.get("kind").ok_or("FaultEvent: missing `kind`")?)?,
+        })
+    }
+}
+
 /// A seeded, ordered schedule of fault transitions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct FaultPlan {
     /// Seed for the plan's dedicated RNG (corruption draws).
     pub seed: u64,
@@ -200,6 +269,22 @@ impl FaultPlan {
             kind: FaultKind::PfcStormEnd,
         })
     }
+
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let seed = v
+            .get("seed")
+            .and_then(Value::as_u64)
+            .ok_or("FaultPlan: missing `seed`")?;
+        let events = v
+            .get("events")
+            .and_then(Value::as_array)
+            .ok_or("FaultPlan: missing `events`")?
+            .iter()
+            .map(FaultEvent::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { seed, events })
+    }
 }
 
 /// Runtime state of one directed link, mutated by fault transitions.
@@ -267,6 +352,17 @@ mod tests {
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.events()[0].kind, FaultKind::PfcStormStart);
         assert_eq!(plan.events()[1].kind, FaultKind::PfcStormEnd);
+    }
+
+    #[test]
+    fn plan_round_trips_through_value() {
+        let mut plan = FaultPlan::new(9);
+        plan.link_flap(10, 3, 1_000, 200, 500, 2);
+        plan.degrade(50, 4, 1, 0.25);
+        plan.pkt_loss(100, 900, 5, 0, 0.125);
+        plan.pfc_storm(2, 50, 150);
+        let back = FaultPlan::from_value(&plan.serialize_value()).unwrap();
+        assert_eq!(back, plan);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{FlowRecord, IntervalMetrics, SwitchObs};
 pub use packet::{Packet, PacketId, PacketKind, PacketPool};
 pub use sim::{SimError, Simulator};
-pub use topology::{gbps, NodeKind, Port, Topology};
+pub use topology::{gbps, ClosSpec, NodeKind, Port, Topology};
 
 /// Node identifier (index into the topology).
 pub type NodeId = usize;

@@ -12,6 +12,82 @@
 //! reordering), matching RoCEv2 deployments.
 
 use crate::{Nanos, NodeId};
+use serde::{Serialize, Value};
+
+/// Serializable recipe for [`Topology::two_tier_clos`]: the topology as
+/// *configuration* rather than as a built graph, so harnesses (the
+/// anomaly hunter's genome, replayable corpus cases) can round-trip it
+/// through JSON and rebuild an identical topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClosSpec {
+    /// Number of ToR switches.
+    pub n_tor: usize,
+    /// Hosts attached to each ToR.
+    pub hosts_per_tor: usize,
+    /// Number of leaf (spine) switches.
+    pub n_leaf: usize,
+    /// Host link rate in Gbps.
+    pub host_gbps: f64,
+    /// ToR↔leaf link rate in Gbps.
+    pub uplink_gbps: f64,
+    /// Per-link propagation delay in nanoseconds.
+    pub delay_ns: Nanos,
+}
+
+impl ClosSpec {
+    /// Total host count.
+    pub fn n_hosts(&self) -> usize {
+        self.n_tor * self.hosts_per_tor
+    }
+
+    /// Total node count (hosts + ToRs + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.n_hosts() + self.n_tor + self.n_leaf
+    }
+
+    /// Materialize the spec into a routed [`Topology`].
+    pub fn build(&self) -> Topology {
+        Topology::two_tier_clos(
+            self.n_tor,
+            self.hosts_per_tor,
+            self.n_leaf,
+            self.host_gbps,
+            self.uplink_gbps,
+            self.delay_ns,
+        )
+    }
+
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let uint = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("ClosSpec: missing `{name}`"))
+        };
+        let float = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("ClosSpec: missing `{name}`"))
+        };
+        let spec = Self {
+            n_tor: uint("n_tor")? as usize,
+            hosts_per_tor: uint("hosts_per_tor")? as usize,
+            n_leaf: uint("n_leaf")? as usize,
+            host_gbps: float("host_gbps")?,
+            uplink_gbps: float("uplink_gbps")?,
+            delay_ns: uint("delay_ns")?,
+        };
+        if spec.n_tor == 0 || spec.hosts_per_tor == 0 || spec.n_leaf == 0 {
+            return Err("ClosSpec: dimensions must be >= 1".into());
+        }
+        for rate in [spec.host_gbps, spec.uplink_gbps] {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err("ClosSpec: link rates must be positive".into());
+            }
+        }
+        Ok(spec)
+    }
+}
 
 /// What a node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
