@@ -11,11 +11,18 @@ use std::time::{Duration, Instant};
 
 use paraleon_dcqcn::DcqcnParams;
 use paraleon_monitor::{ChangeDetector, FsdMonitor, MetricSample, TransferLedger, UtilityWeights};
-use paraleon_netsim::{FlowRecord, SimConfig, Simulator, Topology, MILLI};
+use paraleon_netsim::fasthash::mix64;
+use paraleon_netsim::{
+    CtrlImpairment, FaultEvent, FaultKind, FaultPlan, FlowRecord, SimConfig, SimError, Simulator,
+    Topology, MILLI,
+};
 use paraleon_sketch::{FlowType, Fsd, SlidingWindowClassifier, WindowConfig};
 use paraleon_telemetry as tel;
-use paraleon_tuner::{Observation, SwitchLocalObs, TuningAction, TuningFeedback, TuningScheme};
+use paraleon_tuner::{
+    Observation, SchemeState, SwitchLocalObs, TuningAction, TuningFeedback, TuningScheme,
+};
 
+use crate::ctrl_plane::{CtrlPlane, CtrlPlaneConfig, CtrlSnapshot, UpMsg};
 use crate::guardrail::{GuardAction, Guardrail, GuardrailConfig, ScreenOutcome};
 use crate::schemes::{MonitorKind, SchemeKind};
 use crate::Nanos;
@@ -53,8 +60,9 @@ impl Default for LoopConfig {
 }
 
 /// What the controller logged for one monitor interval — the time series
-/// behind Figures 8, 9, 12 and 14.
-#[derive(Debug, Clone)]
+/// behind Figures 8, 9, 12 and 14. `PartialEq` so harnesses can assert
+/// byte-equivalence between loop variants.
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalRecord {
     /// Interval end time (ns).
     pub t: Nanos,
@@ -136,6 +144,39 @@ pub struct ClosedLoop {
     /// Ground-truth classifier (same ternary semantics, exact inputs);
     /// present when `SimConfig::track_ground_truth` is set.
     truth: Option<SlidingWindowClassifier>,
+    /// Hardened control plane, when armed. `None` keeps the classic
+    /// direct loop: monitor readings merged in-process, dispatches
+    /// applied instantly.
+    ctrl: Option<CtrlPlane>,
+    /// Control-plane fault events (impairments, crashes) consumed by
+    /// the loop at their scheduled times, sorted by time.
+    ctrl_events: Vec<FaultEvent>,
+    ctrl_event_idx: usize,
+    /// Latest periodic checkpoint — the warm-restart target.
+    snapshot: Option<LoopSnapshot>,
+    /// Build-time checkpoint — the cold-restart target.
+    initial_snapshot: Option<LoopSnapshot>,
+    /// Run seed (kept so late arming can derive the ctrl RNG lanes).
+    seed: u64,
+    /// Channel/merger counters at the end of the previous interval, for
+    /// per-interval telemetry deltas.
+    prev_lost: u64,
+    prev_duplicated: u64,
+    prev_stale_rejected: u64,
+}
+
+/// One controller checkpoint: everything the controller process owns.
+/// The simulator, the monitor's device-side classifiers and the channel
+/// lanes live outside the controller and deliberately do not rewind.
+struct LoopSnapshot {
+    scheme: Option<SchemeState>,
+    guard: Option<Guardrail>,
+    detector: ChangeDetector,
+    ctrl: CtrlSnapshot,
+    believed: DcqcnParams,
+    window_fsd: Fsd,
+    window_count: u32,
+    first_interval: bool,
 }
 
 impl ClosedLoop {
@@ -159,9 +200,251 @@ impl ClosedLoop {
         self.guard.as_ref()
     }
 
+    /// The hardened control plane, when armed.
+    pub fn ctrl(&self) -> Option<&CtrlPlane> {
+        self.ctrl.as_ref()
+    }
+
+    /// Route all control traffic through the hardened, impairable
+    /// control plane. With no impairments scheduled the armed loop is
+    /// byte-identical to the direct loop, so arming is always safe; it
+    /// is required before control-plane fault events can do anything.
+    /// No-op if already armed. The checkpoint taken here is the
+    /// cold-restart target, so arm before stepping.
+    pub fn arm_ctrl(&mut self, cfg: CtrlPlaneConfig) {
+        if self.ctrl.is_some() {
+            return;
+        }
+        self.ctrl = Some(CtrlPlane::new(cfg, self.seed));
+        // The guardrail's backoff jitter joins the run's control-plane
+        // fault randomness: same seed, decorrelated lane.
+        if let Some(g) = self.guard.as_mut() {
+            g.seed_jitter(mix64(self.seed ^ 0x6A4D));
+        }
+        self.initial_snapshot = self.take_snapshot();
+        self.snapshot = self.take_snapshot();
+    }
+
+    /// Install a fault plan: data-plane events go to the simulator,
+    /// control-plane events are consumed by the loop itself at their
+    /// scheduled times (the simulator ignores them). A plan containing
+    /// control-plane events arms the hardened control plane with
+    /// default knobs if it is not armed yet.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        if self.ctrl.is_none() && plan.events().iter().any(|e| e.kind.is_ctrl()) {
+            self.arm_ctrl(CtrlPlaneConfig::default());
+        }
+        self.ctrl_events
+            .extend(plan.events().iter().filter(|e| e.kind.is_ctrl()));
+        self.ctrl_events.sort_by_key(|e| e.at);
+        self.sim.install_fault_plan(plan)
+    }
+
+    /// Whether the fabric's applied global parameters differ from what
+    /// the controller believes it deployed — the end-state a hardened
+    /// control plane must drive back to `false` after any fault.
+    pub fn ctrl_diverged(&self) -> bool {
+        *self.sim.dcqcn_params() != self.last_params
+    }
+
+    /// Checkpoint the controller process (tuner, guardrail, detector,
+    /// protocol state, believed parameters). `None` when the control
+    /// plane is not armed.
+    fn take_snapshot(&self) -> Option<LoopSnapshot> {
+        let ctrl = self.ctrl.as_ref()?;
+        Some(LoopSnapshot {
+            scheme: self.scheme.snapshot_state(),
+            guard: self.guard.clone(),
+            detector: self.detector.clone(),
+            ctrl: ctrl.snapshot(),
+            believed: self.last_params,
+            window_fsd: self.window_fsd.clone(),
+            window_count: self.window_count,
+            first_interval: self.first_interval,
+        })
+    }
+
+    fn restore_from(&mut self, snap: &LoopSnapshot) {
+        if let Some(state) = snap.scheme.as_ref() {
+            // Downcast-clone restore. A scheme that cannot restore
+            // (no snapshot support) keeps its live state.
+            let _ = self.scheme.restore_state(state);
+        }
+        self.guard = snap.guard.clone();
+        self.detector = snap.detector.clone();
+        if let Some(ctrl) = self.ctrl.as_mut() {
+            ctrl.restore(&snap.ctrl);
+        }
+        self.last_params = snap.believed;
+        self.window_fsd = snap.window_fsd.clone();
+        self.window_count = snap.window_count;
+        self.first_interval = snap.first_interval;
+        // The monitor lives on the devices, not in the controller: its
+        // upload accounting never rewinds. Re-anchor the per-interval
+        // delta so the next ledger record starts from the live counter.
+        self.prev_uploaded = self.monitor.uploaded_bytes();
+    }
+
+    /// Deliver dispatches due at the start of interval `k` and apply
+    /// them at the fabric. A clean-channel dispatch sent during interval
+    /// `k−1`'s controller phase lands here, before the fabric advances —
+    /// the same simulator state and telemetry timestamp the direct
+    /// loop's immediate apply saw.
+    fn deliver_due_dispatches(&mut self, k: u64) {
+        let Some(ctrl) = self.ctrl.as_mut() else {
+            return;
+        };
+        for msg in ctrl.down.deliver(k) {
+            let (action, acked) = ctrl.fabric.on_dispatch(msg);
+            ctrl.up.send(k, UpMsg::Ack { epoch: acked });
+            match action {
+                Some(TuningAction::Global(p)) => {
+                    tel::event(tel::Event::Dispatch {
+                        scope: tel::DispatchScope::Global,
+                    });
+                    self.sim.set_dcqcn_params(&p);
+                }
+                Some(TuningAction::PerSwitchEcn(updates)) => {
+                    tel::event(tel::Event::Dispatch {
+                        scope: tel::DispatchScope::PerSwitch,
+                    });
+                    for (idx, p) in updates {
+                        let _ = self.sim.set_switch_ecn(idx, &p);
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Controller half of the monitoring lane: fold delivered uploads
+    /// and ACKs in, emit retry events for epoch-behind re-sends, and
+    /// return the staleness-weighted network-wide FSD. A clean channel
+    /// delivers everything in send order with no delay, and the merger's
+    /// zero-age merge is bit-identical to the direct in-process merge.
+    fn ctrl_receive(&mut self, k: u64) -> Fsd {
+        let ctrl = self.ctrl.as_mut().expect("ctrl_receive requires arming");
+        let mut resent = Vec::new();
+        for msg in ctrl.up.deliver(k) {
+            match msg {
+                UpMsg::Fsd(u) => {
+                    ctrl.merger.ingest(u);
+                }
+                UpMsg::Ack { epoch } => {
+                    if let Some(e) = ctrl.on_ack(k, epoch) {
+                        resent.push(e);
+                    }
+                }
+            }
+        }
+        let fsd = ctrl.merger.network_fsd(k);
+        for epoch in resent {
+            tel::event(tel::Event::CtrlRetry { epoch });
+        }
+        fsd
+    }
+
+    /// Consume control-plane fault events scheduled at or before `upto`.
+    fn process_ctrl_events(&mut self, upto: Nanos, k: u64) {
+        while self.ctrl_event_idx < self.ctrl_events.len()
+            && self.ctrl_events[self.ctrl_event_idx].at <= upto
+        {
+            let ev = self.ctrl_events[self.ctrl_event_idx];
+            self.ctrl_event_idx += 1;
+            match ev.kind {
+                FaultKind::CtrlImpair {
+                    up,
+                    down,
+                    loss,
+                    delay_max,
+                    dup,
+                } => {
+                    tel::event(tel::Event::CtrlImpairSet {
+                        loss,
+                        delay_max: delay_max as u32,
+                        dup,
+                    });
+                    let imp = CtrlImpairment {
+                        loss,
+                        delay_max,
+                        dup,
+                    };
+                    let ctrl = self.ctrl.as_mut().expect("ctrl events require arming");
+                    if up {
+                        ctrl.up.set_impairment(imp);
+                    }
+                    if down {
+                        ctrl.down.set_impairment(imp);
+                    }
+                }
+                FaultKind::CtrlCrash { warm } => self.handle_crash(warm, k),
+                _ => {}
+            }
+        }
+    }
+
+    /// Controller crash + restart. Warm restores the latest periodic
+    /// checkpoint; cold restores the build-time checkpoint and (when a
+    /// guardrail is armed) enters safe mode, since a from-scratch
+    /// controller cannot vouch for the dead tuner's plans. Either way
+    /// the believed parameters are re-asserted at a fresh epoch so the
+    /// fabric and controller re-converge.
+    fn handle_crash(&mut self, warm: bool, k: u64) {
+        tel::event(tel::Event::CtrlCrash { warm });
+        {
+            let ctrl = self.ctrl.as_mut().expect("crash requires arming");
+            ctrl.crashes += 1;
+            // In-flight messages addressed to the dead process die with
+            // it; dispatches already in the network keep flying.
+            ctrl.up.clear_in_flight();
+        }
+        let slot = if warm {
+            &mut self.snapshot
+        } else {
+            &mut self.initial_snapshot
+        };
+        if let Some(snap) = slot.take() {
+            self.restore_from(&snap);
+            let slot = if warm {
+                &mut self.snapshot
+            } else {
+                &mut self.initial_snapshot
+            };
+            *slot = Some(snap);
+        }
+        if !warm {
+            if let Some(g) = self.guard.as_mut() {
+                let GuardAction::EnterSafeMode {
+                    params,
+                    backoff_intervals,
+                } = g.force_safe_mode()
+                else {
+                    unreachable!("force_safe_mode always enters safe mode");
+                };
+                tel::event(tel::Event::SafeModeEnter { backoff_intervals });
+                self.scheme
+                    .on_feedback(&TuningFeedback::Frozen { fallback: params });
+                self.last_params = params;
+            }
+        }
+        let believed = self.last_params;
+        let ctrl = self.ctrl.as_mut().expect("crash requires arming");
+        ctrl.resyncs += 1;
+        ctrl.extra_dispatch_bytes += believed.wire_size_bytes() as u64;
+        let epoch = ctrl.send_dispatch(k, TuningAction::Global(believed));
+        tel::event(tel::Event::CtrlResync { epoch });
+    }
+
     /// Run the fabric for one monitor interval and execute one
     /// monitor-tune-dispatch round. Returns the interval's record.
     pub fn step(&mut self) -> &IntervalRecord {
+        // Control-channel time is the interval index: coarse enough for
+        // the protocol, exact enough for determinism.
+        let interval_idx = self.history.len() as u64;
+        // Dispatches due now apply before the fabric advances — for a
+        // clean channel this is indistinguishable from the direct
+        // loop's immediate apply at the end of the previous interval.
+        self.deliver_due_dispatches(interval_idx);
         let target = self.sim.now() + self.cfg.lambda_mi;
         self.sim.run_until(target);
         let metrics = self.sim.collect_interval();
@@ -183,13 +466,32 @@ impl ClosedLoop {
         // end time.
         tel::set_time(metrics.end);
         tel::count(tel::Ctr::Intervals);
+        // Control-plane fault transitions scheduled inside this interval
+        // take effect now, before this interval's uploads are sent: an
+        // impairment degrades them, a crash loses what was in flight.
+        if self.ctrl.is_some() {
+            self.process_ctrl_events(metrics.end, interval_idx);
+        }
 
         // --- Monitoring half (switch CP agents + controller merge). ---
         let t0 = Instant::now();
-        let fsd = self
-            .monitor
-            .on_interval(&metrics.tor_sketches, metrics.end)
-            .unwrap_or_else(Fsd::empty);
+        let fsd = if self.ctrl.is_some() {
+            // Device side: sequence-numbered per-point uploads onto the
+            // (possibly impaired) up lane.
+            let ups = self
+                .monitor
+                .uploads(&metrics.tor_sketches, metrics.end, interval_idx);
+            if let Some(ctrl) = self.ctrl.as_mut() {
+                for u in ups {
+                    ctrl.up.send(interval_idx, UpMsg::Fsd(u));
+                }
+            }
+            self.ctrl_receive(interval_idx)
+        } else {
+            self.monitor
+                .on_interval(&metrics.tor_sketches, metrics.end)
+                .unwrap_or_else(Fsd::empty)
+        };
         // Trigger check at window granularity over the aggregated FSD.
         self.window_fsd.merge(&fsd);
         self.window_count += 1;
@@ -286,41 +588,42 @@ impl ClosedLoop {
         // not consulted: a fresh candidate would overwrite the correction
         // at the same instant.
         let mut guard_acted = false;
-        if let Some(guard) = self.guard.as_mut() {
-            match guard.observe(
+        let guard_action = self.guard.as_mut().and_then(|guard| {
+            guard.observe(
                 utility,
                 metrics.goodput_bytes_per_sec(),
                 metrics.pfc_pause_ratio,
                 &reporting,
-            ) {
-                Some(GuardAction::Rollback(p)) => {
-                    tel::event(tel::Event::GuardrailRollback);
-                    self.sim.set_dcqcn_params(&p);
-                    guard_dispatch_bytes += p.wire_size_bytes() as u64;
-                    self.last_params = p;
-                    self.scheme
-                        .on_feedback(&TuningFeedback::RolledBack { restored: p });
-                    rolled_back = true;
-                    guard_acted = true;
-                }
-                Some(GuardAction::EnterSafeMode {
-                    params,
-                    backoff_intervals,
-                }) => {
-                    tel::event(tel::Event::SafeModeEnter { backoff_intervals });
-                    self.sim.set_dcqcn_params(&params);
-                    guard_dispatch_bytes += params.wire_size_bytes() as u64;
-                    self.last_params = params;
-                    self.scheme
-                        .on_feedback(&TuningFeedback::Frozen { fallback: params });
-                    guard_acted = true;
-                }
-                Some(GuardAction::ExitSafeMode) => {
-                    tel::event(tel::Event::SafeModeExit);
-                    self.scheme.on_feedback(&TuningFeedback::Unfrozen);
-                }
-                None => {}
+            )
+        });
+        match guard_action {
+            Some(GuardAction::Rollback(p)) => {
+                tel::event(tel::Event::GuardrailRollback);
+                self.push_params(interval_idx, &p);
+                guard_dispatch_bytes += p.wire_size_bytes() as u64;
+                self.last_params = p;
+                self.scheme
+                    .on_feedback(&TuningFeedback::RolledBack { restored: p });
+                rolled_back = true;
+                guard_acted = true;
             }
+            Some(GuardAction::EnterSafeMode {
+                params,
+                backoff_intervals,
+            }) => {
+                tel::event(tel::Event::SafeModeEnter { backoff_intervals });
+                self.push_params(interval_idx, &params);
+                guard_dispatch_bytes += params.wire_size_bytes() as u64;
+                self.last_params = params;
+                self.scheme
+                    .on_feedback(&TuningFeedback::Frozen { fallback: params });
+                guard_acted = true;
+            }
+            Some(GuardAction::ExitSafeMode) => {
+                tel::event(tel::Event::SafeModeExit);
+                self.scheme.on_feedback(&TuningFeedback::Unfrozen);
+            }
+            None => {}
         }
         let safe_mode = self.guard.as_ref().is_some_and(Guardrail::in_safe_mode);
         tel::series("safe_mode", 0, if safe_mode { 1.0 } else { 0.0 });
@@ -378,19 +681,49 @@ impl ClosedLoop {
             .unwrap_or(0)
             + guard_dispatch_bytes;
         if let Some(action) = action {
-            self.apply(action);
+            self.apply(interval_idx, action);
+        }
+        // Re-send the in-flight dispatch when its ACK timed out, and
+        // surface this interval's channel losses as counters.
+        if let Some(ctrl) = self.ctrl.as_mut() {
+            if let Some(epoch) = ctrl.check_retry(interval_idx) {
+                tel::event(tel::Event::CtrlRetry { epoch });
+            }
+            let lost = ctrl.up.stats.lost + ctrl.down.stats.lost;
+            let duplicated = ctrl.up.stats.duplicated + ctrl.down.stats.duplicated;
+            let stale = ctrl.merger.rejected;
+            tel::count_n(tel::Ctr::CtrlMsgsLost, lost - self.prev_lost);
+            tel::count_n(
+                tel::Ctr::CtrlMsgsDuplicated,
+                duplicated - self.prev_duplicated,
+            );
+            tel::count_n(
+                tel::Ctr::CtrlStaleRejected,
+                stale - self.prev_stale_rejected,
+            );
+            self.prev_lost = lost;
+            self.prev_duplicated = duplicated;
+            self.prev_stale_rejected = stale;
         }
         let rnic_upload =
             self.sim.topology().n_hosts() as u64 * MetricSample::wire_size_bytes() as u64;
         let switch_metric_upload =
             self.sim.n_switches() as u64 * MetricSample::wire_size_bytes() as u64;
         let uploaded_total = self.monitor.uploaded_bytes();
-        let fsd_upload = uploaded_total - self.prev_uploaded;
+        // Saturating: a controller restore re-anchors `prev_uploaded` to
+        // the live counter, and the device-side counter never rewinds —
+        // but the ledger must not be able to underflow regardless.
+        let fsd_upload = uploaded_total.saturating_sub(self.prev_uploaded);
         self.prev_uploaded = uploaded_total;
+        let ctrl_extra = self
+            .ctrl
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.extra_dispatch_bytes))
+            .unwrap_or(0);
         self.ledger.record_interval(
             fsd_upload + switch_metric_upload,
             rnic_upload,
-            dispatch_bytes,
+            dispatch_bytes + ctrl_extra,
         );
 
         self.last_fsd = fsd;
@@ -413,10 +746,30 @@ impl ClosedLoop {
             pfc_events: metrics.pfc_events,
             fsd_accuracy,
         });
+        // Periodic controller checkpoint — the warm-restart target.
+        let checkpoint_due = self
+            .ctrl
+            .as_ref()
+            .map(|c| c.cfg.snapshot_every_intervals.max(1))
+            .is_some_and(|every| (interval_idx + 1).is_multiple_of(every));
+        if checkpoint_due {
+            self.snapshot = self.take_snapshot();
+        }
         self.history.last().expect("just pushed")
     }
 
-    fn apply(&mut self, action: TuningAction) {
+    /// Apply a screened tuner action: instantly in the direct loop, via
+    /// an epoch-stamped dispatch in ctrl mode. Either way the believed
+    /// parameters update at dispatch time — that is the controller's
+    /// claim the fabric must converge to.
+    fn apply(&mut self, k: u64, action: TuningAction) {
+        if let Some(ctrl) = self.ctrl.as_mut() {
+            if let TuningAction::Global(p) = &action {
+                self.last_params = *p;
+            }
+            ctrl.send_dispatch(k, action);
+            return;
+        }
         match action {
             TuningAction::Global(p) => {
                 tel::event(tel::Event::Dispatch {
@@ -435,6 +788,17 @@ impl ClosedLoop {
                     let _ = self.sim.set_switch_ecn(idx, &p);
                 }
             }
+        }
+    }
+
+    /// Push one guardrail correction at the fabric: instantly in the
+    /// direct loop, via an epoch-stamped dispatch in ctrl mode.
+    fn push_params(&mut self, k: u64, p: &DcqcnParams) {
+        match self.ctrl.as_mut() {
+            Some(ctrl) => {
+                ctrl.send_dispatch(k, TuningAction::Global(*p));
+            }
+            None => self.sim.set_dcqcn_params(p),
         }
     }
 
@@ -461,6 +825,35 @@ impl ClosedLoop {
     pub fn last_record(&self) -> Option<&IntervalRecord> {
         self.history.last()
     }
+
+    /// Step until the control plane quiesces — the previous interval
+    /// dispatched nothing, no dispatch awaits its ACK, and nothing is in
+    /// flight on either lane — or `max_extra` intervals pass. Returns
+    /// whether quiescence was reached. Divergence is only meaningful at
+    /// quiescence: mid-conversation the fabric legitimately trails the
+    /// controller's belief by one in-flight dispatch.
+    ///
+    /// Forced tuning ([`LoopConfig::force_tuning`]) is suspended while
+    /// settling: it would dispatch on every extra step, making the quiet
+    /// state unreachable by construction — and settling is precisely the
+    /// act of letting the conversation drain.
+    pub fn ctrl_settle(&mut self, max_extra: u64) -> bool {
+        let forced = std::mem::replace(&mut self.cfg.force_tuning, false);
+        let mut settled = false;
+        for _ in 0..max_extra {
+            let channel_quiet = match self.ctrl.as_ref() {
+                Some(c) => !c.has_pending() && c.down.in_flight() == 0 && c.up.in_flight() == 0,
+                None => true,
+            };
+            if channel_quiet && !self.history.last().is_some_and(|r| r.dispatched) {
+                settled = true;
+                break;
+            }
+            self.step();
+        }
+        self.cfg.force_tuning = forced;
+        settled
+    }
 }
 
 /// Builder for [`ClosedLoop`].
@@ -472,6 +865,7 @@ pub struct ClosedLoopBuilder {
     custom_scheme: Option<Box<dyn TuningScheme>>,
     monitor: MonitorKind,
     guardrail: Option<GuardrailConfig>,
+    ctrl: Option<CtrlPlaneConfig>,
     seed: u64,
 }
 
@@ -486,6 +880,7 @@ impl ClosedLoopBuilder {
             custom_scheme: None,
             monitor: MonitorKind::Paraleon,
             guardrail: None,
+            ctrl: None,
             seed: 1,
         }
     }
@@ -530,6 +925,12 @@ impl ClosedLoopBuilder {
         self
     }
 
+    /// Arm the hardened control plane (see [`ClosedLoop::arm_ctrl`]).
+    pub fn ctrl_plane(mut self, cfg: CtrlPlaneConfig) -> Self {
+        self.ctrl = Some(cfg);
+        self
+    }
+
     /// Set the run seed (simulator + tuner randomness).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -547,7 +948,7 @@ impl ClosedLoopBuilder {
             .track_ground_truth
             .then(|| SlidingWindowClassifier::new(WindowConfig::default()));
         let sim = Simulator::new(self.topo, sim_cfg);
-        ClosedLoop {
+        let mut cl = ClosedLoop {
             sim,
             monitor: self.monitor.build(),
             detector: ChangeDetector::new(self.loop_cfg.theta),
@@ -568,7 +969,20 @@ impl ClosedLoopBuilder {
             window_fsd: Fsd::empty(),
             window_count: 0,
             truth,
+            ctrl: None,
+            ctrl_events: Vec::new(),
+            ctrl_event_idx: 0,
+            snapshot: None,
+            initial_snapshot: None,
+            seed: self.seed,
+            prev_lost: 0,
+            prev_duplicated: 0,
+            prev_stale_rejected: 0,
+        };
+        if let Some(cfg) = self.ctrl {
+            cl.arm_ctrl(cfg);
         }
+        cl
     }
 }
 
@@ -734,6 +1148,167 @@ mod tests {
             cl.history.iter().all(|r| !r.triggered),
             "stable traffic re-fired the KL trigger"
         );
+    }
+
+    /// Elephant phase then mice influx: enough churn to trigger, tune
+    /// and dispatch repeatedly.
+    fn drive(cl: &mut ClosedLoop, intervals: usize) {
+        for i in 0..intervals {
+            if i < 8 {
+                cl.sim.add_flow(i % 4, 4 + i % 4, 8_000_000, cl.sim.now());
+            } else {
+                let now = cl.sim.now();
+                for k in 0..40usize {
+                    cl.sim
+                        .add_flow(k % 8, (k + 3) % 8, 4_000, now + k as u64 * 1_000);
+                }
+            }
+            cl.step();
+        }
+    }
+
+    #[test]
+    fn clean_ctrl_plane_is_byte_identical_to_the_direct_loop() {
+        let build = |armed: bool| {
+            let mut b = ClosedLoop::builder(topo())
+                .scheme(SchemeKind::Paraleon)
+                .guardrail(GuardrailConfig::default())
+                .seed(5);
+            if armed {
+                b = b.ctrl_plane(CtrlPlaneConfig::default());
+            }
+            b.build()
+        };
+        let mut direct = build(false);
+        let mut armed = build(true);
+        drive(&mut direct, 24);
+        drive(&mut armed, 24);
+        assert_eq!(direct.history, armed.history);
+        assert_eq!(direct.last_params, armed.last_params);
+        assert_eq!(direct.last_fsd, armed.last_fsd);
+        assert_eq!(direct.ledger, armed.ledger);
+        assert!(!armed.ctrl_diverged());
+        let stats = armed.ctrl().unwrap().stats();
+        assert_eq!(stats.up.lost + stats.down.lost, 0);
+        assert_eq!(stats.retries, 0);
+        assert!(
+            direct.history.iter().any(|r| r.dispatched),
+            "the comparison is vacuous unless something was dispatched"
+        );
+    }
+
+    #[test]
+    fn lossy_dispatch_recovers_through_retry_and_converges() {
+        let mut plan = FaultPlan::new(3);
+        // Heavy loss + delay + duplication on both lanes, then restore.
+        plan.ctrl_impair(2 * MILLI, true, true, 0.5, 3, 0.3);
+        plan.ctrl_restore(30 * MILLI);
+        let mut cl = ClosedLoop::builder(topo())
+            .scheme(SchemeKind::Paraleon)
+            .loop_config(LoopConfig {
+                force_tuning: true,
+                ..LoopConfig::default()
+            })
+            .seed(5)
+            .ctrl_plane(CtrlPlaneConfig::default())
+            .build();
+        cl.install_fault_plan(&plan).unwrap();
+        drive(&mut cl, 48);
+        let stats = cl.ctrl().unwrap().stats();
+        assert!(
+            stats.up.lost + stats.down.lost > 0,
+            "the impairment must actually bite"
+        );
+        assert!(cl.ctrl_settle(300), "loop failed to quiesce");
+        assert!(!cl.ctrl_diverged(), "retries must re-converge the fabric");
+    }
+
+    #[test]
+    fn naive_protocol_diverges_under_the_same_faults() {
+        // Same impairment; the epoch/retry machinery is what saves the
+        // hardened loop, so the strawman must end divergent for at least
+        // one seed in a small pool (loss of the last dispatch, or a
+        // reordered stale one, is not guaranteed at every seed).
+        let diverged = (0..8u64).any(|seed| {
+            // Down lane lossy for the whole run: without ACK/retry, a
+            // lost or reordered-stale final dispatch is never repaired.
+            let mut plan = FaultPlan::new(3);
+            plan.ctrl_impair(2 * MILLI, false, true, 0.5, 3, 0.3);
+            let mut cl = ClosedLoop::builder(topo())
+                .scheme(SchemeKind::Paraleon)
+                .loop_config(LoopConfig {
+                    force_tuning: true,
+                    ..LoopConfig::default()
+                })
+                .seed(seed)
+                .ctrl_plane(CtrlPlaneConfig {
+                    naive: true,
+                    ..CtrlPlaneConfig::default()
+                })
+                .build();
+            cl.install_fault_plan(&plan).unwrap();
+            drive(&mut cl, 48);
+            cl.ctrl_settle(300) && cl.ctrl_diverged()
+        });
+        assert!(
+            diverged,
+            "the naive protocol never diverged — gate is vacuous"
+        );
+    }
+
+    #[test]
+    fn warm_crash_restores_and_resyncs() {
+        let mut plan = FaultPlan::new(3);
+        plan.ctrl_crash(20 * MILLI, true);
+        let mut cl = ClosedLoop::builder(topo())
+            .scheme(SchemeKind::Paraleon)
+            .guardrail(GuardrailConfig::default())
+            .loop_config(LoopConfig {
+                force_tuning: true,
+                ..LoopConfig::default()
+            })
+            .seed(5)
+            .ctrl_plane(CtrlPlaneConfig::default())
+            .build();
+        cl.install_fault_plan(&plan).unwrap();
+        drive(&mut cl, 40);
+        let stats = cl.ctrl().unwrap().stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.resyncs, 1);
+        assert!(cl.ctrl_settle(300), "loop failed to quiesce");
+        assert!(!cl.ctrl_diverged(), "resync must re-converge the fabric");
+        assert!(
+            !cl.guard().unwrap().in_safe_mode(),
+            "a warm restart resumes; it does not fall back to safe mode"
+        );
+    }
+
+    #[test]
+    fn cold_crash_enters_safe_mode_and_converges_on_safe_params() {
+        let mut plan = FaultPlan::new(3);
+        plan.ctrl_crash(20 * MILLI, false);
+        let guard_cfg = GuardrailConfig::default();
+        let safe = guard_cfg.safe_params;
+        let mut cl = ClosedLoop::builder(topo())
+            .scheme(SchemeKind::Paraleon)
+            .guardrail(guard_cfg)
+            .loop_config(LoopConfig {
+                force_tuning: true,
+                ..LoopConfig::default()
+            })
+            .seed(5)
+            .ctrl_plane(CtrlPlaneConfig::default())
+            .build();
+        cl.install_fault_plan(&plan).unwrap();
+        drive(&mut cl, 24);
+        let stats = cl.ctrl().unwrap().stats();
+        assert_eq!(stats.crashes, 1);
+        assert!(
+            cl.guard().unwrap().in_safe_mode(),
+            "a cold restart cannot vouch for the dead tuner: safe mode"
+        );
+        assert_eq!(cl.last_params, safe);
+        assert!(!cl.ctrl_diverged(), "the fabric runs the safe fallback too");
     }
 
     #[test]

@@ -30,6 +30,8 @@ use std::collections::HashMap;
 
 use paraleon_dcqcn::{DcqcnParams, ParamId, ParamSpace};
 use paraleon_tuner::TuningAction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 /// One serializable snapshot of the guardrail's event counters — what a
@@ -150,6 +152,12 @@ pub struct GuardrailConfig {
     pub stale_after_intervals: u32,
     /// EWMA weight for the healthy-baseline trackers.
     pub baseline_ewma_alpha: f64,
+    /// Fractional jitter on each safe-mode freeze length: the backoff is
+    /// stretched by up to `backoff_jitter × backoff` extra intervals,
+    /// drawn from the guardrail's seeded jitter stream. Desynchronises
+    /// safe-mode exits across controllers sharing a fault. `0.0`
+    /// (default) draws nothing and keeps the freeze lengths exact.
+    pub backoff_jitter: f64,
 }
 
 impl Default for GuardrailConfig {
@@ -167,6 +175,7 @@ impl Default for GuardrailConfig {
             safe_params: DcqcnParams::nvidia_default(),
             stale_after_intervals: 16,
             baseline_ewma_alpha: 0.2,
+            backoff_jitter: 0.0,
         }
     }
 }
@@ -203,7 +212,7 @@ pub enum GuardAction {
     ExitSafeMode,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum GuardState {
     /// No un-committed dispatch outstanding.
     Normal,
@@ -217,7 +226,11 @@ enum GuardState {
 }
 
 /// The guardrail state machine (see the module docs).
-#[derive(Debug)]
+///
+/// `Clone` so a controller can checkpoint the whole guardrail (state,
+/// baselines, backoff and jitter stream included) and restore it after a
+/// crash — a restored clone replays byte-identically.
+#[derive(Debug, Clone)]
 pub struct Guardrail {
     cfg: GuardrailConfig,
     state: GuardState,
@@ -230,6 +243,10 @@ pub struct Guardrail {
     consecutive_rollbacks: u32,
     next_backoff: u32,
     interval: u64,
+    /// Seeded stream behind `backoff_jitter` draws. Only consulted when
+    /// the jitter fraction is non-zero, so the default configuration
+    /// never advances it.
+    jitter_rng: StdRng,
     /// Interval each known switch index last uploaded at.
     last_seen: HashMap<usize, u64>,
     /// Candidates refused by validation.
@@ -258,6 +275,7 @@ impl Guardrail {
             consecutive_rollbacks: 0,
             next_backoff,
             interval: 0,
+            jitter_rng: StdRng::seed_from_u64(0),
             last_seen: HashMap::new(),
             rejects: 0,
             rollbacks: 0,
@@ -265,6 +283,13 @@ impl Guardrail {
             suppressed: 0,
             stale_aged_out: 0,
         }
+    }
+
+    /// Reseed the backoff-jitter stream. Harnesses tie it to the run's
+    /// control-plane fault seed so jittered freeze lengths replay
+    /// byte-identically.
+    pub fn seed_jitter(&mut self, seed: u64) {
+        self.jitter_rng = StdRng::seed_from_u64(seed);
     }
 
     /// Whether tuning is currently frozen.
@@ -397,18 +422,7 @@ impl Guardrail {
                     self.rollbacks += 1;
                     self.consecutive_rollbacks += 1;
                     if self.consecutive_rollbacks >= self.cfg.rollbacks_to_safe_mode.max(1) {
-                        let backoff = self.next_backoff;
-                        self.next_backoff = (self.next_backoff.saturating_mul(2))
-                            .min(self.cfg.max_backoff_intervals.max(1));
-                        self.safe_mode_entries += 1;
-                        self.state = GuardState::SafeMode { remaining: backoff };
-                        // The fallback becomes the snapshot future
-                        // rollbacks restore.
-                        self.last_good = self.cfg.safe_params;
-                        Some(GuardAction::EnterSafeMode {
-                            params: self.cfg.safe_params,
-                            backoff_intervals: backoff,
-                        })
+                        Some(self.enter_safe_mode())
                     } else {
                         Some(GuardAction::Rollback(self.last_good))
                     }
@@ -427,6 +441,43 @@ impl Guardrail {
                 }
             }
         }
+    }
+
+    /// Deploy the fallback and freeze tuning: the common tail of the
+    /// rollback-escalation path and [`Guardrail::force_safe_mode`]. The
+    /// freeze length is the current backoff plus an optional jittered
+    /// stretch of up to `backoff_jitter × backoff` intervals; the base
+    /// backoff then doubles for the next entry. With jitter at 0 the
+    /// stream is never consulted and freeze lengths are exact.
+    fn enter_safe_mode(&mut self) -> GuardAction {
+        let base = self.next_backoff;
+        let backoff = if self.cfg.backoff_jitter > 0.0 {
+            let stretch = self.cfg.backoff_jitter * base as f64;
+            base.saturating_add((self.jitter_rng.gen::<f64>() * stretch) as u32)
+        } else {
+            base
+        };
+        self.next_backoff =
+            (self.next_backoff.saturating_mul(2)).min(self.cfg.max_backoff_intervals.max(1));
+        self.safe_mode_entries += 1;
+        self.state = GuardState::SafeMode { remaining: backoff };
+        // The fallback becomes the snapshot future rollbacks restore.
+        self.last_good = self.cfg.safe_params;
+        GuardAction::EnterSafeMode {
+            params: self.cfg.safe_params,
+            backoff_intervals: backoff,
+        }
+    }
+
+    /// Unconditionally enter safe mode, outside the rollback-escalation
+    /// path. A controller that cold-restarts without a usable snapshot
+    /// calls this: it cannot vouch for whatever the tuner was doing
+    /// before it died, so it deploys the fallback and freezes tuning for
+    /// the current backoff (which doubles for the next entry, exactly
+    /// like an escalation entry).
+    pub fn force_safe_mode(&mut self) -> GuardAction {
+        self.consecutive_rollbacks = 0;
+        self.enter_safe_mode()
     }
 
     /// Whether the signals say the fabric collapsed (only meaningful
@@ -622,6 +673,71 @@ mod tests {
             }
         }
         assert_eq!(exits, 1, "second freeze lasts 8 intervals (doubled)");
+    }
+
+    #[test]
+    fn forced_safe_mode_deploys_fallback_and_doubles_backoff() {
+        let cfg = GuardrailConfig {
+            safe_mode_backoff_intervals: 4,
+            max_backoff_intervals: 8,
+            ..GuardrailConfig::default()
+        };
+        let mut g = Guardrail::new(cfg.clone(), DcqcnParams::nvidia_default());
+        let act = g.force_safe_mode();
+        assert_eq!(
+            act,
+            GuardAction::EnterSafeMode {
+                params: cfg.safe_params,
+                backoff_intervals: 4,
+            }
+        );
+        assert!(g.in_safe_mode());
+        assert_eq!(g.safe_mode_entries, 1);
+        assert_eq!(g.last_known_good(), &cfg.safe_params);
+        // Backoff counts down, exits, and the next forced entry doubles.
+        for _ in 0..3 {
+            assert_eq!(g.observe(0.8, 1e9, 0.0, &[0]), None);
+        }
+        assert_eq!(
+            g.observe(0.8, 1e9, 0.0, &[0]),
+            Some(GuardAction::ExitSafeMode)
+        );
+        let act = g.force_safe_mode();
+        assert_eq!(
+            act,
+            GuardAction::EnterSafeMode {
+                params: cfg.safe_params,
+                backoff_intervals: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_stretches_the_freeze_deterministically() {
+        let cfg = GuardrailConfig {
+            safe_mode_backoff_intervals: 8,
+            backoff_jitter: 0.5,
+            ..GuardrailConfig::default()
+        };
+        let freeze = |seed: u64| {
+            let mut g = Guardrail::new(cfg.clone(), DcqcnParams::nvidia_default());
+            g.seed_jitter(seed);
+            match g.force_safe_mode() {
+                GuardAction::EnterSafeMode {
+                    backoff_intervals, ..
+                } => backoff_intervals,
+                other => panic!("expected safe-mode entry, got {other:?}"),
+            }
+        };
+        // Same seed → same stretch, and the stretch stays in
+        // [base, base + jitter × base].
+        assert_eq!(freeze(7), freeze(7));
+        for s in 0..16 {
+            let b = freeze(s);
+            assert!((8..=12).contains(&b), "jittered backoff {b} out of range");
+        }
+        // The stream really is consulted: some seed stretches.
+        assert!((0..16).any(|s| freeze(s) > 8));
     }
 
     #[test]

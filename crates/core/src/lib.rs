@@ -43,12 +43,14 @@
 //! ```
 
 pub mod closed_loop;
+pub mod ctrl_plane;
 pub mod drivers;
 pub mod guardrail;
 pub mod schemes;
 pub mod stats;
 
 pub use closed_loop::{ClosedLoop, ClosedLoopBuilder, IntervalRecord, LoopConfig};
+pub use ctrl_plane::{CtrlPlane, CtrlPlaneConfig, CtrlPlaneStats, DownMsg, UpMsg};
 pub use guardrail::{
     GuardAction, Guardrail, GuardrailConfig, GuardrailStats, RejectReason, ScreenOutcome,
 };
@@ -57,6 +59,7 @@ pub use schemes::{MonitorKind, SchemeKind};
 /// Re-exports for harness and example code.
 pub mod prelude {
     pub use crate::closed_loop::{ClosedLoop, IntervalRecord, LoopConfig};
+    pub use crate::ctrl_plane::{CtrlPlaneConfig, CtrlPlaneStats};
     pub use crate::drivers;
     pub use crate::guardrail::{
         GuardAction, Guardrail, GuardrailConfig, GuardrailStats, ScreenOutcome,

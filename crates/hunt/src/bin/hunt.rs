@@ -27,12 +27,13 @@ fn usage() -> ExitCode {
          \x20           [--no-minimize] [--minimize-trials N] [--write] [--corpus DIR] [--expect N]\n\
          \x20      hunt --replay CASE.json...\n\
          \x20      hunt corpus replay [--corpus DIR]\n\
-         oracles: {}",
+         oracles: {} (opt-in: {})",
         ALL_ORACLES
             .iter()
             .map(|k| k.name())
             .collect::<Vec<_>>()
-            .join(", ")
+            .join(", "),
+        OracleKind::CtrlDivergence.name(),
     );
     ExitCode::from(2)
 }

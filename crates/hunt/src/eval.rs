@@ -13,11 +13,12 @@
 
 use serde::{Serialize, Value};
 
+use paraleon::{ClosedLoop, CtrlPlaneConfig, LoopConfig, MonitorKind, SchemeKind};
 use paraleon_dcqcn::DcqcnParams;
 use paraleon_netsim::{FaultPlan, FlowId, SimConfig, Simulator, MILLI};
 
 use crate::genome::HuntPoint;
-use crate::oracle::{judge, OracleConfig, OracleReport};
+use crate::oracle::{judge, CtrlMeasure, OracleConfig, OracleReport};
 
 /// How long and how hard to run each candidate.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -185,6 +186,87 @@ fn run_one(
     Ok(m)
 }
 
+/// Extra quiescence intervals the control-plane probe grants after its
+/// scheduled run. This must outlast a full SA episode (~280 monitor
+/// intervals at the paper's Table III settings — the scheme dispatches
+/// a candidate every interval until the episode cools) plus the retry
+/// backoff cap, so a loop that has not settled by then genuinely
+/// diverged.
+const PROBE_SETTLE: u64 = 400;
+
+/// The control-plane probe: drive the candidate's topology, workload,
+/// seed and fault plan through the *full closed loop* twice — once with
+/// the hardened epoch/retry/snapshot protocol, once with the naive
+/// apply-everything fabric — and measure whether each reaches quiescent
+/// agreement between the controller's believed parameters and what the
+/// fabric actually runs. Returns `None` when the plan schedules no
+/// control-plane events: the probe (and the CtrlDivergence outcome it
+/// feeds) then never runs, which keeps ctrl-free reports — including
+/// every corpus case committed before this oracle existed — byte-stable.
+fn ctrl_probe(cfg: &EvalConfig, point: &HuntPoint) -> Result<Option<CtrlMeasure>, String> {
+    if !point.faults.events().iter().any(|e| e.kind.is_ctrl()) {
+        return Ok(None);
+    }
+    let run = |naive: bool| -> Result<(bool, u64, u64, u64, f64), String> {
+        let mut cl = ClosedLoop::builder(point.topo.build())
+            .scheme(SchemeKind::Paraleon)
+            .monitor(MonitorKind::Paraleon)
+            .sim_config(SimConfig {
+                dcqcn: point.params,
+                seed: point.seed,
+                ..SimConfig::default()
+            })
+            .loop_config(LoopConfig {
+                lambda_mi: cfg.lambda_mi,
+                // Tuning every interval keeps dispatches flowing, so the
+                // protocol under test always has traffic to mishandle.
+                force_tuning: true,
+                ..LoopConfig::default()
+            })
+            .ctrl_plane(CtrlPlaneConfig {
+                naive,
+                ..CtrlPlaneConfig::default()
+            })
+            .seed(point.seed)
+            .build();
+        for (src, dst, bytes, start) in point.expand_flows() {
+            cl.sim
+                .try_add_flow(src, dst, bytes, start)
+                .map_err(|e| format!("probe flow {src}->{dst}: {e}"))?;
+        }
+        cl.install_fault_plan(&point.faults)
+            .map_err(|e| format!("probe fault plan: {e}"))?;
+        for _ in 0..cfg.intervals {
+            cl.step();
+            if cl.sim.events_processed > cfg.event_budget {
+                break;
+            }
+        }
+        let settled = cl.ctrl_settle(PROBE_SETTLE);
+        let converged = settled && !cl.ctrl_diverged();
+        let stats = cl.ctrl().expect("probe armed the ctrl plane").stats();
+        let sent = stats.up.sent + stats.down.sent;
+        let lost = stats.up.lost + stats.down.lost;
+        Ok((
+            converged,
+            lost,
+            stats.retries,
+            stats.crashes,
+            lost as f64 / sent.max(1) as f64,
+        ))
+    };
+    let (hardened_converged, msgs_lost, retries, crashes, loss_ratio) = run(false)?;
+    let (naive_converged, ..) = run(true)?;
+    Ok(Some(CtrlMeasure {
+        hardened_converged,
+        naive_converged,
+        msgs_lost,
+        retries,
+        crashes,
+        loss_ratio,
+    }))
+}
+
 /// The result of judging one candidate: both runs' signals plus the
 /// oracle verdicts.
 #[derive(Debug, Clone)]
@@ -225,7 +307,11 @@ pub fn evaluate(
     // Drop anything the twin tripped: its run is a baseline, not a
     // subject, and the next evaluation must start from a clean registry.
     let _ = paraleon_audit::drain();
-    let report = judge(oracles, &run, &twin, violations);
+    // The control-plane probe runs last for the same reason: its two
+    // closed-loop runs are protocol subjects, not audit subjects.
+    let ctrl = ctrl_probe(cfg, point)?;
+    let _ = paraleon_audit::drain();
+    let report = judge(oracles, &run, &twin, violations, ctrl);
     Ok(Evaluation { run, twin, report })
 }
 
@@ -291,6 +377,49 @@ mod tests {
         assert_eq!(ev.run.goodput, ev.twin.goodput);
         assert_eq!(ev.run.bytes_delivered, ev.twin.bytes_delivered);
         assert_eq!(ev.run.events_processed, ev.twin.events_processed);
+    }
+
+    #[test]
+    fn ctrl_probe_runs_only_for_ctrl_faulted_points() {
+        let cfg = EvalConfig {
+            intervals: 12,
+            lambda_mi: MILLI,
+            event_budget: 50_000_000,
+            tail: 3,
+        };
+        let clean = tiny_point();
+        assert!(ctrl_probe(&cfg, &clean).expect("probes").is_none());
+
+        let mut sick = tiny_point();
+        // Elephants to keep the tuner dispatching.
+        sick.workload = vec![crate::genome::FlowSpec {
+            src: 2,
+            dst: 0,
+            bytes: 4_000_000,
+            start: 0,
+            count: 8,
+            gap: MILLI,
+        }];
+        sick.faults.ctrl_impair(2 * MILLI, false, true, 0.5, 3, 0.3);
+        let mut outcomes = Vec::new();
+        for seed in 0..16 {
+            sick.seed = seed;
+            let m = ctrl_probe(&cfg, &sick)
+                .expect("probes")
+                .expect("ctrl faults scheduled");
+            outcomes.push(m);
+        }
+        eprintln!("probe outcomes: {outcomes:#?}");
+        assert!(
+            outcomes.iter().any(|m| m.msgs_lost > 0),
+            "a 50% lossy lane must lose messages"
+        );
+        assert!(
+            outcomes
+                .iter()
+                .any(|m| m.hardened_converged && !m.naive_converged),
+            "some seed must strand the naive protocol while hardened recovers"
+        );
     }
 
     #[test]

@@ -97,6 +97,11 @@ enum Op {
     AddLoss,
     /// A host asserts a sustained PFC storm.
     AddStorm,
+    /// Impair the control-plane channel (loss/delay/duplication on one
+    /// or both lanes).
+    AddCtrlImpair,
+    /// Kill the controller (warm or cold restart).
+    AddCtrlCrash,
     /// Remove one fault event.
     DropFault,
     /// Re-seed the simulator RNG.
@@ -152,6 +157,17 @@ fn palette(kind: OracleKind) -> &'static [Op] {
             Op::ExtremeParam,
             Op::AddIncast,
             Op::AddFlap,
+        ],
+        // The divergence oracle only judges candidates carrying ctrl
+        // faults, so its palette is dominated by the two ctrl injectors
+        // (AddCtrlImpair twice: weight it over the crash op) plus enough
+        // traffic churn to keep dispatches flowing.
+        OracleKind::CtrlDivergence => &[
+            Op::AddCtrlImpair,
+            Op::AddCtrlCrash,
+            Op::AddCtrlImpair,
+            Op::AddIncast,
+            Op::BoostCount,
         ],
     }
 }
@@ -306,6 +322,29 @@ fn apply(op: Op, p: &mut HuntPoint, caps: &GenomeCaps, rng: &mut StdRng) -> bool
             p.faults.pfc_storm(host, start, end);
             true
         }
+        Op::AddCtrlImpair => {
+            if p.faults.len() >= caps.max_fault_events {
+                return false;
+            }
+            let at = quantized(rng, 0, caps.horizon / 2);
+            // At least one lane is always selected; the down (dispatch)
+            // lane is the one the epoch protocol defends, so bias there.
+            let up = rng.gen_bool(0.5);
+            let down = !up || rng.gen_bool(0.7);
+            let loss = rng.gen_range(0.1f64..0.6);
+            let delay_max = rng.gen_range(0u64..=3);
+            let dup = rng.gen_range(0.0f64..0.3);
+            p.faults.ctrl_impair(at, up, down, loss, delay_max, dup);
+            true
+        }
+        Op::AddCtrlCrash => {
+            if p.faults.len() >= caps.max_fault_events {
+                return false;
+            }
+            let at = quantized(rng, QUANTUM, caps.horizon / 2);
+            p.faults.ctrl_crash(at, rng.gen_bool(0.5));
+            true
+        }
         Op::DropFault => {
             if p.faults.is_empty() {
                 return false;
@@ -403,6 +442,40 @@ mod tests {
                 assert!(f.bytes <= caps.max_flow_bytes && f.count <= caps.max_count);
             }
         }
+    }
+
+    #[test]
+    fn ctrl_palette_injects_valid_control_plane_faults() {
+        let caps = GenomeCaps::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = seed_point(&caps, &mut rng);
+        let mut saw_impair = false;
+        let mut saw_crash = false;
+        for _ in 0..200 {
+            p = mutate(&p, OracleKind::CtrlDivergence, &caps, &mut rng);
+            p.validate().expect("ctrl mutant valid");
+            assert!(p.faults.len() <= caps.max_fault_events);
+            for ev in p.faults.events() {
+                match ev.kind {
+                    paraleon_netsim::FaultKind::CtrlImpair {
+                        up,
+                        down,
+                        loss,
+                        dup,
+                        ..
+                    } => {
+                        saw_impair = true;
+                        assert!(up || down, "an impairment must select a lane");
+                        assert!((0.0..=1.0).contains(&loss));
+                        assert!((0.0..=1.0).contains(&dup));
+                    }
+                    paraleon_netsim::FaultKind::CtrlCrash { .. } => saw_crash = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_impair, "palette must reach AddCtrlImpair");
+        assert!(saw_crash, "palette must reach AddCtrlCrash");
     }
 
     #[test]

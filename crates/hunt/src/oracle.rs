@@ -95,6 +95,30 @@ pub fn jain_index(xs: &[f64]) -> f64 {
     }
 }
 
+/// Control-plane divergence measure, produced by the evaluator's
+/// closed-loop probe when (and only when) a candidate schedules
+/// control-plane faults. Both protocol variants run the same topology,
+/// workload, seed and fault plan; `converged` means the loop reached
+/// quiescence (no pending dispatch, both channel lanes drained) with the
+/// fabric's deployed parameters equal to the controller's belief.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CtrlMeasure {
+    /// The hardened (epoch-stamped, retried, snapshot-restored) protocol
+    /// converged.
+    pub hardened_converged: bool,
+    /// The naive (apply-everything-in-arrival-order) protocol converged.
+    pub naive_converged: bool,
+    /// Control messages the hardened run's channels lost, both lanes.
+    pub msgs_lost: u64,
+    /// Dispatch retries the hardened run spent recovering.
+    pub retries: u64,
+    /// Controller crashes replayed against the hardened run.
+    pub crashes: u64,
+    /// Lost fraction of sent control messages, `[0, 1]` — the smooth
+    /// stress signal the search climbs before divergence manifests.
+    pub loss_ratio: f64,
+}
+
 fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
@@ -117,9 +141,19 @@ pub enum OracleKind {
     /// The run churned events without delivering (or blew its
     /// deterministic event budget before its scheduled end).
     Livelock,
+    /// Under the same control-plane faults, the naive (epoch-less)
+    /// dispatch protocol left the fabric on stale parameters at
+    /// quiescence while the hardened epoch/retry/snapshot protocol
+    /// converged. Opt-in: not part of [`ALL_ORACLES`] — default hunts
+    /// and pre-existing corpus cases never judge it — target it with
+    /// `--oracle ctrl_divergence`.
+    CtrlDivergence,
 }
 
-/// All oracle kinds, in report order.
+/// The always-judged oracle kinds, in report order. The opt-in
+/// [`OracleKind::CtrlDivergence`] is deliberately absent: it needs the
+/// (closed-loop, twice-as-expensive) control-plane probe, which only
+/// runs for candidates that schedule control-plane faults.
 pub const ALL_ORACLES: [OracleKind; 5] = [
     OracleKind::GoodputCollapse,
     OracleKind::PfcStorm,
@@ -137,13 +171,17 @@ impl OracleKind {
             OracleKind::Unfairness => "unfairness",
             OracleKind::AuditViolation => "audit_violation",
             OracleKind::Livelock => "livelock",
+            OracleKind::CtrlDivergence => "ctrl_divergence",
         }
     }
 
     /// Inverse of [`OracleKind::name`] (also accepts the enum spelling).
+    /// Resolves the opt-in kinds too, so `--oracle ctrl_divergence` and
+    /// committed ctrl cases parse even though default hunts skip them.
     pub fn from_name(s: &str) -> Option<Self> {
         ALL_ORACLES
             .into_iter()
+            .chain([OracleKind::CtrlDivergence])
             .find(|k| k.name() == s || format!("{k:?}") == s)
     }
 }
@@ -219,9 +257,10 @@ pub struct OracleOutcome {
 /// The full oracle evaluation of one faulted run + twin pair. Every
 /// field is derived deterministically from the two runs, so a replay of
 /// a corpus case must reproduce this struct *byte for byte* in JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OracleReport {
-    /// Per-oracle verdicts, in [`ALL_ORACLES`] order.
+    /// Per-oracle verdicts: [`ALL_ORACLES`] order, plus a trailing
+    /// [`OracleKind::CtrlDivergence`] entry when the probe ran.
     pub outcomes: Vec<OracleOutcome>,
     /// Faulted run tail goodput, Gbps.
     pub tail_goodput_gbps: f64,
@@ -247,20 +286,71 @@ pub struct OracleReport {
     pub aborted_early: bool,
     /// Intervals the faulted run actually completed.
     pub intervals_run: u64,
+    /// Control-plane probe measure — present only for candidates that
+    /// schedule control-plane faults.
+    pub ctrl: Option<CtrlMeasure>,
+}
+
+// Hand-written (mirroring the derive's field-ordered object) so that
+// `ctrl` is *omitted* rather than serialized as `null` when absent:
+// reports of ctrl-free candidates — including every corpus case
+// committed before the control-plane oracle existed — keep their exact
+// pre-existing bytes, which the replay gate compares verbatim.
+impl Serialize for OracleReport {
+    fn serialize_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("outcomes".into(), self.outcomes.serialize_value()),
+            (
+                "tail_goodput_gbps".into(),
+                self.tail_goodput_gbps.serialize_value(),
+            ),
+            (
+                "twin_tail_goodput_gbps".into(),
+                self.twin_tail_goodput_gbps.serialize_value(),
+            ),
+            (
+                "collapse_ratio".into(),
+                self.collapse_ratio.serialize_value(),
+            ),
+            (
+                "peak_pause_window".into(),
+                self.peak_pause_window.serialize_value(),
+            ),
+            ("jain_tail".into(), self.jain_tail.serialize_value()),
+            ("starved_flows".into(), self.starved_flows.serialize_value()),
+            (
+                "eligible_flows".into(),
+                self.eligible_flows.serialize_value(),
+            ),
+            (
+                "audit_violations".into(),
+                self.audit_violations.serialize_value(),
+            ),
+            (
+                "events_processed".into(),
+                self.events_processed.serialize_value(),
+            ),
+            ("aborted_early".into(), self.aborted_early.serialize_value()),
+            ("intervals_run".into(), self.intervals_run.serialize_value()),
+        ];
+        if let Some(m) = &self.ctrl {
+            fields.push(("ctrl".into(), m.serialize_value()));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl OracleReport {
-    /// The verdict for `kind`.
-    pub fn outcome(&self, kind: OracleKind) -> &OracleOutcome {
-        self.outcomes
-            .iter()
-            .find(|o| o.kind == kind)
-            .expect("all oracles reported")
+    /// The verdict for `kind`, if this report judged it — the opt-in
+    /// [`OracleKind::CtrlDivergence`] is only present when the probe
+    /// ran.
+    pub fn outcome(&self, kind: OracleKind) -> Option<&OracleOutcome> {
+        self.outcomes.iter().find(|o| o.kind == kind)
     }
 
-    /// Whether `kind` confirmed its pathology.
+    /// Whether `kind` confirmed its pathology (false when unjudged).
     pub fn fired(&self, kind: OracleKind) -> bool {
-        self.outcome(kind).fired
+        self.outcome(kind).is_some_and(|o| o.fired)
     }
 
     /// Kinds that fired.
@@ -272,9 +362,11 @@ impl OracleReport {
             .collect()
     }
 
-    /// The score the search climbs for `kind`.
+    /// The score the search climbs for `kind` (0 when unjudged, so a
+    /// ctrl-divergence lane breeds toward candidates that at least carry
+    /// control-plane faults).
     pub fn score(&self, kind: OracleKind) -> f64 {
-        self.outcome(kind).score
+        self.outcome(kind).map_or(0.0, |o| o.score)
     }
 }
 
@@ -293,6 +385,7 @@ pub fn judge(
     run: &RunMetrics,
     twin: &RunMetrics,
     audit_violations: u64,
+    ctrl: Option<CtrlMeasure>,
 ) -> OracleReport {
     let tail_len = run.tail_len;
     // --- Goodput collapse vs the twin. ---
@@ -360,7 +453,7 @@ pub fn judge(
     };
     let livelock_score = if livelock_fired { 1.0 } else { 0.8 * zero_frac };
 
-    let outcomes = vec![
+    let mut outcomes = vec![
         OracleOutcome {
             kind: OracleKind::GoodputCollapse,
             fired: collapse_fired,
@@ -387,6 +480,28 @@ pub fn judge(
             score: livelock_score,
         },
     ];
+
+    // --- Control-plane divergence (probe-gated, opt-in). ---
+    if let Some(m) = ctrl {
+        // The finding is a *differential*: the hardened protocol must
+        // survive the exact faults that strand the naive one — a
+        // scenario breaking both is channel vandalism, not a protocol
+        // pathology.
+        let fired = m.hardened_converged && !m.naive_converged;
+        let stress = 0.6 * m.loss_ratio
+            + 0.2 * (m.retries.min(5) as f64 / 5.0)
+            + 0.2 * if m.naive_converged { 0.0 } else { 1.0 };
+        let score = if fired {
+            1.0
+        } else {
+            (0.9 * stress).clamp(0.0, 0.9)
+        };
+        outcomes.push(OracleOutcome {
+            kind: OracleKind::CtrlDivergence,
+            fired,
+            score,
+        });
+    }
     OracleReport {
         outcomes,
         tail_goodput_gbps: tail_gbps,
@@ -400,6 +515,7 @@ pub fn judge(
         events_processed: run.events_processed,
         aborted_early: run.aborted_early,
         intervals_run: run.intervals_run,
+        ctrl,
     }
 }
 
@@ -443,6 +559,88 @@ mod tests {
             OracleKind::from_name("PfcStorm"),
             Some(OracleKind::PfcStorm)
         );
+        // Opt-in kinds resolve even though default hunts skip them.
+        assert_eq!(
+            OracleKind::from_name("ctrl_divergence"),
+            Some(OracleKind::CtrlDivergence)
+        );
+        assert!(!ALL_ORACLES.contains(&OracleKind::CtrlDivergence));
         assert_eq!(OracleKind::from_name("nope"), None);
+    }
+
+    fn flat_metrics() -> crate::eval::RunMetrics {
+        crate::eval::RunMetrics {
+            goodput: vec![1e9; 8],
+            pause_ratio: vec![0.0; 8],
+            bytes_delivered: vec![1_000_000; 8],
+            cnps: vec![0; 8],
+            pfc_events: vec![0; 8],
+            eligible_tail_bytes: vec![(0, 500_000), (1, 500_000)],
+            active_flows_end: 0,
+            aborted_early: false,
+            events_processed: 1_000,
+            intervals_run: 8,
+            tail_len: 3,
+        }
+    }
+
+    #[test]
+    fn ctrl_outcome_is_appended_only_when_the_probe_ran() {
+        let cfg = OracleConfig::default();
+        let (run, twin) = (flat_metrics(), flat_metrics());
+        let plain = judge(&cfg, &run, &twin, 0, None);
+        assert_eq!(plain.outcomes.len(), ALL_ORACLES.len());
+        assert!(plain.outcome(OracleKind::CtrlDivergence).is_none());
+        assert!(!plain.fired(OracleKind::CtrlDivergence));
+        assert_eq!(plain.score(OracleKind::CtrlDivergence), 0.0);
+        // A ctrl-free report must serialize without any `ctrl` key so
+        // pre-existing corpus bytes are preserved verbatim.
+        assert!(!serde_json::to_string(&plain).unwrap().contains("ctrl"));
+
+        let diverged = judge(
+            &cfg,
+            &run,
+            &twin,
+            0,
+            Some(CtrlMeasure {
+                hardened_converged: true,
+                naive_converged: false,
+                msgs_lost: 7,
+                retries: 2,
+                crashes: 0,
+                loss_ratio: 0.35,
+            }),
+        );
+        assert_eq!(diverged.outcomes.len(), ALL_ORACLES.len() + 1);
+        assert!(diverged.fired(OracleKind::CtrlDivergence));
+        assert_eq!(diverged.score(OracleKind::CtrlDivergence), 1.0);
+        assert!(serde_json::to_string(&diverged)
+            .unwrap()
+            .contains("\"ctrl\""));
+    }
+
+    #[test]
+    fn ctrl_divergence_is_differential() {
+        let cfg = OracleConfig::default();
+        let (run, twin) = (flat_metrics(), flat_metrics());
+        // Both protocols stranded: vandalism, not a protocol pathology —
+        // but the stress score still climbs.
+        let both_dead = judge(
+            &cfg,
+            &run,
+            &twin,
+            0,
+            Some(CtrlMeasure {
+                hardened_converged: false,
+                naive_converged: false,
+                msgs_lost: 40,
+                retries: 9,
+                crashes: 1,
+                loss_ratio: 0.8,
+            }),
+        );
+        assert!(!both_dead.fired(OracleKind::CtrlDivergence));
+        let s = both_dead.score(OracleKind::CtrlDivergence);
+        assert!(s > 0.0 && s <= 0.9, "stress score in (0, 0.9]: {s}");
     }
 }

@@ -28,6 +28,7 @@ pub mod naive;
 pub mod netflow;
 pub mod overhead;
 pub mod paraleon;
+pub mod resilient;
 pub mod trigger;
 pub mod utility;
 
@@ -36,6 +37,7 @@ pub use naive::NaiveSketchMonitor;
 pub use netflow::{NetFlowConfig, NetFlowMonitor};
 pub use overhead::TransferLedger;
 pub use paraleon::ParaleonMonitor;
+pub use resilient::{FsdUpload, StalenessMerger, DEFAULT_STALE_AFTER_INTERVALS};
 pub use trigger::ChangeDetector;
 pub use utility::{MetricSample, UtilityWeights};
 
@@ -61,6 +63,28 @@ pub trait FsdMonitor {
     /// Ingest one interval ending at `now`; return the scheme's current
     /// network-wide FSD estimate, if any.
     fn on_interval(&mut self, readings: &SketchReadings, now: Nanos) -> Option<Fsd>;
+
+    /// Fabric-side half of one interval under an explicit (impairable)
+    /// control plane: ingest the readings and emit sequence-numbered,
+    /// λ_MI-stamped per-point uploads for the controller-side
+    /// [`StalenessMerger`] instead of merging centrally. `interval` is
+    /// the closed loop's monitor-interval index (the upload timestamp).
+    ///
+    /// The default wraps [`FsdMonitor::on_interval`]'s central estimate
+    /// in a single point-0 upload stamped `seq = interval` — correct for
+    /// schemes without a layered fabric half; layered schemes override
+    /// this to ship genuine per-point uploads.
+    fn uploads(&mut self, readings: &SketchReadings, now: Nanos, interval: u64) -> Vec<FsdUpload> {
+        match self.on_interval(readings, now) {
+            Some(fsd) => vec![FsdUpload {
+                point: 0,
+                seq: interval,
+                interval,
+                fsd,
+            }],
+            None => Vec::new(),
+        }
+    }
 
     /// Total bytes this scheme has uploaded to the controller so far
     /// (Table IV data-transfer accounting).

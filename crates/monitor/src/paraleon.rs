@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use paraleon_sketch::{Fsd, SlidingWindowClassifier, WindowConfig};
 
-use crate::{FsdMonitor, Nanos, PointId, SketchReadings};
+use crate::{FsdMonitor, FsdUpload, Nanos, PointId, SketchReadings};
 
 /// Monitor intervals a measurement point may stay silent before its
 /// classifier state is discarded (see [`ParaleonMonitor::with_max_idle`]).
@@ -24,6 +24,8 @@ pub struct ParaleonMonitor {
     agents: HashMap<PointId, SlidingWindowClassifier>,
     /// Interval index each point last uploaded at.
     last_seen: HashMap<PointId, u64>,
+    /// Next upload sequence number per point (control-plane mode).
+    seqs: HashMap<PointId, u64>,
     /// Intervals processed so far.
     interval: u64,
     /// Silence tolerance before a point's state is aged out.
@@ -41,6 +43,7 @@ impl ParaleonMonitor {
             cfg,
             agents: HashMap::new(),
             last_seen: HashMap::new(),
+            seqs: HashMap::new(),
             interval: 0,
             max_idle_intervals: DEFAULT_MAX_IDLE_INTERVALS,
             aged_out: 0,
@@ -83,12 +86,14 @@ impl ParaleonMonitor {
     pub fn control_plane_memory_bytes(&self) -> usize {
         self.agents.values().map(|a| a.memory_bytes()).sum()
     }
-}
 
-impl FsdMonitor for ParaleonMonitor {
-    fn on_interval(&mut self, readings: &SketchReadings, _now: Nanos) -> Option<Fsd> {
+    /// The fabric-side half of one interval: run every reporting point's
+    /// classifier, account its upload, and age out points that stopped
+    /// reporting. Returns the per-point local FSDs in `readings` order
+    /// (the central merge and the per-point upload path share this).
+    fn ingest_points(&mut self, readings: &SketchReadings) -> Vec<(PointId, Fsd)> {
         self.interval += 1;
-        let mut network = Fsd::empty();
+        let mut locals = Vec::with_capacity(readings.len());
         // Only points that actually uploaded contribute: a dead switch
         // is skipped entirely rather than averaged in as zeros.
         for (point, entries) in readings {
@@ -101,7 +106,7 @@ impl FsdMonitor for ParaleonMonitor {
             let local = agent.local_fsd();
             // Layered upload: each switch ships only its local FSD.
             self.uploaded += local.wire_size_bytes() as u64;
-            network.merge(&local);
+            locals.push((*point, local));
         }
         // Age out points that stopped reporting: their window history is
         // stale and must not survive a prolonged outage.
@@ -117,8 +122,39 @@ impl FsdMonitor for ParaleonMonitor {
             self.aged_out += (before - self.agents.len()) as u64;
             last_seen.retain(|_, &mut seen| seen > horizon);
         }
+        locals
+    }
+}
+
+impl FsdMonitor for ParaleonMonitor {
+    fn on_interval(&mut self, readings: &SketchReadings, _now: Nanos) -> Option<Fsd> {
+        let mut network = Fsd::empty();
+        for (_, local) in self.ingest_points(readings) {
+            network.merge(&local);
+        }
         self.last_fsd = network.clone();
         Some(network)
+    }
+
+    fn uploads(&mut self, readings: &SketchReadings, _now: Nanos, interval: u64) -> Vec<FsdUpload> {
+        // Layered by construction: each point ships its own local FSD
+        // with a per-point monotone sequence number — no synthetic
+        // central wrapper needed.
+        let locals = self.ingest_points(readings);
+        locals
+            .into_iter()
+            .map(|(point, fsd)| {
+                let seq = self.seqs.entry(point).or_insert(0);
+                let this = *seq;
+                *seq += 1;
+                FsdUpload {
+                    point,
+                    seq: this,
+                    interval,
+                    fsd,
+                }
+            })
+            .collect()
     }
 
     fn uploaded_bytes(&self) -> u64 {
@@ -230,6 +266,30 @@ mod tests {
         let fsd = m.on_interval(&[(1, vec![(9, 1_000)])], 0).unwrap();
         assert_eq!(m.n_agents(), 2);
         assert!(fsd.elephant_share() < 0.01, "fresh window, mice only");
+    }
+
+    #[test]
+    fn upload_path_matches_central_merge_bit_for_bit() {
+        // Two identical monitors, one driven through `on_interval`
+        // (central merge), one through `uploads` + a StalenessMerger
+        // (control-plane path, clean channel): the network FSDs must be
+        // byte-identical every interval.
+        let mut central = monitor();
+        let mut layered = monitor();
+        let mut merger = crate::StalenessMerger::default();
+        for k in 0..6u64 {
+            let readings = [(0, vec![(7, 300 * 1024)]), (1, vec![(8, 2 * MB)])];
+            let want = central.on_interval(&readings, 0).unwrap();
+            let ups = layered.uploads(&readings, 0, k);
+            assert_eq!(ups.len(), 2);
+            assert!(ups.iter().all(|u| u.seq == k), "per-point monotone seq");
+            for u in ups {
+                assert!(merger.ingest(u));
+            }
+            let got = merger.network_fsd(k);
+            assert_eq!(got, want, "interval {k}");
+        }
+        assert_eq!(central.uploaded_bytes(), layered.uploaded_bytes());
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Controller-side resilience to a faulty upload channel.
+//!
+//! Under an explicit control plane (PR 7) the per-ToR local FSDs no
+//! longer arrive as one synchronous batch: each measurement point ships
+//! a sequence-numbered, λ_MI-stamped [`FsdUpload`], and the channel in
+//! between may lose, delay, duplicate or reorder it. The
+//! [`StalenessMerger`] is the aggregation half of the Runtime Metric
+//! Monitor hardened against that: it keeps only the newest accepted
+//! upload per point (sequence numbers make duplicates and stale
+//! reorderings idempotent no-ops), and when asked for the network-wide
+//! FSD it down-weights each point's contribution by how many intervals
+//! old it is — a late switch degrades coverage smoothly instead of
+//! poisoning the merge, and a switch silent past the staleness horizon
+//! drops out entirely (mirroring `ParaleonMonitor`'s age-out of dead
+//! points).
+//!
+//! Determinism: the merge iterates points in ascending [`PointId`]
+//! order (a `BTreeMap`), and a fresh upload (age 0) contributes its FSD
+//! bit-identically (`Fsd::scaled(1.0)` is a clone) — so over a clean
+//! channel the merger reproduces `ParaleonMonitor::on_interval`'s
+//! central merge exactly, byte for byte.
+
+use std::collections::BTreeMap;
+
+use paraleon_sketch::Fsd;
+use serde::{Deserialize, Serialize};
+
+use crate::PointId;
+
+/// One measurement point's per-interval upload: its local FSD, stamped
+/// with the λ_MI index it was measured in and a per-point sequence
+/// number (monotone at the sender, so the receiver can discard
+/// duplicates and stale reorderings).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsdUpload {
+    /// The uploading measurement point (ToR switch).
+    pub point: PointId,
+    /// Per-point upload sequence number (monotone at the sender).
+    pub seq: u64,
+    /// Monitor-interval index the reading was measured in.
+    pub interval: u64,
+    /// The point's local FSD for that interval.
+    pub fsd: Fsd,
+}
+
+/// Default staleness horizon, in monitor intervals: matches
+/// [`crate::paraleon::DEFAULT_MAX_IDLE_INTERVALS`] so a point survives
+/// channel impairment exactly as long as its fabric-side classifier
+/// state does.
+pub const DEFAULT_STALE_AFTER_INTERVALS: u64 = 32;
+
+/// Staleness-weighted partial aggregator of per-point FSD uploads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StalenessMerger {
+    stale_after: u64,
+    /// Newest accepted upload per point, keyed for deterministic
+    /// ascending-point merge order.
+    latest: BTreeMap<PointId, FsdUpload>,
+    /// Uploads accepted as the new latest for their point.
+    pub accepted: u64,
+    /// Uploads rejected as duplicates or stale reorderings (their
+    /// sequence number did not advance the point's newest).
+    pub rejected: u64,
+    /// Points dropped from the merge after exceeding the staleness
+    /// horizon.
+    pub aged_out: u64,
+}
+
+impl Default for StalenessMerger {
+    fn default() -> Self {
+        Self::new(DEFAULT_STALE_AFTER_INTERVALS)
+    }
+}
+
+impl StalenessMerger {
+    /// Merger dropping points whose newest upload is `stale_after` or
+    /// more intervals old.
+    pub fn new(stale_after: u64) -> Self {
+        Self {
+            stale_after: stale_after.max(1),
+            latest: BTreeMap::new(),
+            accepted: 0,
+            rejected: 0,
+            aged_out: 0,
+        }
+    }
+
+    /// The staleness horizon, in intervals.
+    pub fn stale_after(&self) -> u64 {
+        self.stale_after
+    }
+
+    /// Points currently contributing to the merge.
+    pub fn n_points(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Ingest one delivered upload. Returns `true` if it became the
+    /// point's newest; duplicates and stale reorderings (sequence number
+    /// not strictly newer) are rejected, which is what makes delivery
+    /// idempotent under channel duplication and reordering.
+    pub fn ingest(&mut self, up: FsdUpload) -> bool {
+        match self.latest.get(&up.point) {
+            Some(have) if up.seq <= have.seq => {
+                self.rejected += 1;
+                false
+            }
+            _ => {
+                self.accepted += 1;
+                self.latest.insert(up.point, up);
+                true
+            }
+        }
+    }
+
+    /// Staleness weight for a reading `age` intervals old: 1 when
+    /// fresh, linearly decaying to 0 at the horizon.
+    fn weight(&self, age: u64) -> f64 {
+        if age >= self.stale_after {
+            return 0.0;
+        }
+        (self.stale_after - age) as f64 / self.stale_after as f64
+    }
+
+    /// The network-wide FSD as of interval `now`: prune points past the
+    /// staleness horizon, then merge the survivors in ascending point
+    /// order, each scaled by its staleness weight. Fresh uploads (age 0)
+    /// contribute bit-identically to an unweighted merge.
+    pub fn network_fsd(&mut self, now: u64) -> Fsd {
+        let horizon = self.stale_after;
+        let before = self.latest.len();
+        self.latest
+            .retain(|_, up| now.saturating_sub(up.interval) < horizon);
+        self.aged_out += (before - self.latest.len()) as u64;
+        let mut network = Fsd::empty();
+        for up in self.latest.values() {
+            let age = now.saturating_sub(up.interval);
+            let w = self.weight(age);
+            if age == 0 {
+                // `scaled(1.0)` clones, but merging the original keeps
+                // the clean-channel fast path allocation-free.
+                network.merge(&up.fsd);
+            } else {
+                network.merge(&up.fsd.scaled(w));
+            }
+        }
+        network
+    }
+
+    /// How many contributing points are fresh (age 0) at interval `now`
+    /// versus total — a coverage signal for telemetry.
+    pub fn coverage(&self, now: u64) -> (usize, usize) {
+        let fresh = self.latest.values().filter(|up| up.interval == now).count();
+        (fresh, self.latest.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use paraleon_sketch::FsdBuilder;
+
+    fn one_flow(bytes: u64) -> Fsd {
+        let mut b = FsdBuilder::new();
+        b.add_flow(bytes, 1.0);
+        b.build()
+    }
+
+    fn upload(point: PointId, seq: u64, interval: u64, bytes: u64) -> FsdUpload {
+        FsdUpload {
+            point,
+            seq,
+            interval,
+            fsd: one_flow(bytes),
+        }
+    }
+
+    #[test]
+    fn fresh_merge_matches_unweighted_merge() {
+        let mut m = StalenessMerger::new(8);
+        m.ingest(upload(0, 0, 5, 10_000));
+        m.ingest(upload(1, 0, 5, 5_000_000));
+        let got = m.network_fsd(5);
+        let mut want = Fsd::empty();
+        want.merge(&one_flow(10_000));
+        want.merge(&one_flow(5_000_000));
+        assert_eq!(got, want, "age-0 merge must be bit-identical");
+    }
+
+    #[test]
+    fn duplicates_and_reorders_are_idempotent() {
+        let mut m = StalenessMerger::new(8);
+        assert!(m.ingest(upload(0, 3, 3, 1_000)));
+        assert!(!m.ingest(upload(0, 3, 3, 1_000)), "duplicate rejected");
+        assert!(!m.ingest(upload(0, 1, 1, 9_999)), "stale reorder rejected");
+        assert!(m.ingest(upload(0, 4, 4, 2_000)), "newer accepted");
+        assert_eq!(m.accepted, 2);
+        assert_eq!(m.rejected, 2);
+        let fsd = m.network_fsd(4);
+        let mut want = Fsd::empty();
+        want.merge(&one_flow(2_000));
+        assert_eq!(fsd, want, "only the newest upload contributes");
+    }
+
+    #[test]
+    fn stale_points_decay_then_age_out() {
+        let mut m = StalenessMerger::new(4);
+        m.ingest(upload(0, 0, 0, 1_000));
+        let fresh_mass = m.network_fsd(0).flow_mass();
+        assert!((fresh_mass - 1.0).abs() < 1e-12);
+        let aged_mass = m.network_fsd(2).flow_mass();
+        assert!(
+            (aged_mass - 0.5).abs() < 1e-12,
+            "age 2 of 4 → weight 0.5, got {aged_mass}"
+        );
+        assert_eq!(m.n_points(), 1);
+        let gone = m.network_fsd(4);
+        assert_eq!(gone.flow_mass(), 0.0);
+        assert_eq!(m.n_points(), 0, "past horizon: point dropped");
+        assert_eq!(m.aged_out, 1);
+    }
+
+    #[test]
+    fn coverage_distinguishes_fresh_from_lagging() {
+        let mut m = StalenessMerger::new(8);
+        m.ingest(upload(0, 5, 5, 1_000));
+        m.ingest(upload(1, 3, 3, 1_000));
+        assert_eq!(m.coverage(5), (1, 2));
+    }
+}

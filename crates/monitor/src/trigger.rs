@@ -9,7 +9,10 @@
 use paraleon_sketch::Fsd;
 
 /// Detects significant traffic-pattern change.
-#[derive(Debug)]
+///
+/// `Clone` so a controller can checkpoint the detector alongside the
+/// rest of its state and restore it after a crash.
+#[derive(Debug, Clone)]
 pub struct ChangeDetector {
     theta: f64,
     prev: Option<Fsd>,

@@ -46,6 +46,34 @@ pub enum FaultKind {
     PfcStormStart,
     /// The misbehaving host stops asserting XOFF.
     PfcStormEnd,
+    /// Impair the control-plane channel between the fabric and the
+    /// controller from this instant on: per-message loss probability,
+    /// bounded extra delay (in monitor intervals, drawn uniformly per
+    /// message — which is what reorders an in-order stream), and
+    /// duplication probability. `up`/`down` select the telemetry-upload
+    /// and parameter-dispatch directions; all-zero rates restore a clean
+    /// channel. The simulator's data plane ignores this event — it is
+    /// consumed by the closed loop's [`CtrlChannel`](crate::ctrl).
+    CtrlImpair {
+        /// Apply to the fabric → controller (upload) direction.
+        up: bool,
+        /// Apply to the controller → fabric (dispatch) direction.
+        down: bool,
+        /// Per-message loss probability in `[0, 1]`.
+        loss: f64,
+        /// Maximum extra delivery delay, in monitor intervals.
+        delay_max: u64,
+        /// Per-message duplication probability in `[0, 1]`.
+        dup: f64,
+    },
+    /// The controller process dies at this instant. `warm` restarts
+    /// resume from the last periodic state snapshot; cold restarts come
+    /// back with initial state and re-enter safe mode through the
+    /// guardrail's backoff path. Ignored by the data plane.
+    CtrlCrash {
+        /// Whether a snapshot survives the crash.
+        warm: bool,
+    },
 }
 
 // The vendored derive handles unit-only enums; `Degrade`/`PktLoss`
@@ -67,6 +95,24 @@ impl Serialize for FaultKind {
             ]),
             FaultKind::PfcStormStart => Value::Object(vec![tag("PfcStormStart")]),
             FaultKind::PfcStormEnd => Value::Object(vec![tag("PfcStormEnd")]),
+            FaultKind::CtrlImpair {
+                up,
+                down,
+                loss,
+                delay_max,
+                dup,
+            } => Value::Object(vec![
+                tag("CtrlImpair"),
+                (String::from("up"), Value::Bool(*up)),
+                (String::from("down"), Value::Bool(*down)),
+                (String::from("loss"), Value::Float(*loss)),
+                (String::from("delay_max"), Value::UInt(*delay_max)),
+                (String::from("dup"), Value::Float(*dup)),
+            ]),
+            FaultKind::CtrlCrash { warm } => Value::Object(vec![
+                tag("CtrlCrash"),
+                (String::from("warm"), Value::Bool(*warm)),
+            ]),
         }
     }
 }
@@ -94,8 +140,41 @@ impl FaultKind {
             }),
             "PfcStormStart" => Ok(FaultKind::PfcStormStart),
             "PfcStormEnd" => Ok(FaultKind::PfcStormEnd),
+            "CtrlImpair" => {
+                let flag = |name: &str| {
+                    v.get(name)
+                        .and_then(Value::as_bool)
+                        .ok_or_else(|| format!("FaultKind::CtrlImpair: missing `{name}`"))
+                };
+                Ok(FaultKind::CtrlImpair {
+                    up: flag("up")?,
+                    down: flag("down")?,
+                    loss: field("loss")?,
+                    delay_max: v
+                        .get("delay_max")
+                        .and_then(Value::as_u64)
+                        .ok_or("FaultKind::CtrlImpair: missing `delay_max`")?,
+                    dup: field("dup")?,
+                })
+            }
+            "CtrlCrash" => Ok(FaultKind::CtrlCrash {
+                warm: v
+                    .get("warm")
+                    .and_then(Value::as_bool)
+                    .ok_or("FaultKind::CtrlCrash: missing `warm`")?,
+            }),
             other => Err(format!("FaultKind: unknown tag `{other}`")),
         }
+    }
+
+    /// Whether this transition targets the control plane rather than a
+    /// data-plane link or host. Control-plane events are ignored by the
+    /// simulator proper and consumed by the closed loop.
+    pub fn is_ctrl(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::CtrlImpair { .. } | FaultKind::CtrlCrash { .. }
+        )
     }
 }
 
@@ -270,6 +349,51 @@ impl FaultPlan {
         })
     }
 
+    /// Impair the control-plane channel from `at`: each message on a
+    /// selected direction is lost with probability `loss`, delayed by up
+    /// to `delay_max` extra monitor intervals, and duplicated with
+    /// probability `dup`. Control-plane events carry no link address;
+    /// `node`/`port` are zero.
+    pub fn ctrl_impair(
+        &mut self,
+        at: Nanos,
+        up: bool,
+        down: bool,
+        loss: f64,
+        delay_max: u64,
+        dup: f64,
+    ) -> &mut Self {
+        assert!((0.0..=1.0).contains(&loss), "ctrl loss out of range");
+        assert!((0.0..=1.0).contains(&dup), "ctrl dup out of range");
+        self.push(FaultEvent {
+            at,
+            node: 0,
+            port: 0,
+            kind: FaultKind::CtrlImpair {
+                up,
+                down,
+                loss,
+                delay_max,
+                dup,
+            },
+        })
+    }
+
+    /// Restore a clean control-plane channel in both directions at `at`.
+    pub fn ctrl_restore(&mut self, at: Nanos) -> &mut Self {
+        self.ctrl_impair(at, true, true, 0.0, 0, 0.0)
+    }
+
+    /// Kill the controller at `at` (`warm`: a snapshot survives).
+    pub fn ctrl_crash(&mut self, at: Nanos, warm: bool) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            node: 0,
+            port: 0,
+            kind: FaultKind::CtrlCrash { warm },
+        })
+    }
+
     /// Reconstruct from the [`Serialize`] representation.
     pub fn from_value(v: &Value) -> Result<Self, String> {
         let seed = v
@@ -361,8 +485,21 @@ mod tests {
         plan.degrade(50, 4, 1, 0.25);
         plan.pkt_loss(100, 900, 5, 0, 0.125);
         plan.pfc_storm(2, 50, 150);
+        plan.ctrl_impair(1_000, true, false, 0.25, 3, 0.125);
+        plan.ctrl_crash(2_000, true);
+        plan.ctrl_restore(3_000);
         let back = FaultPlan::from_value(&plan.serialize_value()).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn ctrl_events_are_flagged_and_data_events_are_not() {
+        let mut plan = FaultPlan::new(0);
+        plan.link_down(10, 1, 0);
+        plan.ctrl_impair(20, true, true, 0.5, 2, 0.0);
+        plan.ctrl_crash(30, false);
+        let ctrl: Vec<bool> = plan.events().iter().map(|e| e.kind.is_ctrl()).collect();
+        assert_eq!(ctrl, vec![false, true, true]);
     }
 
     #[test]

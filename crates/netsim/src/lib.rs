@@ -22,6 +22,7 @@
 //! Everything is synchronous and seeded: same inputs, same packet trace.
 
 pub mod config;
+pub mod ctrl;
 pub mod event;
 pub mod fasthash;
 pub mod fault;
@@ -32,6 +33,7 @@ pub mod sim;
 pub mod topology;
 
 pub use config::SimConfig;
+pub use ctrl::{CtrlChannel, CtrlChannelStats, CtrlImpairment};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{FlowRecord, IntervalMetrics, SwitchObs};
 pub use packet::{Packet, PacketId, PacketKind, PacketPool};

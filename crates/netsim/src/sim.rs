@@ -431,6 +431,11 @@ impl Simulator {
                     now: self.now,
                 });
             }
+            // Control-plane transitions carry no link address; they are
+            // consumed by the closed loop, not the data plane.
+            if ev.kind.is_ctrl() {
+                continue;
+            }
             if ev.node >= n_nodes {
                 return Err(SimError::NodeOutOfRange {
                     node: ev.node,
@@ -457,6 +462,9 @@ impl Simulator {
         }
         self.fault_rng = StdRng::seed_from_u64(plan.seed);
         for ev in plan.events() {
+            if ev.kind.is_ctrl() {
+                continue;
+            }
             let idx = self.fault_plan.len() as u32;
             self.fault_plan.push(*ev);
             self.events.push(ev.at, Event::Fault(idx));
@@ -543,6 +551,11 @@ impl Simulator {
                 let up = self.topo.ports(node)[0];
                 tel::event_at(self.now, tel::Event::PfcStormEnd { host: node as u32 });
                 self.on_pfc_set(up.peer, up.peer_port, false);
+            }
+            // Control-plane transitions never reach the event queue —
+            // `install_fault_plan` filters them out.
+            FaultKind::CtrlImpair { .. } | FaultKind::CtrlCrash { .. } => {
+                unreachable!("ctrl fault scheduled on the data plane")
             }
         }
     }

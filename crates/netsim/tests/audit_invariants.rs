@@ -68,9 +68,11 @@ fn run_scenario(sc: &Scenario, audited: bool) -> Vec<IntervalMetrics> {
     audit::set_enabled(audited);
     let topo = Topology::two_tier_clos(sc.tors, sc.hosts_per_tor, sc.leaves, 100.0, 100.0, 1_000);
     let n_hosts = sc.tors * sc.hosts_per_tor;
-    let mut cfg = SimConfig::default();
-    cfg.switch_buffer_bytes = sc.buffer_kb << 10;
-    cfg.seed = sc.seed;
+    let cfg = SimConfig {
+        switch_buffer_bytes: sc.buffer_kb << 10,
+        seed: sc.seed,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(topo, cfg);
     let mut plan = FaultPlan::new(sc.seed ^ 0xF417);
     if sc.flap_uplink {

@@ -13,9 +13,11 @@ fn drops_occur_without_pfc_and_flows_still_complete() {
     // Neuter PFC (threshold far above the buffer) and shrink the buffer:
     // the incast must now overflow and drop, and go-back-N recovery must
     // still complete every flow.
-    let mut cfg = SimConfig::default();
-    cfg.pfc_alpha = 1e9; // never pause
-    cfg.switch_buffer_bytes = 64 * 1024;
+    let cfg = SimConfig {
+        pfc_alpha: 1e9, // never pause
+        switch_buffer_bytes: 64 * 1024,
+        ..SimConfig::default()
+    };
     let mut s = Simulator::new(small_clos(), cfg);
     for src in 1..8usize {
         s.add_flow(src, 0, 1_000_000, 0);
@@ -36,9 +38,11 @@ fn pfc_prevents_the_drops_the_previous_test_forced() {
     // the in-flight data per paused port (PFC needs headroom: at 100 G
     // and 1 us links, ~25 KB per upstream port is already committed when
     // the XOFF lands): zero drops.
-    let mut cfg = SimConfig::default();
-    cfg.switch_buffer_bytes = 256 * 1024;
-    cfg.pfc_alpha = 1.0 / 8.0;
+    let cfg = SimConfig {
+        switch_buffer_bytes: 256 * 1024,
+        pfc_alpha: 1.0 / 8.0,
+        ..SimConfig::default()
+    };
     let mut s = Simulator::new(small_clos(), cfg);
     for src in 1..8usize {
         s.add_flow(src, 0, 1_000_000, 0);
@@ -56,8 +60,10 @@ fn pfc_head_of_line_blocking_hurts_innocent_flows() {
     // its own path is uncongested. Compare the victim's FCT with and
     // without the incast; under a tiny buffer the gap must be large.
     let victim_fct = |with_incast: bool| {
-        let mut cfg = SimConfig::default();
-        cfg.switch_buffer_bytes = 128 * 1024; // aggressive pausing
+        let cfg = SimConfig {
+            switch_buffer_bytes: 128 * 1024, // aggressive pausing
+            ..SimConfig::default()
+        };
         let mut s = Simulator::new(small_clos(), cfg);
         // Victim: host 1 -> host 5 (cross-ToR, shares ToR0 uplinks).
         s.add_flow(1, 5, 2_000_000, 0);
@@ -90,8 +96,10 @@ fn control_traffic_is_never_pfc_blocked() {
     // CNPs/ACKs ride the control class: even under heavy data-class
     // pausing the congestion feedback loop keeps working, so senders
     // keep cutting rates (CNPs delivered) rather than stalling silently.
-    let mut cfg = SimConfig::default();
-    cfg.switch_buffer_bytes = 128 * 1024;
+    let cfg = SimConfig {
+        switch_buffer_bytes: 128 * 1024,
+        ..SimConfig::default()
+    };
     let mut s = Simulator::new(small_clos(), cfg);
     for src in 1..8usize {
         s.add_flow(src, 0, 2_000_000, 0);
@@ -104,8 +112,10 @@ fn control_traffic_is_never_pfc_blocked() {
 
 #[test]
 fn pause_accounting_is_bounded_by_interval() {
-    let mut cfg = SimConfig::default();
-    cfg.switch_buffer_bytes = 96 * 1024;
+    let cfg = SimConfig {
+        switch_buffer_bytes: 96 * 1024,
+        ..SimConfig::default()
+    };
     let mut s = Simulator::new(small_clos(), cfg);
     for src in 1..8usize {
         s.add_flow(src, 0, 8_000_000, 0);
@@ -124,10 +134,12 @@ fn pause_accounting_is_bounded_by_interval() {
 #[test]
 fn rto_sweep_recovers_from_drops_at_any_timeout() {
     for rto_us in [200u64, 1_000, 5_000] {
-        let mut cfg = SimConfig::default();
-        cfg.pfc_alpha = 1e9;
-        cfg.switch_buffer_bytes = 48 * 1024;
-        cfg.rto = rto_us * MICRO;
+        let cfg = SimConfig {
+            pfc_alpha: 1e9,
+            switch_buffer_bytes: 48 * 1024,
+            rto: rto_us * MICRO,
+            ..SimConfig::default()
+        };
         let mut s = Simulator::new(small_clos(), cfg);
         for src in 1..6usize {
             s.add_flow(src, 0, 500_000, 0);

@@ -62,7 +62,7 @@ fn make_event(kind: u8, n: u64, pool: &mut PacketPool) -> Event {
         4 => Event::PfcSet {
             node: (n % 128) as u32,
             port: (n % 16) as u16,
-            paused: n % 2 == 0,
+            paused: n.is_multiple_of(2),
         },
         5 => Event::RetxCheck(n),
         _ => Event::Fault((n % 32) as u32),

@@ -109,9 +109,11 @@ fn dcqcn_throttles_senders_under_congestion() {
 
 #[test]
 fn severe_incast_triggers_pfc_but_no_drops() {
-    let mut cfg = SimConfig::default();
     // Tiny buffer to force PFC quickly.
-    cfg.switch_buffer_bytes = 256 * 1024;
+    let cfg = SimConfig {
+        switch_buffer_bytes: 256 * 1024,
+        ..SimConfig::default()
+    };
     let mut s = Simulator::new(small_clos(), cfg);
     for src in 1..8usize {
         s.add_flow(src, 0, 2_000_000, 0);
@@ -183,8 +185,10 @@ fn rtt_degrades_under_congestion() {
 
 #[test]
 fn tor_sketches_capture_flows_with_tos_dedup() {
-    let mut cfg = SimConfig::default();
-    cfg.tos_dedup = true;
+    let cfg = SimConfig {
+        tos_dedup: true,
+        ..SimConfig::default()
+    };
     let mut s = Simulator::new(small_clos(), cfg);
     s.add_flow(0, 6, 2_000_000, 0); // crosses two ToRs
     s.run_until(MILLI);
@@ -206,8 +210,10 @@ fn tor_sketches_capture_flows_with_tos_dedup() {
 #[test]
 fn disabling_tos_dedup_double_counts_across_tors() {
     let run = |dedup: bool| {
-        let mut cfg = SimConfig::default();
-        cfg.tos_dedup = dedup;
+        let cfg = SimConfig {
+            tos_dedup: dedup,
+            ..SimConfig::default()
+        };
         let mut s = Simulator::new(small_clos(), cfg);
         s.add_flow(0, 6, 2_000_000, 0); // crosses both ToRs
         s.run_until(4 * MILLI);
@@ -227,8 +233,10 @@ fn disabling_tos_dedup_double_counts_across_tors() {
 
 #[test]
 fn ground_truth_tracks_injected_bytes() {
-    let mut cfg = SimConfig::default();
-    cfg.track_ground_truth = true;
+    let cfg = SimConfig {
+        track_ground_truth: true,
+        ..SimConfig::default()
+    };
     let mut s = Simulator::new(small_clos(), cfg);
     let f = s.add_flow(0, 5, 300_000, 0);
     s.run_until(5 * MILLI);
@@ -277,8 +285,10 @@ fn expert_params_beat_default_for_alltoall_elephants() {
     // thresholds, gentler CNPs) should finish a synchronized alltoall of
     // elephants no slower than the conservative default.
     let run = |params: DcqcnParams| {
-        let mut cfg = SimConfig::default();
-        cfg.dcqcn = params;
+        let cfg = SimConfig {
+            dcqcn: params,
+            ..SimConfig::default()
+        };
         let mut s = Simulator::new(small_clos(), cfg);
         for i in 0..8usize {
             for j in 0..8usize {
@@ -330,8 +340,10 @@ fn many_small_flows_all_finish() {
 
 #[test]
 fn dcqcn_plus_mode_runs_and_completes() {
-    let mut cfg = SimConfig::default();
-    cfg.dcqcn_plus = true;
+    let cfg = SimConfig {
+        dcqcn_plus: true,
+        ..SimConfig::default()
+    };
     let mut s = Simulator::new(small_clos(), cfg);
     for src in 1..8usize {
         s.add_flow(src, 0, 2_000_000, 0);

@@ -129,6 +129,26 @@ impl Fsd {
         self.mice_mass += other.mice_mass;
     }
 
+    /// A copy with every mass and byte tally multiplied by `w` — the
+    /// staleness-weighted partial aggregation primitive: a cached local
+    /// snapshot whose upload went missing is merged at a decayed weight
+    /// instead of poisoning the network-wide merge at full strength.
+    /// `w = 1` is the identity (bit-for-bit), `w = 0` contributes
+    /// nothing.
+    pub fn scaled(&self, w: f64) -> Fsd {
+        if w == 1.0 {
+            return self.clone();
+        }
+        let w = w.max(0.0);
+        Fsd {
+            hist: self.hist.iter().map(|h| h * w).collect(),
+            elephant_bytes: self.elephant_bytes * w,
+            mice_bytes: self.mice_bytes * w,
+            elephant_mass: self.elephant_mass * w,
+            mice_mass: self.mice_mass * w,
+        }
+    }
+
     /// Histogram normalised to a probability distribution (uniform when
     /// empty, so KL against it is well defined).
     pub fn normalized_hist(&self) -> Vec<f64> {

@@ -77,6 +77,16 @@ pub enum Event {
     SafeModeEnter { backoff_intervals: u32 },
     /// Safe-mode backoff expired; tuning may resume.
     SafeModeExit,
+    /// The control-plane channel's impairment changed (all-zero values
+    /// restore a clean channel).
+    CtrlImpairSet { loss: f64, delay_max: u32, dup: f64 },
+    /// The controller crashed (`warm`: a snapshot survived).
+    CtrlCrash { warm: bool },
+    /// A parameter dispatch was resent after its ACK timed out.
+    CtrlRetry { epoch: u64 },
+    /// A restarted controller re-asserted its believed parameters
+    /// toward the fabric at `epoch`.
+    CtrlResync { epoch: u64 },
 }
 
 impl Event {
@@ -100,6 +110,10 @@ impl Event {
                 | Event::GuardrailRollback
                 | Event::SafeModeEnter { .. }
                 | Event::SafeModeExit
+                | Event::CtrlImpairSet { .. }
+                | Event::CtrlCrash { .. }
+                | Event::CtrlRetry { .. }
+                | Event::CtrlResync { .. }
         )
     }
 
@@ -127,6 +141,10 @@ impl Event {
             Event::GuardrailRollback => "guardrail_rollback",
             Event::SafeModeEnter { .. } => "safe_mode_enter",
             Event::SafeModeExit => "safe_mode_exit",
+            Event::CtrlImpairSet { .. } => "ctrl_impair",
+            Event::CtrlCrash { .. } => "ctrl_crash",
+            Event::CtrlRetry { .. } => "ctrl_retry",
+            Event::CtrlResync { .. } => "ctrl_resync",
         }
     }
 
@@ -186,6 +204,19 @@ impl Event {
                     DispatchScope::PerSwitch => 1.0,
                 },
             )],
+            Event::CtrlImpairSet {
+                loss,
+                delay_max,
+                dup,
+            } => vec![
+                ("loss", loss),
+                ("delay_max", delay_max as f64),
+                ("dup", dup),
+            ],
+            Event::CtrlCrash { warm } => vec![("warm", if warm { 1.0 } else { 0.0 })],
+            Event::CtrlRetry { epoch } | Event::CtrlResync { epoch } => {
+                vec![("epoch", epoch as f64)]
+            }
         }
     }
 }

@@ -57,6 +57,7 @@ impl Default for AccConfig {
 }
 
 /// One per-switch double-Q agent.
+#[derive(Clone)]
 struct Agent {
     q1: Vec<[f64; ACTIONS]>,
     q2: Vec<[f64; ACTIONS]>,
@@ -152,6 +153,7 @@ fn argmax(v: &[f64]) -> usize {
 }
 
 /// The ACC tuning scheme: one agent per switch.
+#[derive(Clone)]
 pub struct AccScheme {
     cfg: AccConfig,
     space: ParamSpace,
@@ -208,6 +210,20 @@ impl TuningScheme for AccScheme {
 
     fn name(&self) -> &'static str {
         "ACC"
+    }
+
+    fn snapshot_state(&self) -> Option<crate::SchemeState> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn restore_state(&mut self, snap: &crate::SchemeState) -> bool {
+        match snap.downcast_ref::<AccScheme>() {
+            Some(s) => {
+                *self = s.clone();
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -36,6 +36,8 @@ pub use paraleon_scheme::{ParaleonScheme, ParaleonSchemeConfig};
 pub use sa::{SaConfig, SaTuner};
 pub use static_scheme::StaticScheme;
 
+use std::any::Any;
+
 use paraleon_dcqcn::DcqcnParams;
 use paraleon_monitor::MetricSample;
 use paraleon_sketch::FlowType;
@@ -117,6 +119,13 @@ pub enum TuningFeedback {
     Unfrozen,
 }
 
+/// Opaque snapshot of a scheme's internal state, produced by
+/// [`TuningScheme::snapshot_state`] and consumed by
+/// [`TuningScheme::restore_state`] on the *same scheme type*. Stored
+/// type-erased so the closed loop's controller snapshot can hold any
+/// scheme's state without knowing its concrete type.
+pub type SchemeState = Box<dyn Any + Send>;
+
 /// A pluggable DCQCN tuning scheme driven once per monitor interval.
 pub trait TuningScheme {
     /// Consume one interval's observation; optionally emit an action.
@@ -124,6 +133,21 @@ pub trait TuningScheme {
 
     /// Scheme name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Snapshot the scheme's internal state (SA episode, RNG stream,
+    /// learned tables) for controller crash/restore. Default: `None` —
+    /// stateless schemes have nothing to save, and a warm restart of
+    /// one simply rebuilds it.
+    fn snapshot_state(&self) -> Option<SchemeState> {
+        None
+    }
+
+    /// Restore state captured by [`TuningScheme::snapshot_state`] on the
+    /// same scheme type. Returns `false` (state untouched) when the
+    /// snapshot is of a different type or the scheme keeps no state.
+    fn restore_state(&mut self, _snap: &SchemeState) -> bool {
+        false
+    }
 
     /// Dispatch-path feedback (rejection, rollback, freeze). Default:
     /// ignored — schemes without episode state need nothing here.

@@ -9,7 +9,7 @@
 use paraleon_dcqcn::{DcqcnParams, ParamSpace};
 
 use crate::sa::{SaConfig, SaTuner};
-use crate::{Observation, TuningAction, TuningFeedback, TuningScheme};
+use crate::{Observation, SchemeState, TuningAction, TuningFeedback, TuningScheme};
 
 /// Configuration of the full scheme.
 #[derive(Debug, Clone)]
@@ -39,6 +39,7 @@ impl Default for ParaleonSchemeConfig {
     }
 }
 
+#[derive(Clone, Copy)]
 enum Phase {
     Idle,
     /// An SA episode is running; the utility arriving next interval
@@ -47,6 +48,7 @@ enum Phase {
 }
 
 /// The event-driven PARALEON tuner.
+#[derive(Clone)]
 pub struct ParaleonScheme {
     tuner: SaTuner,
     phase: Phase,
@@ -181,6 +183,23 @@ impl TuningScheme for ParaleonScheme {
 
     fn name(&self) -> &'static str {
         "PARALEON"
+    }
+
+    fn snapshot_state(&self) -> Option<SchemeState> {
+        // The whole scheme is cloneable — SA episode, RNG stream
+        // position, evaluation window — so a snapshot is a deep copy and
+        // a warm restore resumes the episode mid-candidate.
+        Some(Box::new(self.clone()))
+    }
+
+    fn restore_state(&mut self, snap: &SchemeState) -> bool {
+        match snap.downcast_ref::<ParaleonScheme>() {
+            Some(s) => {
+                *self = s.clone();
+                true
+            }
+            None => false,
+        }
     }
 
     fn on_feedback(&mut self, feedback: &TuningFeedback) {
@@ -326,7 +345,7 @@ mod tests {
         s.on_interval(&obs(0.5, true));
         assert!(s.tuning());
         let fallback = DcqcnParams::nvidia_default();
-        s.on_feedback(&TuningFeedback::Frozen { fallback: fallback });
+        s.on_feedback(&TuningFeedback::Frozen { fallback });
         assert!(!s.tuning(), "freeze must end the episode");
         assert_eq!(s.deployed(), &fallback);
         assert_eq!(s.episodes, 1, "the aborted episode is accounted");
@@ -335,6 +354,30 @@ mod tests {
         s.on_feedback(&TuningFeedback::Unfrozen);
         assert!(s.on_interval(&obs(0.5, true)).is_some());
         assert!(s.tuning());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_episode_byte_identically() {
+        // Drive one scheme 5 intervals into an episode, snapshot it,
+        // drive both the original and a restored copy through the same
+        // observations: every subsequent action must be identical (the
+        // snapshot captures the SA RNG stream position exactly).
+        let mut a = ParaleonScheme::new(ParaleonSchemeConfig::default());
+        a.on_interval(&obs(0.3, true));
+        for i in 0..4 {
+            a.on_interval(&obs(0.3 + 0.1 * i as f64, false));
+        }
+        let snap = a.snapshot_state().expect("paraleon snapshots");
+        let mut b = ParaleonScheme::new(ParaleonSchemeConfig {
+            seed: 999, // divergent until restored
+            ..Default::default()
+        });
+        assert!(b.restore_state(&snap));
+        assert_eq!(a.deployed(), b.deployed());
+        for i in 0..20 {
+            let o = obs((i as f64 * 0.37) % 1.0, i == 10);
+            assert_eq!(a.on_interval(&o), b.on_interval(&o), "interval {i}");
+        }
     }
 
     #[test]

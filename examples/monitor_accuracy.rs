@@ -44,8 +44,10 @@ fn figure4_walkthrough() {
 
 fn simulated_accuracy(kind: MonitorKind) -> f64 {
     let topo = Topology::two_tier_clos(2, 4, 2, 100.0, 100.0, 1_000);
-    let mut sim_cfg = SimConfig::default();
-    sim_cfg.track_ground_truth = true;
+    let sim_cfg = SimConfig {
+        track_ground_truth: true,
+        ..SimConfig::default()
+    };
     let mut cl = ClosedLoop::builder(topo)
         .scheme(SchemeKind::Expert)
         .monitor(kind)

@@ -76,7 +76,7 @@ fn main() {
             idx += 1;
         }
         let r = cl.step().clone();
-        for done in cl.completions[seen..].to_vec() {
+        for done in cl.completions[seen..].iter().copied() {
             if collective.remove(&done.flow) {
                 if let Some(t) = a2a.on_flow_done(done.finish) {
                     next_round = Some(t);

@@ -98,8 +98,10 @@ fn fsd_accuracy_ranks_paraleon_above_naive() {
     // windowed monitor must measure the FSD at least as accurately as the
     // naive per-interval one.
     let accuracy = |monitor: MonitorKind| {
-        let mut sim_cfg = SimConfig::default();
-        sim_cfg.track_ground_truth = true;
+        let sim_cfg = SimConfig {
+            track_ground_truth: true,
+            ..SimConfig::default()
+        };
         let mut cl = ClosedLoop::builder(small_clos())
             .scheme(SchemeKind::Expert)
             .monitor(monitor)
@@ -131,8 +133,10 @@ fn fsd_accuracy_ranks_paraleon_above_naive() {
 #[test]
 fn dcqcn_plus_reduces_cnp_load_under_incast() {
     let run = |plus: bool| {
-        let mut cfg = SimConfig::default();
-        cfg.dcqcn_plus = plus;
+        let cfg = SimConfig {
+            dcqcn_plus: plus,
+            ..SimConfig::default()
+        };
         let mut cl = ClosedLoop::builder(small_clos())
             .scheme(if plus {
                 SchemeKind::DcqcnPlus

@@ -205,6 +205,26 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's raw internal state — four xoshiro256** words.
+        /// Exposed so deterministic harnesses can snapshot a stream
+        /// mid-run (controller crash/restore in `paraleon-core`) and
+        /// resume it byte-identically with [`StdRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`StdRng::state`] snapshot. The
+        /// all-zero state is invalid for xoshiro and is remapped to the
+        /// same non-zero fallback `from_seed` uses.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return <Self as SeedableRng>::from_seed([0u8; 32]);
+            }
+            Self { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 
