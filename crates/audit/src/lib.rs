@@ -132,7 +132,8 @@ pub enum AuditViolation {
         /// Maximum legitimately accumulable nanoseconds.
         budget_ns: u64,
     },
-    /// The calendar queue popped events out of `(time, seq)` order.
+    /// The calendar queue ran time backwards, or popped the exact same
+    /// `(time, seq)` twice in a row (duplicate causal key).
     EventOrder {
         /// Timestamp of the previously popped event.
         prev_at: u64,
@@ -174,6 +175,16 @@ pub enum AuditViolation {
         end: u64,
         /// Configured monitor interval, ns.
         lambda_mi: u64,
+    },
+    /// A parallel shard reached a collection barrier with undelivered
+    /// cross-shard handoffs still sitting in its outboxes — packets (or
+    /// pause frames) that belong to no arena and would silently break
+    /// conservation across the cut.
+    CrossShardResidue {
+        /// The shard holding the residue.
+        shard: u32,
+        /// Undelivered handoff messages.
+        pending: u64,
     },
 }
 
@@ -272,6 +283,10 @@ impl std::fmt::Display for AuditViolation {
                 f,
                 "monitor upload [{start}, {end}] not aligned to lambda_MI {lambda_mi}"
             ),
+            CrossShardResidue { shard, pending } => write!(
+                f,
+                "shard {shard} reached a barrier with {pending} undelivered cross-shard handoffs"
+            ),
         }
     }
 }
@@ -343,6 +358,21 @@ pub fn set_panic_on_violation(on: bool) {
     let _ = on;
 }
 
+/// Current violation disposition for this thread (`true` = panic at the
+/// detection site). The parallel engine's coordinator reads this to
+/// propagate its own disposition onto worker threads, whose thread-local
+/// registries otherwise start from the build-profile default.
+pub fn panic_on_violation() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        REGISTRY.with(|r| r.panic_on_violation.get())
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        cfg!(debug_assertions)
+    }
+}
+
 /// Total violations reported on this thread since the last [`reset`].
 pub fn violation_count() -> u64 {
     #[cfg(feature = "enabled")]
@@ -394,6 +424,27 @@ pub fn drain() -> (u64, Vec<AuditReport>) {
     {
         (0, Vec::new())
     }
+}
+
+/// Merge violations drained on another thread into this thread's
+/// registry — the parallel engine's epoch barrier folds each worker
+/// shard's tallies back into the coordinator so `violation_count()` /
+/// `violations()` observed by the harness match a serial run. Respects
+/// the storage cap; the count is always added in full.
+pub fn absorb(count: u64, reports: Vec<AuditReport>) {
+    #[cfg(feature = "enabled")]
+    REGISTRY.with(|r| {
+        r.count.set(r.count.get() + count);
+        let mut kept = r.reports.borrow_mut();
+        for rep in reports {
+            if kept.len() >= MAX_KEPT {
+                break;
+            }
+            kept.push(rep);
+        }
+    });
+    #[cfg(not(feature = "enabled"))]
+    let _ = (count, reports);
 }
 
 /// Record a violation: count it, attach the flight tail, and either
@@ -599,8 +650,16 @@ impl PfcPairAudit {
     }
 }
 
-/// Pop-order monitor for the event scheduler: `(time, seq)` out of the
-/// queue must be strictly increasing. ZST when the feature is off.
+/// Pop-order monitor for the event scheduler: popped timestamps must
+/// never decrease, and no `(time, seq)` pair may pop twice in a row
+/// (duplicate causal key). Same-time pops with a *smaller* key are
+/// legal and expected under causal keys: a handler (or a mid-run API
+/// call such as `add_flow` at a collection boundary) may insert an
+/// event at the current instant whose key is below an already-popped
+/// one — the scheduler's promise is min-`(time, key)` over the events
+/// *pending at pop time*, which only a differential test against a
+/// reference heap can check (`scheduler_differential.rs` does). ZST
+/// when the feature is off.
 #[derive(Debug, Default, Clone)]
 pub struct OrderAudit {
     #[cfg(feature = "enabled")]
@@ -614,7 +673,7 @@ impl OrderAudit {
         #[cfg(feature = "enabled")]
         {
             if let Some((prev_at, prev_seq)) = self.last {
-                check((at, seq) > (prev_at, prev_seq), || {
+                check(at > prev_at || (at == prev_at && seq != prev_seq), || {
                     AuditViolation::EventOrder {
                         prev_at,
                         prev_seq,
@@ -743,9 +802,12 @@ mod tests {
             let mut o = OrderAudit::default();
             o.observe(10, 0);
             o.observe(10, 1);
+            o.observe(11, 5);
+            // Same time, smaller key: a causal child or mid-run API
+            // insertion at the current instant — legal.
             o.observe(11, 0);
             assert_eq!(violation_count(), 0);
-            o.observe(11, 0); // equal key: not strictly increasing
+            o.observe(11, 0); // exact duplicate (time, key) pop
             assert_eq!(violation_count(), 1);
             o.observe(5, 9); // time went backwards
             assert_eq!(violation_count(), 2);

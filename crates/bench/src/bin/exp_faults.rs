@@ -325,7 +325,7 @@ fn run_scenario(scale: FaultScale, guarded: bool) -> LoopOutcome {
         rollbacks: guard_stats.rollbacks,
         rejects: guard_stats.rejects,
         safe_mode_entries: guard_stats.safe_mode_entries,
-        fault_drops: cl.sim.total_fault_drops,
+        fault_drops: cl.sim.total_fault_drops(),
     }
 }
 

@@ -6,13 +6,19 @@
 //!   sanity check while hacking on the hot path).
 //! * `--json` — the full harness: single-thread event throughput
 //!   (min-of-N over the standard two-tier CLOS probe: 20 ms of load
-//!   run to a 25 ms horizon), plus
-//!   multi-seed sweep wall-clock at 1/2/4/8 worker threads through the
-//!   parallel runner. Writes `results/BENCH_netsim.json`, the committed
-//!   perf baseline.
+//!   run to a 25 ms horizon), multi-seed sweep wall-clock at 1/2/4/8
+//!   worker threads through the parallel runner, and single-simulation
+//!   scaling of the sharded parallel engine at 1/2/4/8 threads. Both
+//!   scaling tables record the *requested* and the *effective* thread
+//!   count — on a small box they differ, and the file says so instead
+//!   of implying an 8-way machine ran. Writes
+//!   `results/BENCH_netsim.json`, the committed perf baseline.
 //! * `--check <baseline.json>` — CI regression gate: re-measures
 //!   single-thread throughput and exits non-zero if it is more than 25%
 //!   below the baseline's `events_per_sec`.
+//!
+//! `--par-threads N` switches the default and `--audited` modes onto the
+//! conservative parallel engine with N shard threads.
 //!
 //! Min-of-N (not mean) is deliberate: throughput noise on a shared box
 //! is strictly additive (preemption, cache pollution), so the minimum
@@ -47,7 +53,7 @@ struct ProbeRun {
 /// to a `sim_ms + 5` horizon so in-flight flows drain), with the full
 /// PARALEON closed loop attached. One fixed seed — the run is
 /// deterministic, so every invocation simulates the identical trace.
-fn standard_probe(sim_ms: u64, seed: u64) -> ProbeRun {
+fn standard_probe(sim_ms: u64, seed: u64, par_threads: usize) -> ProbeRun {
     let topo = Topology::two_tier_clos(8, 16, 4, 100.0, 100.0, 5_000);
     let wl = PoissonWorkload::new(
         PoissonConfig {
@@ -63,11 +69,12 @@ fn standard_probe(sim_ms: u64, seed: u64) -> ProbeRun {
     let flows = wl.generate(&mut rng);
     let mut cl = ClosedLoop::builder(topo)
         .scheme(SchemeKind::Paraleon)
+        .parallel(par_threads)
         .build();
     let t0 = Instant::now();
     drivers::run_schedule(&mut cl, &flows, (sim_ms + 5) * MILLI);
     ProbeRun {
-        events: cl.sim.events_processed,
+        events: cl.sim.events_processed(),
         wall_s: t0.elapsed().as_secs_f64(),
         completions: cl.completions.len(),
         flows: flows.len(),
@@ -78,7 +85,7 @@ fn standard_probe(sim_ms: u64, seed: u64) -> ProbeRun {
 fn measure_single_thread() -> ProbeRun {
     let mut best: Option<ProbeRun> = None;
     for _ in 0..RUNS {
-        let r = standard_probe(20, 5);
+        let r = standard_probe(20, 5, 1);
         if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
             best = Some(r);
         }
@@ -88,9 +95,30 @@ fn measure_single_thread() -> ProbeRun {
 
 #[derive(Serialize)]
 struct SweepPoint {
-    threads: usize,
+    /// Worker threads asked for.
+    threads_requested: usize,
+    /// Worker threads the sweep runner actually spawned (clamped to the
+    /// machine — on a 1-core box every point effectively runs serially,
+    /// and the speedup column honestly says so).
+    threads_effective: usize,
     wall_seconds: f64,
     speedup: f64,
+}
+
+#[derive(Serialize)]
+struct IntraRunPoint {
+    /// Shard/worker threads asked of the parallel engine.
+    threads_requested: usize,
+    /// Shards the engine actually built (clamped to the topology's ToR
+    /// count; 1 means the serial engine ran).
+    shards: usize,
+    /// Worker threads that can truly run concurrently:
+    /// `min(shards, available_parallelism)`.
+    threads_effective: usize,
+    wall_seconds: f64,
+    speedup: f64,
+    /// Events processed — must match the serial point exactly.
+    events: u64,
 }
 
 #[derive(Serialize)]
@@ -114,13 +142,20 @@ struct Report {
     sweep_scaling: Vec<SweepPoint>,
     /// Whether every thread count produced the identical result vector.
     sweep_deterministic: bool,
+    /// Conservative parallel engine inside a *single* simulation: the
+    /// standard probe shortened to 5 ms, run at 1/2/4/8 shard threads.
+    intra_run_scaling: Vec<IntraRunPoint>,
+    /// Whether every intra-run point processed the identical event count
+    /// (the byte-identity differential test is the real gate; this is
+    /// the fingerprint the perf reader can see).
+    intra_run_deterministic: bool,
 }
 
 /// One cell of the scaling sweep: a short paper-scale probe at `seed`.
 /// Returns the processed-event count — both the work done and a
 /// determinism fingerprint.
 fn sweep_cell(seed: u64) -> u64 {
-    standard_probe(3, seed).events
+    standard_probe(3, seed, 1).events
 }
 
 fn measure_sweep_scaling() -> (Vec<SweepPoint>, bool) {
@@ -129,6 +164,7 @@ fn measure_sweep_scaling() -> (Vec<SweepPoint>, bool) {
     let mut fingerprints: Vec<Vec<u64>> = Vec::new();
     let mut serial_wall = 0.0;
     for threads in [1usize, 2, 4, 8] {
+        let effective = sweep::effective_threads(threads);
         let mut best = f64::INFINITY;
         let mut runs = RUNS;
         if threads > 1 {
@@ -145,18 +181,69 @@ fn measure_sweep_scaling() -> (Vec<SweepPoint>, bool) {
             serial_wall = best;
         }
         points.push(SweepPoint {
-            threads,
+            threads_requested: threads,
+            threads_effective: effective,
             wall_seconds: best,
             speedup: serial_wall / best,
         });
         eprintln!(
-            "sweep {} thread(s): {:.2}s (speedup {:.2}x)",
+            "sweep {} thread(s) (effective {}): {:.2}s (speedup {:.2}x)",
             threads,
+            effective,
             best,
             serial_wall / best
         );
     }
     let deterministic = fingerprints.windows(2).all(|w| w[0] == w[1]);
+    (points, deterministic)
+}
+
+/// Scaling of the conservative parallel engine *inside* one simulation:
+/// the standard probe at 5 ms of load, sharded 1/2/4/8 ways. Every point
+/// must process the identical event count — the engine is byte-identical
+/// to serial by construction, and the differential tests enforce it; the
+/// fingerprint here keeps the perf report honest on its own.
+fn measure_intra_run_scaling() -> (Vec<IntraRunPoint>, bool) {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut points: Vec<IntraRunPoint> = Vec::new();
+    let mut serial_wall = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let runs = if threads == 1 { RUNS } else { 1 };
+        let mut best: Option<ProbeRun> = None;
+        let mut shards = 1usize;
+        for _ in 0..runs {
+            let topo = Topology::two_tier_clos(8, 16, 4, 100.0, 100.0, 5_000);
+            shards = topo.partition(threads).len();
+            let r = standard_probe(5, 5, threads);
+            if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
+                best = Some(r);
+            }
+        }
+        let r = best.expect("runs > 0");
+        if threads == 1 {
+            serial_wall = r.wall_s;
+        }
+        points.push(IntraRunPoint {
+            threads_requested: threads,
+            shards,
+            threads_effective: shards.min(avail),
+            wall_seconds: r.wall_s,
+            speedup: serial_wall / r.wall_s,
+            events: r.events,
+        });
+        eprintln!(
+            "intra-run {} thread(s) ({} shards, effective {}): {:.2}s (speedup {:.2}x, {} events)",
+            threads,
+            shards,
+            shards.min(avail),
+            r.wall_s,
+            serial_wall / r.wall_s,
+            r.events
+        );
+    }
+    let deterministic = points.windows(2).all(|w| w[0].events == w[1].events);
     (points, deterministic)
 }
 
@@ -221,17 +308,20 @@ fn check(baseline_path: &str) -> i32 {
 /// `--audited` mode: run the standard probe under the invariant auditor
 /// and fail on any violation. In debug (or `-C debug-assertions`) builds
 /// the first violation panics at its detection site; in plain release
-/// builds violations are counted and reported here.
-fn audited(sim_ms: u64) -> i32 {
+/// builds violations are counted and reported here. Composes with
+/// `--par-threads N`: shard workers re-arm the auditor on their own
+/// threads and the engine folds their violations back in, so the count
+/// below covers the whole run either way.
+fn audited(sim_ms: u64, par_threads: usize) -> i32 {
     if !paraleon_audit::compiled_in() {
         eprintln!("perf_probe --audited requires building with --features audit");
         return 2;
     }
-    let r = standard_probe(sim_ms, 5);
+    let r = standard_probe(sim_ms, 5, par_threads);
     let violations = paraleon_audit::violation_count();
     println!(
-        "audited probe: sim {}ms, {} events, completions {}/{}, {} audit violations",
-        sim_ms, r.events, r.completions, r.flows, violations
+        "audited probe: sim {}ms, {} threads, {} events, completions {}/{}, {} audit violations",
+        sim_ms, par_threads, r.events, r.completions, r.flows, violations
     );
     for rep in paraleon_audit::violations().iter().take(10) {
         eprintln!("  violation: {}", rep.violation);
@@ -245,6 +335,12 @@ fn audited(sim_ms: u64) -> i32 {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let par_threads: usize = args
+        .iter()
+        .position(|a| a == "--par-threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     if let Some(i) = args.iter().position(|a| a == "--check") {
         let Some(path) = args.get(i + 1) else {
             eprintln!("usage: perf_probe --check <baseline.json>");
@@ -259,7 +355,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(20);
-        std::process::exit(audited(ms));
+        std::process::exit(audited(ms, par_threads));
     }
     if args.iter().any(|a| a == "--json") {
         eprintln!("measuring single-thread throughput ({RUNS} runs)...");
@@ -272,8 +368,9 @@ fn main() {
             eps / 1e6
         );
         let (scaling, deterministic) = measure_sweep_scaling();
+        let (intra, intra_deterministic) = measure_intra_run_scaling();
         let report = Report {
-            schema: 1,
+            schema: 2,
             probe: "two_tier_clos(8x16, 4 leaves, 100G, 5us) + fb_hadoop poisson \
                     load 0.3 seed 5, 20ms of load run to 25ms, full PARALEON loop"
                 .to_string(),
@@ -288,25 +385,33 @@ fn main() {
                 .unwrap_or(1),
             sweep_scaling: scaling,
             sweep_deterministic: deterministic,
+            intra_run_scaling: intra,
+            intra_run_deterministic: intra_deterministic,
         };
         assert!(
             report.sweep_deterministic,
             "parallel sweep produced thread-count-dependent results"
         );
+        assert!(
+            report.intra_run_deterministic,
+            "parallel engine produced thread-count-dependent event counts"
+        );
         write_json("BENCH_netsim", &report);
         return;
     }
-    // Default: one human-readable probe run (`--ms N` shortens it).
+    // Default: one human-readable probe run (`--ms N` shortens it,
+    // `--par-threads N` runs it on the sharded parallel engine).
     let ms = args
         .iter()
         .position(|a| a == "--ms")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
-    let r = standard_probe(ms, 5);
+    let r = standard_probe(ms, 5, par_threads);
     println!(
-        "sim {}ms wall {:.3}s  events {}  ev/s {:.1}M  completions {}/{}",
+        "sim {}ms threads {}  wall {:.3}s  events {}  ev/s {:.1}M  completions {}/{}",
         ms,
+        par_threads,
         r.wall_s,
         r.events,
         r.events as f64 / r.wall_s / 1e6,

@@ -13,7 +13,7 @@ use paraleon_dcqcn::DcqcnParams;
 use paraleon_monitor::{ChangeDetector, FsdMonitor, MetricSample, TransferLedger, UtilityWeights};
 use paraleon_netsim::fasthash::mix64;
 use paraleon_netsim::{
-    CtrlImpairment, FaultEvent, FaultKind, FaultPlan, FlowRecord, SimConfig, SimError, Simulator,
+    CtrlImpairment, Engine, FaultEvent, FaultKind, FaultPlan, FlowRecord, SimConfig, SimError,
     Topology, MILLI,
 };
 use paraleon_sketch::{FlowType, Fsd, SlidingWindowClassifier, WindowConfig};
@@ -114,7 +114,9 @@ impl IntervalRecord {
 /// The full PARALEON closed loop over one simulated fabric.
 pub struct ClosedLoop {
     /// The fabric. Exposed so harnesses can inject flows between steps.
-    pub sim: Simulator,
+    /// Serial by default; [`ClosedLoopBuilder::parallel`] swaps in the
+    /// conservative parallel engine (byte-identical results).
+    pub sim: Engine,
     monitor: Box<dyn FsdMonitor>,
     detector: ChangeDetector,
     scheme: Box<dyn TuningScheme>,
@@ -867,6 +869,7 @@ pub struct ClosedLoopBuilder {
     guardrail: Option<GuardrailConfig>,
     ctrl: Option<CtrlPlaneConfig>,
     seed: u64,
+    parallel: usize,
 }
 
 impl ClosedLoopBuilder {
@@ -882,7 +885,17 @@ impl ClosedLoopBuilder {
             guardrail: None,
             ctrl: None,
             seed: 1,
+            parallel: 1,
         }
+    }
+
+    /// Run the fabric on `threads` sharded event cores (the conservative
+    /// parallel engine). `<= 1` keeps the default serial engine. Results
+    /// are byte-identical either way; the thread count only changes
+    /// wall-clock time.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.parallel = threads;
+        self
     }
 
     /// Select the tuning scheme.
@@ -947,7 +960,7 @@ impl ClosedLoopBuilder {
         let truth = sim_cfg
             .track_ground_truth
             .then(|| SlidingWindowClassifier::new(WindowConfig::default()));
-        let sim = Simulator::new(self.topo, sim_cfg);
+        let sim = Engine::new(self.topo, sim_cfg, self.parallel);
         let mut cl = ClosedLoop {
             sim,
             monitor: self.monitor.build(),

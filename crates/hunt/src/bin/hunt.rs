@@ -8,6 +8,10 @@
 //!   its oracle still fires with a byte-identical report.
 //! * `hunt corpus replay` — regression mode: replay every committed
 //!   case; non-zero exit on any drift.
+//! * `hunt corpus repin` — after a *deliberate* simulator semantics
+//!   change: re-evaluate every case, verify its oracle still fires, and
+//!   rewrite the pinned report in place. Refuses to repin a case whose
+//!   pathology no longer reproduces.
 //!
 //! `--expect N` makes the hunt itself a gate: exit non-zero unless at
 //! least N distinct pathology classes were found (the CI smoke job uses
@@ -20,6 +24,7 @@ use paraleon_hunt::corpus::{self, HuntCase};
 use paraleon_hunt::oracle::{OracleKind, ALL_ORACLES};
 use paraleon_hunt::search::{hunt, SearchConfig};
 use paraleon_hunt::sweep;
+use serde::Serialize as _;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -27,6 +32,7 @@ fn usage() -> ExitCode {
          \x20           [--no-minimize] [--minimize-trials N] [--write] [--corpus DIR] [--expect N]\n\
          \x20      hunt --replay CASE.json...\n\
          \x20      hunt corpus replay [--corpus DIR]\n\
+         \x20      hunt corpus repin [--corpus DIR]\n\
          oracles: {} (opt-in: {})",
         ALL_ORACLES
             .iter()
@@ -50,10 +56,11 @@ fn main() -> ExitCode {
 
     // Replay modes.
     if args.first().map(String::as_str) == Some("corpus") {
-        if args.get(1).map(String::as_str) != Some("replay") {
-            return usage();
-        }
-        return replay_corpus(&corpus_dir);
+        return match args.get(1).map(String::as_str) {
+            Some("replay") => replay_corpus(&corpus_dir),
+            Some("repin") => repin_corpus(&corpus_dir),
+            _ => usage(),
+        };
     }
     if let Some(i) = args.iter().position(|a| a == "--replay") {
         let files: Vec<&String> = args[i + 1..]
@@ -203,6 +210,54 @@ fn replay_one(path: &Path) -> bool {
             eprintln!("FAIL {}: {e}", case.name);
             false
         }
+    }
+}
+
+fn repin_corpus(dir: &Path) -> ExitCode {
+    let cases = match corpus::load_dir(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("corpus load failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cases.is_empty() {
+        eprintln!("corpus at {} is empty", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failed = 0usize;
+    for case in cases {
+        let ev = match paraleon_hunt::eval::evaluate(&case.eval, &case.oracles, &case.point) {
+            Ok(ev) => ev,
+            Err(e) => {
+                failed += 1;
+                eprintln!("FAIL {}: {e}", case.name);
+                continue;
+            }
+        };
+        if !ev.report.fired(case.kind) {
+            failed += 1;
+            eprintln!(
+                "FAIL {}: the {} oracle no longer fires; not repinning",
+                case.name,
+                case.kind.name()
+            );
+            continue;
+        }
+        let mut repinned = case;
+        repinned.report = ev.report.serialize_value();
+        match repinned.write(dir) {
+            Ok(path) => eprintln!("repinned {}", path.display()),
+            Err(e) => {
+                failed += 1;
+                eprintln!("FAIL {}: {e}", repinned.name);
+            }
+        }
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

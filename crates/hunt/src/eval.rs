@@ -238,7 +238,7 @@ fn ctrl_probe(cfg: &EvalConfig, point: &HuntPoint) -> Result<Option<CtrlMeasure>
             .map_err(|e| format!("probe fault plan: {e}"))?;
         for _ in 0..cfg.intervals {
             cl.step();
-            if cl.sim.events_processed > cfg.event_budget {
+            if cl.sim.events_processed() > cfg.event_budget {
                 break;
             }
         }

@@ -219,6 +219,12 @@ pub fn port_valid(spec: &ClosSpec, node: NodeId, port: usize) -> Option<PortClas
 /// exists, a fault's uplink index exceeds the new leaf count) — the
 /// minimizer simply treats that shrink as a failed trial.
 pub fn remap_point(point: &HuntPoint, new: ClosSpec) -> Option<HuntPoint> {
+    let mut new = new;
+    // A zero-delay fabric has no propagation lookahead, which would force
+    // the sharded parallel engine to degenerate to lockstep; clamping to
+    // 1 ns keeps every minimized genome runnable on both engines without
+    // perceptibly changing the pathology being shrunk.
+    new.delay_ns = new.delay_ns.max(1);
     let old = &point.topo;
     let map_node = |node: NodeId| -> Option<NodeId> {
         match node_class(old, node)? {
@@ -409,5 +415,22 @@ mod tests {
         assert_eq!(got.faults.events()[0].port, 2);
         // Host 0 stays host 0; dst host 4 (ToR1 local 0) becomes 2.
         assert_eq!(got.workload[0].dst, 2);
+    }
+
+    #[test]
+    fn remap_clamps_zero_delay_for_shard_lookahead() {
+        let p = point();
+        let zero_delay = ClosSpec {
+            delay_ns: 0,
+            ..spec()
+        };
+        let got = remap_point(&p, zero_delay).expect("same shape fits");
+        assert_eq!(got.topo.delay_ns, 1, "delay must stay >= 1 ns");
+        let topo = got.topo.build();
+        let map = topo.shard_map(&topo.partition(2));
+        assert!(
+            topo.lookahead(&map).is_some_and(|d| d >= 1),
+            "clamped spec keeps a usable parallel lookahead"
+        );
     }
 }

@@ -43,18 +43,34 @@ pub fn threads_from_args() -> usize {
         .unwrap_or(1)
 }
 
+/// The worker count a request for `requested` threads actually gets:
+/// clamped to the machine's available parallelism. Spawning more workers
+/// than cores cannot make an embarrassingly parallel sweep faster — it
+/// only adds scheduler churn — and, worse, it used to make the perf
+/// harness report "8-thread" numbers measured on a 1-core box as if
+/// eight workers had really run. Callers that report scaling figures
+/// should surface both the requested and the effective count.
+pub fn effective_threads(requested: usize) -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    requested.clamp(1, avail)
+}
+
 /// Run every job and return the results in job order.
 ///
-/// With `threads <= 1` the jobs run serially on the calling thread — the
-/// reference execution. Otherwise `threads` scoped workers pull jobs off
-/// a shared atomic cursor (dynamic load balancing: simulation cells can
-/// differ in cost by an order of magnitude) and write each result into
-/// its job's slot.
+/// The worker count is first clamped through [`effective_threads`]. With
+/// an effective count of 1 the jobs run serially on the calling thread —
+/// the reference execution. Otherwise that many scoped workers pull jobs
+/// off a shared atomic cursor (dynamic load balancing: simulation cells
+/// can differ in cost by an order of magnitude) and write each result
+/// into its job's slot.
 pub fn run<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
 where
     F: FnOnce() -> T + Send,
     T: Send,
 {
+    let threads = effective_threads(threads);
     if threads <= 1 || jobs.len() <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
@@ -140,6 +156,17 @@ mod tests {
     fn grid_is_row_major() {
         let got = run_grid(4, &[10u64, 20], &[1, 2, 3], |c, s| c + s);
         assert_eq!(got, vec![11, 12, 13, 21, 22, 23]);
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_machine() {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(effective_threads(0), 1);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(usize::MAX), avail);
+        assert!(effective_threads(avail + 7) <= avail);
     }
 
     #[test]

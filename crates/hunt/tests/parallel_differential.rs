@@ -1,0 +1,214 @@
+//! Differential gate for the conservative parallel engine: over genomes
+//! the search can actually reach — including active fault plans and
+//! mid-run control-plane crashes — a sharded run at 2 and 4 threads
+//! must be **byte-identical** to the serial reference. "Identical" is
+//! checked at three layers:
+//!
+//! * interval metrics and flow completions (exact, down to every f64
+//!   bit — [`IntervalMetrics`]'s `PartialEq` is bitwise);
+//! * the telemetry flight-recorder tail (the parallel engine captures
+//!   emissions on shard threads and replays them in serial order; any
+//!   reordering or loss shows up here);
+//! * audit violation counts (zero or not, shard workers fold their
+//!   thread-local registries back into the coordinator's).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use paraleon::{ClosedLoop, CtrlPlaneConfig, IntervalRecord, LoopConfig, MonitorKind, SchemeKind};
+use paraleon_hunt::genome::{GenomeCaps, HuntPoint};
+use paraleon_hunt::mutate::{mutate, seed_point};
+use paraleon_hunt::oracle::ALL_ORACLES;
+use paraleon_netsim::{Engine, FlowRecord, IntervalMetrics, SimConfig, MILLI};
+use paraleon_telemetry as tel;
+
+/// Intervals per differential run — enough for fault plans and SA
+/// dispatches to engage while keeping each proptest case subsecond.
+const INTERVALS: u64 = 5;
+/// Flight-recorder events compared (newest `N`; the ring itself is
+/// bounded, so the tail is the part both runs are guaranteed to retain).
+const FLIGHT_TAIL: usize = 256;
+
+/// Deterministically generate a point the way the search would: seed it,
+/// then walk `steps` mutations cycling through the oracle palettes.
+fn generated_point(seed: u64, steps: usize, kind_idx: usize) -> HuntPoint {
+    let caps = GenomeCaps::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = seed_point(&caps, &mut rng);
+    for i in 0..steps {
+        let kind = ALL_ORACLES[(kind_idx + i) % ALL_ORACLES.len()];
+        p = mutate(&p, kind, &caps, &mut rng);
+    }
+    p
+}
+
+/// Everything one engine run leaves behind that the parallel engine
+/// promises to reproduce exactly.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    metrics: Vec<IntervalMetrics>,
+    completions: Vec<FlowRecord>,
+    events_processed: u64,
+    flight_tail: Vec<tel::TimedEvent>,
+    audit_violations: u64,
+}
+
+/// Run `point` on the engine with `threads` shard workers and collect
+/// the comparison fingerprint. Telemetry and the audit registry are
+/// thread-local; resetting them here keeps back-to-back runs isolated.
+fn run_sim(point: &HuntPoint, threads: usize) -> Fingerprint {
+    tel::set_enabled(true);
+    tel::reset();
+    paraleon_audit::reset();
+    let cfg = SimConfig {
+        dcqcn: point.params,
+        track_ground_truth: true,
+        seed: point.seed,
+        ..SimConfig::default()
+    };
+    let mut sim = Engine::new(point.topo.build(), cfg, threads);
+    for (src, dst, bytes, start) in point.expand_flows() {
+        sim.try_add_flow(src, dst, bytes, start)
+            .expect("reachable genomes only emit valid flows");
+    }
+    sim.install_fault_plan(&point.faults)
+        .expect("reachable genomes only emit valid fault plans");
+    let mut metrics = Vec::new();
+    for i in 0..INTERVALS {
+        sim.run_until((i + 1) * MILLI);
+        metrics.push(sim.collect_interval());
+    }
+    let flight = tel::flight_events();
+    let tail_start = flight.len().saturating_sub(FLIGHT_TAIL);
+    Fingerprint {
+        metrics,
+        completions: sim.take_completions(),
+        events_processed: sim.events_processed(),
+        flight_tail: flight[tail_start..].to_vec(),
+        audit_violations: paraleon_audit::violation_count(),
+    }
+}
+
+/// What a closed-loop run leaves behind: the interval records the tuner
+/// saw, plus everything [`Fingerprint`] covers, plus the control-plane
+/// accounting and the parameters the fabric ended on.
+#[derive(Debug, PartialEq)]
+struct LoopFingerprint {
+    history: Vec<IntervalRecord>,
+    completions: Vec<FlowRecord>,
+    events_processed: u64,
+    flight_tail: Vec<tel::TimedEvent>,
+    audit_violations: u64,
+    final_params: String,
+    /// `(sent, lost, retries, crashes)` across both channel directions.
+    ctrl: (u64, u64, u64, u64),
+}
+
+/// Run `point` through the *full closed loop* — monitor, tuner and the
+/// hardened control plane — with a cold controller crash mid-run, and
+/// fingerprint everything the loop observed.
+fn run_loop(point: &HuntPoint, threads: usize) -> LoopFingerprint {
+    tel::set_enabled(true);
+    tel::reset();
+    paraleon_audit::reset();
+    let mut cl = ClosedLoop::builder(point.topo.build())
+        .scheme(SchemeKind::Paraleon)
+        .monitor(MonitorKind::Paraleon)
+        .parallel(threads)
+        .sim_config(SimConfig {
+            dcqcn: point.params,
+            seed: point.seed,
+            ..SimConfig::default()
+        })
+        .loop_config(LoopConfig {
+            lambda_mi: MILLI,
+            force_tuning: true,
+            ..LoopConfig::default()
+        })
+        .ctrl_plane(CtrlPlaneConfig::default())
+        .seed(point.seed)
+        .build();
+    for (src, dst, bytes, start) in point.expand_flows() {
+        cl.sim
+            .try_add_flow(src, dst, bytes, start)
+            .expect("reachable genomes only emit valid flows");
+    }
+    // The genome's own faults plus a cold crash while dispatches are in
+    // flight and a warm one near the end — the recovery paths must be as
+    // deterministic under sharding as steady state.
+    let mut faults = point.faults.clone();
+    faults.ctrl_crash(2 * MILLI + 513, false);
+    faults.ctrl_crash(4 * MILLI + 257, true);
+    cl.install_fault_plan(&faults)
+        .expect("reachable genomes only emit valid fault plans");
+    for _ in 0..INTERVALS {
+        cl.step();
+    }
+    let flight = tel::flight_events();
+    let tail_start = flight.len().saturating_sub(FLIGHT_TAIL);
+    let stats = cl.ctrl().expect("ctrl plane is armed").stats();
+    LoopFingerprint {
+        history: cl.history.clone(),
+        completions: cl.completions.clone(),
+        events_processed: cl.sim.events_processed(),
+        flight_tail: flight[tail_start..].to_vec(),
+        audit_violations: paraleon_audit::violation_count(),
+        final_params: format!("{:?}", cl.sim.dcqcn_params()),
+        ctrl: (
+            stats.up.sent + stats.down.sent,
+            stats.up.lost + stats.down.lost,
+            stats.retries,
+            stats.crashes,
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Raw engine differential: serial vs 2- and 4-way sharded runs of
+    /// the same reachable genome, fault plan installed and firing.
+    #[test]
+    fn parallel_engine_is_byte_identical_to_serial(
+        seed in 0u64..1 << 32,
+        steps in 0usize..8,
+        kind_idx in 0usize..5,
+    ) {
+        let p = generated_point(seed, steps, kind_idx);
+        let serial = run_sim(&p, 1);
+        for threads in [2usize, 4] {
+            let par = run_sim(&p, threads);
+            prop_assert_eq!(
+                &par, &serial,
+                "{} threads diverged from serial on seed {} steps {} kind {}",
+                threads, seed, steps, kind_idx
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Closed-loop differential: the whole PARALEON loop — monitor,
+    /// tuner, hardened control plane with mid-run controller crashes —
+    /// on the sharded engine reproduces the serial run exactly, down to
+    /// the channel's send/loss/retry/crash accounting.
+    #[test]
+    fn closed_loop_on_parallel_engine_matches_serial(
+        seed in 0u64..1 << 32,
+        kind_idx in 0usize..5,
+    ) {
+        let p = generated_point(seed, 4, kind_idx);
+        let serial = run_loop(&p, 1);
+        for threads in [2usize, 4] {
+            let par = run_loop(&p, threads);
+            prop_assert_eq!(
+                &par, &serial,
+                "{} threads diverged from serial on seed {} kind {}",
+                threads, seed, kind_idx
+            );
+        }
+    }
+}

@@ -1,10 +1,17 @@
 //! The discrete-event core: a deterministic time-ordered queue.
 //!
-//! Ties are broken by insertion sequence number, so two runs with the same
-//! seed replay identically — a property every experiment in the harness
-//! relies on (paper-figure regeneration must be reproducible).
+//! Ties are broken by an explicit *causal key* supplied by the caller, so
+//! two runs with the same seed replay identically — a property every
+//! experiment in the harness relies on (paper-figure regeneration must be
+//! reproducible). The key is assigned by the simulator from the causal
+//! source of the event (`(source-node namespace << 40) | per-source
+//! counter`), not from global push order: that makes the tie-break a pure
+//! function of the event's provenance, which is what lets the sharded
+//! parallel engine reproduce the serial order exactly — a shard cannot
+//! observe global push order, but it *can* observe its own nodes'
+//! counters.
 //!
-//! Two implementations share one total order on `(time, seq)`:
+//! Two implementations share one total order on `(time, key)`:
 //!
 //! * [`EventQueue`] — the production scheduler, a **calendar queue**
 //!   (hierarchical bucket wheel + overflow heap). Pushes into the wheel
@@ -18,14 +25,17 @@
 //!   both and asserts identical `(time, event)` pop sequences, and the
 //!   micro-benchmarks race them against each other.
 //!
-//! Determinism argument: every scheduled event carries a unique,
-//! monotonically assigned `seq`, so `(at, seq)` is a *strict* total
-//! order — no two events compare equal. Any correct priority structure
-//! over a strict total order pops the same sequence; the calendar queue
-//! merely partitions events by time bucket (a partition respecting the
-//! order's first component) and delegates intra-bucket ordering to a heap
-//! keyed by the full `(at, seq)` pair. Same-timestamp bursts therefore
-//! pop in insertion order on both implementations, bit-identically.
+//! Determinism argument: the simulator guarantees every pending event
+//! carries a unique key (per-source counters never repeat), so
+//! `(at, key)` is a *strict* total order — no two events compare equal.
+//! Any correct priority structure over a strict total order pops the same
+//! sequence; the calendar queue merely partitions events by time bucket
+//! (a partition respecting the order's first component) and delegates
+//! intra-bucket ordering to a sort keyed by the full `(at, key)` pair.
+//! Same-timestamp bursts therefore pop in key order on both
+//! implementations, bit-identically — and identically whether the events
+//! were enqueued by one serial engine or routed through parallel-shard
+//! mailboxes in any interleaving.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -83,13 +93,13 @@ pub enum Event {
 #[derive(Debug, Clone, Copy)]
 struct Scheduled {
     at: Nanos,
-    seq: u64,
+    key: u64,
     ev: Event,
 }
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl Eq for Scheduled {}
@@ -101,7 +111,7 @@ impl PartialOrd for Scheduled {
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.key).cmp(&(self.at, self.key))
     }
 }
 
@@ -126,7 +136,7 @@ const N_BUCKETS: usize = 8192;
 ///
 /// * the *active set* — `sorted[head..]` plus `late` — holds every
 ///   pending event with `b(e) <= active`; `sorted[head..]` is ascending
-///   under `(at, seq)`;
+///   under `(at, key)`;
 /// * `wheel[b & (N_BUCKETS-1)]` holds events with
 ///   `active < b <= active + N_BUCKETS` (distinct buckets never alias a
 ///   slot because the range spans exactly `N_BUCKETS` buckets);
@@ -135,7 +145,7 @@ const N_BUCKETS: usize = 8192;
 ///
 /// All wheel/overflow events are in strictly later buckets than
 /// everything in the active set, so the smaller of `sorted[head]` and
-/// `late`'s head is the global minimum under `(at, seq)`.
+/// `late`'s head is the global minimum under `(at, key)`.
 ///
 /// Why sort-and-scan instead of a heap for the active bucket: a busy
 /// fabric puts hundreds of events in one 256 ns bucket, and a binary
@@ -147,7 +157,7 @@ const N_BUCKETS: usize = 8192;
 /// `late` heap, which stays small.
 #[derive(Debug)]
 pub struct EventQueue {
-    /// The drained active bucket, ascending by `(at, seq)`; consumed from
+    /// The drained active bucket, ascending by `(at, key)`; consumed from
     /// `head`.
     sorted: Vec<Scheduled>,
     /// Cursor into `sorted`.
@@ -165,7 +175,6 @@ pub struct EventQueue {
     wheel_len: usize,
     /// Total pending events.
     len: usize,
-    next_seq: u64,
     /// Pop-order invariant monitor (ZST unless the `audit` feature is on).
     order: paraleon_audit::OrderAudit,
 }
@@ -181,7 +190,6 @@ impl Default for EventQueue {
             active: 0,
             wheel_len: 0,
             len: 0,
-            next_seq: 0,
             order: paraleon_audit::OrderAudit::default(),
         }
     }
@@ -193,13 +201,15 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Schedule `ev` at absolute time `at`.
+    /// Schedule `ev` at absolute time `at` with tie-break `key`.
+    ///
+    /// The caller owns key assignment and must guarantee uniqueness among
+    /// pending events at the same instant; the simulator derives keys
+    /// from `(source-node namespace, per-source counter)`.
     #[inline]
-    pub fn push(&mut self, at: Nanos, ev: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    pub fn push(&mut self, at: Nanos, key: u64, ev: Event) {
         self.len += 1;
-        let s = Scheduled { at, seq, ev };
+        let s = Scheduled { at, key, ev };
         let bucket = at >> BUCKET_SHIFT;
         if bucket > self.active {
             if bucket - self.active <= N_BUCKETS as u64 {
@@ -246,7 +256,7 @@ impl EventQueue {
                 let s = self.overflow.pop().expect("peeked");
                 self.sorted.push(s);
             }
-            self.sorted.sort_unstable_by_key(|s| (s.at, s.seq));
+            self.sorted.sort_unstable_by_key(|s| (s.at, s.key));
         }
     }
 
@@ -255,7 +265,7 @@ impl EventQueue {
     fn head_min(&self) -> Option<&Scheduled> {
         match (self.sorted.get(self.head), self.late.peek()) {
             (Some(a), Some(b)) => {
-                if (a.at, a.seq) <= (b.at, b.seq) {
+                if (a.at, a.key) <= (b.at, b.key) {
                     Some(a)
                 } else {
                     Some(b)
@@ -271,7 +281,7 @@ impl EventQueue {
     fn take_min(&mut self) -> Scheduled {
         self.len -= 1;
         let s = match (self.sorted.get(self.head), self.late.peek()) {
-            (Some(a), Some(b)) if (b.at, b.seq) < (a.at, a.seq) => {
+            (Some(a), Some(b)) if (b.at, b.key) < (a.at, a.key) => {
                 let _ = b;
                 self.late.pop().expect("peeked")
             }
@@ -282,7 +292,7 @@ impl EventQueue {
             }
             (None, _) => self.late.pop().expect("primed non-empty"),
         };
-        self.order.observe(s.at, s.seq);
+        self.order.observe(s.at, s.key);
         s
     }
 
@@ -293,23 +303,36 @@ impl EventQueue {
     }
 
     /// Pop the earliest event.
-    pub fn pop(&mut self) -> Option<(Nanos, Event)> {
+    pub fn pop(&mut self) -> Option<(Nanos, u64, Event)> {
         self.prime();
         self.head_min()?;
         let s = self.take_min();
-        Some((s.at, s.ev))
+        Some((s.at, s.key, s.ev))
     }
 
     /// Pop the earliest event only if it is scheduled at or before `t` —
     /// the single-lookup form of `peek_time` + `pop` the simulator's hot
     /// loop uses.
-    pub fn pop_before(&mut self, t: Nanos) -> Option<(Nanos, Event)> {
+    pub fn pop_before(&mut self, t: Nanos) -> Option<(Nanos, u64, Event)> {
         self.prime();
         if self.head_min()?.at > t {
             return None;
         }
         let s = self.take_min();
-        Some((s.at, s.ev))
+        Some((s.at, s.key, s.ev))
+    }
+
+    /// Pop the earliest event only if it is scheduled *strictly* before
+    /// `t`. The parallel engine's epoch windows are half-open
+    /// `[start, end)` intervals — events at exactly the barrier time must
+    /// wait for the cross-shard mailbox exchange before they run.
+    pub fn pop_strictly_before(&mut self, t: Nanos) -> Option<(Nanos, u64, Event)> {
+        self.prime();
+        if self.head_min()?.at >= t {
+            return None;
+        }
+        let s = self.take_min();
+        Some((s.at, s.key, s.ev))
     }
 
     /// Number of pending events.
@@ -328,7 +351,6 @@ impl EventQueue {
 #[derive(Debug, Default)]
 pub struct BinaryHeapQueue {
     heap: BinaryHeap<Scheduled>,
-    next_seq: u64,
 }
 
 impl BinaryHeapQueue {
@@ -337,11 +359,9 @@ impl BinaryHeapQueue {
         Self::default()
     }
 
-    /// Schedule `ev` at absolute time `at`.
-    pub fn push(&mut self, at: Nanos, ev: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, ev });
+    /// Schedule `ev` at absolute time `at` with tie-break `key`.
+    pub fn push(&mut self, at: Nanos, key: u64, ev: Event) {
+        self.heap.push(Scheduled { at, key, ev });
     }
 
     /// Time of the earliest pending event.
@@ -350,13 +370,21 @@ impl BinaryHeapQueue {
     }
 
     /// Pop the earliest event.
-    pub fn pop(&mut self) -> Option<(Nanos, Event)> {
-        self.heap.pop().map(|s| (s.at, s.ev))
+    pub fn pop(&mut self) -> Option<(Nanos, u64, Event)> {
+        self.heap.pop().map(|s| (s.at, s.key, s.ev))
     }
 
     /// Pop the earliest event only if it is scheduled at or before `t`.
-    pub fn pop_before(&mut self, t: Nanos) -> Option<(Nanos, Event)> {
+    pub fn pop_before(&mut self, t: Nanos) -> Option<(Nanos, u64, Event)> {
         if self.heap.peek().map(|s| s.at)? > t {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Pop the earliest event only if it is scheduled strictly before `t`.
+    pub fn pop_strictly_before(&mut self, t: Nanos) -> Option<(Nanos, u64, Event)> {
+        if self.heap.peek().map(|s| s.at)? >= t {
             return None;
         }
         self.pop()
@@ -380,33 +408,33 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(30, Event::FlowStart(3));
-        q.push(10, Event::FlowStart(1));
-        q.push(20, Event::FlowStart(2));
-        let order: Vec<Nanos> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        q.push(30, 0, Event::FlowStart(3));
+        q.push(10, 1, Event::FlowStart(1));
+        q.push(20, 2, Event::FlowStart(2));
+        let order: Vec<Nanos> = std::iter::from_fn(|| q.pop().map(|(t, _, _)| t)).collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
+    fn ties_break_by_key_not_push_order() {
         let mut q = EventQueue::new();
-        q.push(5, Event::FlowStart(1));
-        q.push(5, Event::FlowStart(2));
-        q.push(5, Event::FlowStart(3));
+        q.push(5, 2, Event::FlowStart(2));
+        q.push(5, 0, Event::FlowStart(0));
+        q.push(5, 1, Event::FlowStart(1));
         let flows: Vec<FlowId> = std::iter::from_fn(|| {
-            q.pop().map(|(_, e)| match e {
+            q.pop().map(|(_, _, e)| match e {
                 Event::FlowStart(f) => f,
                 _ => unreachable!(),
             })
         })
         .collect();
-        assert_eq!(flows, vec![1, 2, 3]);
+        assert_eq!(flows, vec![0, 1, 2]);
     }
 
     #[test]
     fn peek_matches_pop() {
         let mut q = EventQueue::new();
-        q.push(42, Event::QpSend(0));
+        q.push(42, 0, Event::QpSend(0));
         assert_eq!(q.peek_time(), Some(42));
         assert_eq!(q.len(), 1);
         q.pop();
@@ -417,12 +445,24 @@ mod tests {
     #[test]
     fn pop_before_respects_the_bound() {
         let mut q = EventQueue::new();
-        q.push(100, Event::FlowStart(1));
-        q.push(300, Event::FlowStart(2));
+        q.push(100, 0, Event::FlowStart(1));
+        q.push(300, 1, Event::FlowStart(2));
         assert_eq!(q.pop_before(50), None);
-        assert_eq!(q.pop_before(100).map(|(t, _)| t), Some(100));
+        assert_eq!(q.pop_before(100).map(|(t, _, _)| t), Some(100));
         assert_eq!(q.pop_before(200), None);
-        assert_eq!(q.pop_before(u64::MAX).map(|(t, _)| t), Some(300));
+        assert_eq!(q.pop_before(u64::MAX).map(|(t, _, _)| t), Some(300));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_strictly_before_excludes_the_bound() {
+        let mut q = EventQueue::new();
+        q.push(100, 0, Event::FlowStart(1));
+        q.push(200, 1, Event::FlowStart(2));
+        assert_eq!(q.pop_strictly_before(100), None);
+        assert_eq!(q.pop_strictly_before(101).map(|(t, _, _)| t), Some(100));
+        assert_eq!(q.pop_strictly_before(200), None);
+        assert_eq!(q.pop_before(200).map(|(t, _, _)| t), Some(200));
         assert!(q.is_empty());
     }
 
@@ -430,12 +470,12 @@ mod tests {
     fn far_future_events_round_trip_through_overflow() {
         let mut q = EventQueue::new();
         let horizon = (N_BUCKETS as u64 + 10) << BUCKET_SHIFT;
-        q.push(3 * horizon, Event::FlowStart(3));
-        q.push(7, Event::FlowStart(0));
-        q.push(horizon, Event::FlowStart(1));
-        q.push(2 * horizon, Event::FlowStart(2));
+        q.push(3 * horizon, 0, Event::FlowStart(3));
+        q.push(7, 1, Event::FlowStart(0));
+        q.push(horizon, 2, Event::FlowStart(1));
+        q.push(2 * horizon, 3, Event::FlowStart(2));
         let flows: Vec<FlowId> = std::iter::from_fn(|| {
-            q.pop().map(|(_, e)| match e {
+            q.pop().map(|(_, _, e)| match e {
                 Event::FlowStart(f) => f,
                 _ => unreachable!(),
             })
@@ -449,20 +489,26 @@ mod tests {
         // Mimic the simulator: pop an event, then schedule new work at
         // and slightly after the popped time.
         let mut q = EventQueue::new();
-        q.push(0, Event::FlowStart(0));
+        let mut key = 0u64;
+        let mut next_key = || {
+            key += 1;
+            key
+        };
+        q.push(0, next_key(), Event::FlowStart(0));
         let mut last = 0;
         let mut popped = 0u64;
-        while let Some((t, _)) = q.pop() {
+        while let Some((t, _, _)) = q.pop() {
             assert!(t >= last, "time ran backward: {t} < {last}");
             last = t;
             popped += 1;
             if popped < 1000 {
-                q.push(t, Event::QpSend(popped)); // same instant
-                q.push(t + 84, Event::PortFree { node: 0, port: 0 });
-                q.push(t + 5_000, Event::QpSend(popped));
+                q.push(t, next_key(), Event::QpSend(popped)); // same instant
+                q.push(t + 84, next_key(), Event::PortFree { node: 0, port: 0 });
+                q.push(t + 5_000, next_key(), Event::QpSend(popped));
                 if popped.is_multiple_of(100) {
-                    q.push(t + 1_000_000, Event::RetxCheck(popped)); // past horizon? no: in wheel
-                    q.push(t + 3_000_000, Event::RetxCheck(popped)); // beyond horizon
+                    q.push(t + 1_000_000, next_key(), Event::RetxCheck(popped)); // in wheel
+                    q.push(t + 3_000_000, next_key(), Event::RetxCheck(popped));
+                    // beyond horizon
                 }
             }
         }
@@ -473,9 +519,9 @@ mod tests {
     #[test]
     fn len_tracks_all_tiers() {
         let mut q = EventQueue::new();
-        q.push(1, Event::FlowStart(0)); // cur
-        q.push(100_000, Event::FlowStart(1)); // wheel
-        q.push(u64::MAX / 2, Event::FlowStart(2)); // overflow
+        q.push(1, 0, Event::FlowStart(0)); // cur
+        q.push(100_000, 1, Event::FlowStart(1)); // wheel
+        q.push(u64::MAX / 2, 2, Event::FlowStart(2)); // overflow
         assert_eq!(q.len(), 3);
         q.pop();
         q.pop();
@@ -491,8 +537,8 @@ mod tests {
         let mut b = BinaryHeapQueue::new();
         let times = [5u64, 5, 9, 3, 70_000, 3, 5, 1 << 40, 12, 70_000];
         for (i, &t) in times.iter().enumerate() {
-            a.push(t, Event::FlowStart(i as u64));
-            b.push(t, Event::FlowStart(i as u64));
+            a.push(t, i as u64, Event::FlowStart(i as u64));
+            b.push(t, i as u64, Event::FlowStart(i as u64));
         }
         loop {
             let (x, y) = (a.pop(), b.pop());

@@ -29,6 +29,7 @@ pub mod fault;
 pub mod metrics;
 pub(crate) mod node;
 pub mod packet;
+pub mod par;
 pub mod sim;
 pub mod topology;
 
@@ -37,8 +38,9 @@ pub use ctrl::{CtrlChannel, CtrlChannelStats, CtrlImpairment};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{FlowRecord, IntervalMetrics, SwitchObs};
 pub use packet::{Packet, PacketId, PacketKind, PacketPool};
+pub use par::{Engine, ParallelSim};
 pub use sim::{SimError, Simulator};
-pub use topology::{gbps, ClosSpec, NodeKind, Port, Topology};
+pub use topology::{gbps, ClosSpec, NodeKind, Port, ShardSpec, Topology};
 
 /// Node identifier (index into the topology).
 pub type NodeId = usize;

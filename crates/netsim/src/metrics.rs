@@ -17,12 +17,16 @@ pub(crate) struct IntervalAccum {
     pub host_up_bytes: Vec<u64>,
     /// Bytes received by each host (ToR → host direction).
     pub host_down_bytes: Vec<u64>,
-    /// Sum of normalized RTT samples (base_rtt / sample).
-    pub gamma_sum: f64,
-    /// Sum of raw RTT samples, ns.
-    pub rtt_sum: f64,
-    /// Number of RTT samples.
-    pub rtt_count: u64,
+    /// Per-sender-host sum of normalized RTT samples (base_rtt / sample).
+    /// Kept per host (not as one running scalar) so the fold order of the
+    /// floating-point sums is fixed by host id — the parallel engine then
+    /// reproduces the serial totals bit-exactly regardless of which shard
+    /// observed which ACK first.
+    pub gamma_sum: Vec<f64>,
+    /// Per-sender-host sum of raw RTT samples, ns.
+    pub rtt_sum: Vec<f64>,
+    /// Per-sender-host number of RTT samples.
+    pub rtt_count: Vec<u64>,
     /// Per-device accumulated PFC pause duration this interval, ns
     /// (indexed by node id; for multi-port devices the worst port counts).
     pub pause_ns: Vec<Nanos>,
@@ -50,33 +54,23 @@ impl IntervalAccum {
         Self {
             host_up_bytes: vec![0; n_hosts],
             host_down_bytes: vec![0; n_hosts],
+            gamma_sum: vec![0.0; n_hosts],
+            rtt_sum: vec![0.0; n_hosts],
+            rtt_count: vec![0; n_hosts],
             pause_ns: vec![0; n_nodes],
             switch_tx_bytes: vec![0; n_nodes - n_hosts],
             ..Default::default()
         }
     }
-
-    pub(crate) fn reset(&mut self) {
-        self.host_up_bytes.fill(0);
-        self.host_down_bytes.fill(0);
-        self.pause_ns.fill(0);
-        self.switch_tx_bytes.fill(0);
-        self.gamma_sum = 0.0;
-        self.rtt_sum = 0.0;
-        self.rtt_count = 0;
-        self.cnps = 0;
-        self.ecn_marks = 0;
-        self.drops = 0;
-        self.fault_drops = 0;
-        self.bytes_delivered = 0;
-        self.pfc_events = 0;
-        self.truth_flow_bytes.clear();
-    }
 }
 
 /// One monitor interval's network-wide metrics, as the controller sees
 /// them (the inputs to Equation (1)'s utility terms).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (bitwise on the `f64` fields): the parallel
+/// engine's differential tests assert byte-identity against the serial
+/// engine, not approximate agreement.
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalMetrics {
     /// Interval start time.
     pub start: Nanos,

@@ -2,6 +2,9 @@
 
 use std::collections::VecDeque;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use paraleon_dcqcn::{DcqcnParams, EcnMarker, IncastScaler, NpState, RpState};
 use paraleon_sketch::ElasticSketch;
 
@@ -163,6 +166,12 @@ pub(crate) struct SwitchState {
     /// ECN marker (shared thresholds across ports, like homogeneous
     /// switch configs in the paper).
     pub marker: EcnMarker,
+    /// The switch's own RED coin-flip stream, seeded from
+    /// `mix64(cfg.seed ^ node)`. Per-switch (not one simulator-wide RNG)
+    /// so a switch's draw sequence depends only on the packets *it*
+    /// examined — the property that lets the sharded parallel engine
+    /// reproduce serial marking decisions exactly.
+    pub ecn_rng: StdRng,
     /// ToR-only measurement sketch.
     pub sketch: Option<ElasticSketch>,
     /// Packets dropped at a full buffer (lifetime).
@@ -175,13 +184,19 @@ pub(crate) struct SwitchState {
 }
 
 impl SwitchState {
-    pub(crate) fn new(n_ports: usize, marker: EcnMarker, sketch: Option<ElasticSketch>) -> Self {
+    pub(crate) fn new(
+        n_ports: usize,
+        marker: EcnMarker,
+        ecn_seed: u64,
+        sketch: Option<ElasticSketch>,
+    ) -> Self {
         Self {
             ports: (0..n_ports).map(|_| SwPort::new()).collect(),
             buffer_used: 0,
             ingress_bytes: vec![0; n_ports],
             sent_xoff: vec![false; n_ports],
             marker,
+            ecn_rng: StdRng::seed_from_u64(ecn_seed),
             sketch,
             drops: 0,
             prev_seen: 0,

@@ -21,6 +21,28 @@
 //!
 //! which mirrors the paper's closed loop: monitor λ_MI, upload, tune,
 //! dispatch.
+//!
+//! # Sharded execution
+//!
+//! The same `Simulator` type doubles as one *shard* of the conservative
+//! parallel engine ([`crate::par::ParallelSim`]): a shard holds the full
+//! topology but *owns* only a subset of nodes (an ownership mask), runs
+//! only events targeting owned nodes, and routes events aimed at foreign
+//! nodes into per-destination-shard outboxes that the coordinator drains
+//! at epoch barriers. Everything that makes the serial and sharded
+//! executions bit-identical is centralized here:
+//!
+//! * event tie-breaks are *causal keys* — `(source-node namespace <<
+//!   KEY_SHIFT) | per-source counter` — which a shard can reproduce
+//!   without seeing global push order;
+//! * every random draw comes from a per-entity stream (per-switch ECN
+//!   RNG, per-node fault-corruption RNG), so draw order depends only on
+//!   that entity's own event sequence;
+//! * interval metrics accumulate per entity and are folded in global
+//!   node order by [`Simulator::finalize_interval`], which both engines
+//!   share.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -134,6 +156,78 @@ struct FlowMeta {
     done: bool,
 }
 
+/// Bits reserved for the per-source event counter in a causal key; the
+/// namespace (source node id offset by [`NODE_NS_BASE`], or one of the
+/// external namespaces below it) lives above. 2^40 events per source
+/// per run is far beyond any committed workload (whole runs process
+/// ~10^7–10^8 events *total*).
+pub(crate) const KEY_SHIFT: u32 = 40;
+
+/// External namespace for flow-start events (counter = flow id).
+const FLOW_NS: u64 = 0;
+/// External namespace for fault-plan events (counter = plan index).
+const FAULT_NS: u64 = 1;
+/// Node `n`'s causal-key namespace is `n + NODE_NS_BASE`. The external
+/// namespaces sort *below* every node namespace on purpose: an external
+/// trigger (flow start, fault) pending at time `t` pops before any node
+/// event at `t`, so its same-instant children — keyed by the node that
+/// handles them — always carry *larger* keys than their parent, and a
+/// fault at `t` applies before packets at `t` traverse the link. (The
+/// popped key sequence is still not globally sorted within a timestamp:
+/// mid-run API insertion at the current instant, e.g. `add_flow` at a
+/// collection boundary, is legal and can follow a larger-key pop.)
+const NODE_NS_BASE: u64 = 2;
+
+/// Sharding context: which shard this simulator instance is, and who
+/// owns each node. `None` (the serial engine) owns everything.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardCtx {
+    /// Owner shard of every node id.
+    pub shard_of: Arc<Vec<u16>>,
+    /// This shard's index.
+    pub me: u16,
+}
+
+/// A cross-shard event handoff: the scheduled `(at, key, ev)` triple
+/// plus, for `Arrive`, the packet itself moved out of the source shard's
+/// arena (the destination shard re-inserts it into its own arena and
+/// rewrites the id in the event).
+#[derive(Debug)]
+pub(crate) struct RemoteMsg {
+    /// Absolute event time.
+    pub at: Nanos,
+    /// Causal key (assigned by the *sending* shard from the source
+    /// node's counter — identical to the key the serial engine assigns).
+    pub key: u64,
+    /// The event (its `PacketId` is stale for `Arrive`; see `pkt`).
+    pub ev: Event,
+    /// The packet in flight across the shard cut, if any.
+    pub pkt: Option<Packet>,
+}
+
+/// Per-interval raw data from one shard, merged across shards (trivially
+/// for the serial engine) by [`Simulator::finalize_interval`].
+#[derive(Debug)]
+pub(crate) struct IntervalRaw {
+    /// Interval start.
+    pub start: Nanos,
+    /// Interval end (collection instant).
+    pub end: Nanos,
+    /// The shard's accumulated counters (zero for non-owned entities).
+    pub accum: IntervalAccum,
+    /// Per-node reachability; meaningful only at owned nodes (non-owned
+    /// entries stay `true`, so an AND-merge recovers the owner's value).
+    pub reachable: Vec<bool>,
+    /// Per-switch marker `seen` delta this interval (owned, else 0).
+    pub sw_seen: Vec<u64>,
+    /// Per-switch marker `marked` delta this interval (owned, else 0).
+    pub sw_marked: Vec<u64>,
+    /// Per-switch shared-buffer occupancy at collection (owned, else 0).
+    pub sw_buffer: Vec<u64>,
+    /// Drained ToR sketches for owned, reachable ToRs.
+    pub sketches: Vec<(NodeId, Vec<(FlowId, u64)>)>,
+}
+
 /// The packet-level simulator.
 pub struct Simulator {
     cfg: SimConfig,
@@ -153,7 +247,24 @@ pub struct Simulator {
     /// `cfg.mtu_wire()`, cached for the serialization fast path.
     mtu_wire: u32,
     now: Nanos,
-    rng: StdRng,
+    /// Per-source-node causal-key counters (tie-break assignment).
+    key_seq: Vec<u64>,
+    /// Sharding context; `None` = the serial engine (owns every node).
+    shard: Option<ShardCtx>,
+    /// Cross-shard handoff outboxes, one per destination shard (empty
+    /// vec for the serial engine).
+    outboxes: Vec<Vec<RemoteMsg>>,
+    /// When set, [`run_window`](Self::run_window) stamps each event's
+    /// `(time, key)` onto the thread's telemetry capture (see
+    /// `paraleon_telemetry::capture_stamp`) so emissions diverted on
+    /// worker threads can be replayed in serial order.
+    tel_capture: bool,
+    /// Telemetry captured on this shard's worker thread during a
+    /// parallel run, parked here for the coordinator to replay.
+    pub(crate) tel_carry: Vec<tel::Captured>,
+    /// Audit tallies drained on the worker thread at the end of a
+    /// parallel run, parked here for the coordinator to absorb.
+    pub(crate) audit_carry: (u64, Vec<paraleon_audit::AuditReport>),
     flows: Vec<FlowMeta>,
     completions: Vec<FlowRecord>,
     accum: IntervalAccum,
@@ -169,9 +280,11 @@ pub struct Simulator {
     links_down: u32,
     /// Installed fault transitions, addressed by `Event::Fault` index.
     fault_plan: Vec<FaultEvent>,
-    /// Dedicated RNG for corruption draws, so fault injection never
-    /// perturbs the simulator's own random stream (ECN coin flips).
-    fault_rng: StdRng,
+    /// Dedicated per-node RNGs for corruption draws, so fault injection
+    /// never perturbs the switches' own random streams (ECN coin flips)
+    /// — and so each node's draw sequence depends only on the packets it
+    /// transmitted, which makes the draws shard-independent.
+    fault_rngs: Vec<StdRng>,
     /// XOFF/XON pairing mirror (ZST unless the `audit` feature is on).
     pfc_audit: paraleon_audit::PfcPairAudit,
     /// Total data packets dropped over the whole run.
@@ -216,11 +329,15 @@ impl Simulator {
             } else {
                 None
             };
-            switches.push(SwitchState::new(n_ports, marker, sketch));
+            // Distinct RED coin-flip streams per switch, same derivation
+            // discipline as the sketch seeds.
+            let ecn_seed = crate::fasthash::mix64(cfg.seed ^ node as u64);
+            switches.push(SwitchState::new(n_ports, marker, ecn_seed, sketch));
         }
         let accum = IntervalAccum::new(n_nodes, n_hosts);
-        let rng = StdRng::seed_from_u64(cfg.seed);
-        let fault_rng = StdRng::seed_from_u64(cfg.seed ^ 0xFA11_FA11_FA11_FA11);
+        let fault_rngs = (0..n_nodes)
+            .map(|n| Self::fault_rng_for(cfg.seed ^ 0xFA11_FA11_FA11_FA11, n))
+            .collect();
         let links = (0..n_nodes)
             .map(|n| vec![LinkState::default(); topo.ports(n).len()])
             .collect();
@@ -248,7 +365,12 @@ impl Simulator {
             ser_cache,
             mtu_wire,
             now: 0,
-            rng,
+            key_seq: vec![0; n_nodes],
+            shard: None,
+            outboxes: Vec::new(),
+            tel_capture: false,
+            tel_carry: Vec::new(),
+            audit_carry: (0, Vec::new()),
             flows: Vec::new(),
             completions: Vec::new(),
             accum,
@@ -258,13 +380,124 @@ impl Simulator {
             links,
             links_down: 0,
             fault_plan: Vec::new(),
-            fault_rng,
+            fault_rngs,
             pfc_audit: paraleon_audit::PfcPairAudit::default(),
             total_drops: 0,
             total_fault_drops: 0,
             total_pfc_events: 0,
             events_processed: 0,
         }
+    }
+
+    /// Build one shard of the parallel engine: a full-topology simulator
+    /// that owns (runs events for) only the nodes `shard_of` maps to
+    /// `me`, and routes events for foreign nodes into per-shard outboxes.
+    pub(crate) fn new_shard(
+        topo: Topology,
+        cfg: SimConfig,
+        shard_of: Arc<Vec<u16>>,
+        me: u16,
+        n_shards: usize,
+    ) -> Self {
+        let mut s = Self::new(topo, cfg);
+        debug_assert_eq!(shard_of.len(), s.topo.n_nodes());
+        s.outboxes = (0..n_shards).map(|_| Vec::new()).collect();
+        s.shard = Some(ShardCtx { shard_of, me });
+        s
+    }
+
+    /// Per-node fault-corruption RNG derivation (shared by the
+    /// constructor and `install_fault_plan`'s reseed).
+    fn fault_rng_for(base: u64, node: usize) -> StdRng {
+        StdRng::seed_from_u64(crate::fasthash::mix64(base ^ node as u64))
+    }
+
+    /// Whether this engine instance runs events targeting `node`.
+    #[inline]
+    fn owns(&self, node: NodeId) -> bool {
+        match &self.shard {
+            None => true,
+            Some(s) => s.shard_of[node] as usize == s.me as usize,
+        }
+    }
+
+    /// Next causal key for an event generated by `src`'s handler.
+    #[inline]
+    fn next_key(&mut self, src: NodeId) -> u64 {
+        let k = ((src as u64 + NODE_NS_BASE) << KEY_SHIFT) | self.key_seq[src];
+        self.key_seq[src] += 1;
+        k
+    }
+
+    /// Schedule an event whose target is the generating node itself
+    /// (pacing ticks, port-free, retransmission timers): always local.
+    #[inline]
+    fn sched_local(&mut self, src: NodeId, at: Nanos, ev: Event) {
+        let key = self.next_key(src);
+        self.events.push(at, key, ev);
+    }
+
+    /// Schedule an event generated by `src` but targeting `dst` (packet
+    /// arrivals, PFC pause frames): runs locally when this shard owns
+    /// `dst`, otherwise crosses the cut through an outbox — carrying the
+    /// packet by value for `Arrive` so each arena's conservation tallies
+    /// stay self-consistent.
+    fn sched_cross(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        at: Nanos,
+        ev: Event,
+        pkt: Option<PacketId>,
+    ) {
+        let key = self.next_key(src);
+        if let Some(ctx) = &self.shard {
+            let dst_shard = ctx.shard_of[dst];
+            if dst_shard != ctx.me {
+                let pkt = pkt.map(|id| self.packets.take(id));
+                self.outboxes[dst_shard as usize].push(RemoteMsg { at, key, ev, pkt });
+                return;
+            }
+        }
+        self.events.push(at, key, ev);
+    }
+
+    /// Take the outbox bound for shard `dst` (coordinator-side drain).
+    pub(crate) fn take_outbox(&mut self, dst: usize) -> Vec<RemoteMsg> {
+        std::mem::take(&mut self.outboxes[dst])
+    }
+
+    /// How many cross-shard handoffs are waiting in outboxes.
+    pub(crate) fn outboxes_pending(&self) -> usize {
+        self.outboxes.iter().map(Vec::len).sum()
+    }
+
+    /// Number of flows ever admitted (the next flow id / default QP).
+    pub(crate) fn flow_count(&self) -> FlowId {
+        self.flows.len() as FlowId
+    }
+
+    /// Accept a cross-shard handoff: re-home the packet (if any) into
+    /// this shard's arena and enqueue the event under its original
+    /// `(at, key)` — the queue's total order does the rest.
+    pub(crate) fn inject_remote(&mut self, msg: RemoteMsg) {
+        let ev = match (msg.ev, msg.pkt) {
+            (Event::Arrive { node, in_port, .. }, Some(p)) => {
+                let pkt = self.packets.insert(p);
+                Event::Arrive { node, in_port, pkt }
+            }
+            (ev, None) => ev,
+            (ev, Some(_)) => unreachable!("packet attached to non-arrive event {ev:?}"),
+        };
+        self.events.push(msg.at, msg.key, ev);
+    }
+
+    /// Enable/disable per-event `(time, key)` stamping of the thread's
+    /// telemetry capture (workers of a parallel run capture every
+    /// emission — including those from the congestion-control crates —
+    /// and the coordinator replays them in global key order).
+    pub(crate) fn set_tel_capture(&mut self, on: bool) {
+        self.tel_capture = on;
     }
 
     /// Current simulated time.
@@ -349,6 +582,22 @@ impl Simulator {
                 now: self.now,
             });
         }
+        Ok(self.register_flow(src, dst, bytes, start, qp))
+    }
+
+    /// Record a (pre-validated) flow and, when this engine instance owns
+    /// its source host, schedule its start. Every shard of a parallel
+    /// run registers every flow — flow ids are indices into `flows`, so
+    /// the table must stay globally aligned — but only the source owner
+    /// schedules and counts it as active.
+    pub(crate) fn register_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        start: Nanos,
+        qp: FlowId,
+    ) -> FlowId {
         let id = self.flows.len() as FlowId;
         self.flows.push(FlowMeta {
             src,
@@ -358,14 +607,25 @@ impl Simulator {
             qp,
             done: false,
         });
-        self.active_flows += 1;
-        self.events.push(start, Event::FlowStart(id));
-        Ok(id)
+        if self.owns(src) {
+            self.active_flows += 1;
+            // External namespace with the flow id as counter: identical
+            // in both engines without any shared counter state.
+            let key = (FLOW_NS << KEY_SHIFT) | id;
+            self.events.push(start, key, Event::FlowStart(id));
+        }
+        id
     }
 
-    /// Drain the list of flows completed since the last call.
+    /// Drain the list of flows completed since the last call, sorted by
+    /// `(finish, flow)`. The sort (rather than raw completion-processing
+    /// order) gives both engines one canonical order: a parallel run
+    /// concatenates per-shard completion lists before sorting the same
+    /// way.
     pub fn take_completions(&mut self) -> Vec<FlowRecord> {
-        std::mem::take(&mut self.completions)
+        let mut v = std::mem::take(&mut self.completions);
+        v.sort_unstable_by_key(|r| (r.finish, r.flow));
+        v
     }
 
     /// Dispatch a new DCQCN parameter setting to every RNIC and switch
@@ -460,16 +720,42 @@ impl Simulator {
                 }
             }
         }
-        self.fault_rng = StdRng::seed_from_u64(plan.seed);
+        for n in 0..n_nodes {
+            self.fault_rngs[n] = Self::fault_rng_for(plan.seed, n);
+        }
         for ev in plan.events() {
             if ev.kind.is_ctrl() {
                 continue;
             }
+            // Every shard records every transition so `Event::Fault`
+            // indices stay globally aligned; only shards owning one of
+            // the affected link ends schedule it.
             let idx = self.fault_plan.len() as u32;
             self.fault_plan.push(*ev);
-            self.events.push(ev.at, Event::Fault(idx));
+            if self.fault_relevant(ev) {
+                // External namespace with the plan index as counter:
+                // shared-state-free, identical across engines (replicas
+                // on two shards carry the same key and run at the same
+                // barrier-aligned instant).
+                let key = (FAULT_NS << KEY_SHIFT) | idx as u64;
+                self.events.push(ev.at, key, Event::Fault(idx));
+            }
         }
         Ok(())
+    }
+
+    /// Whether this engine instance must run a fault transition: it owns
+    /// the addressed node or the peer across the addressed link. The
+    /// serial engine owns everything.
+    fn fault_relevant(&self, ev: &FaultEvent) -> bool {
+        if self.shard.is_none() {
+            return true;
+        }
+        let peer = match ev.kind {
+            FaultKind::PfcStormStart | FaultKind::PfcStormEnd => self.topo.ports(ev.node)[0].peer,
+            _ => self.topo.ports(ev.node)[ev.port].peer,
+        };
+        self.owns(ev.node) || self.owns(peer)
     }
 
     /// Runtime state of the directed link at `(node, port)`.
@@ -488,69 +774,103 @@ impl Simulator {
         let FaultEvent {
             node, port, kind, ..
         } = ev;
+        // A cross-cut fault is replicated onto both end shards; the shard
+        // owning `ev.node` is the *primary* and performs the one-time
+        // side effects (telemetry, global counters). The secondary only
+        // updates its own side's link state — and un-counts the replica
+        // so `events_processed` sums to the serial figure.
+        let primary = self.owns(node);
+        if !primary {
+            self.events_processed -= 1;
+        }
         match kind {
             FaultKind::LinkDown => {
-                self.set_link_both(node, port, |l| l.up = false);
+                self.set_link_owned(node, port, |l| l.up = false);
                 self.recount_links_down();
-                tel::event_at(
-                    self.now,
-                    tel::Event::FaultLinkDown {
-                        node: node as u32,
-                        port: port as u32,
-                    },
-                );
+                if primary {
+                    tel::event_at(
+                        self.now,
+                        tel::Event::FaultLinkDown {
+                            node: node as u32,
+                            port: port as u32,
+                        },
+                    );
+                }
             }
             FaultKind::LinkUp => {
-                self.set_link_both(node, port, |l| l.up = true);
+                self.set_link_owned(node, port, |l| l.up = true);
                 self.recount_links_down();
-                tel::event_at(
-                    self.now,
-                    tel::Event::FaultLinkUp {
-                        node: node as u32,
-                        port: port as u32,
-                    },
-                );
-                // Restart any idle port that queued packets while down.
-                self.kick_port(node, port);
+                if primary {
+                    tel::event_at(
+                        self.now,
+                        tel::Event::FaultLinkUp {
+                            node: node as u32,
+                            port: port as u32,
+                        },
+                    );
+                }
+                // Restart any idle port that queued packets while down —
+                // each side's owner restarts its own end (the restart
+                // only generates events sourced at that end, so causal
+                // keys stay consistent with the serial engine).
+                if self.owns(node) {
+                    self.kick_port(node, port);
+                }
                 let peer = self.topo.ports(node)[port];
-                self.kick_port(peer.peer, peer.peer_port);
+                if self.owns(peer.peer) {
+                    self.kick_port(peer.peer, peer.peer_port);
+                }
             }
             FaultKind::Degrade { factor } => {
-                self.set_link_both(node, port, |l| l.rate_factor = factor);
-                tel::event_at(
-                    self.now,
-                    tel::Event::FaultDegrade {
-                        node: node as u32,
-                        port: port as u32,
-                        factor,
-                    },
-                );
+                self.set_link_owned(node, port, |l| l.rate_factor = factor);
+                if primary {
+                    tel::event_at(
+                        self.now,
+                        tel::Event::FaultDegrade {
+                            node: node as u32,
+                            port: port as u32,
+                            factor,
+                        },
+                    );
+                }
             }
             FaultKind::PktLoss { drop_prob } => {
-                self.set_link_both(node, port, |l| l.drop_prob = drop_prob);
-                tel::event_at(
-                    self.now,
-                    tel::Event::FaultPktLoss {
-                        node: node as u32,
-                        port: port as u32,
-                        drop_prob,
-                    },
-                );
+                self.set_link_owned(node, port, |l| l.drop_prob = drop_prob);
+                if primary {
+                    tel::event_at(
+                        self.now,
+                        tel::Event::FaultPktLoss {
+                            node: node as u32,
+                            port: port as u32,
+                            drop_prob,
+                        },
+                    );
+                }
             }
             FaultKind::PfcStormStart => {
                 // The misbehaving host asserts sustained XOFF: freeze its
                 // ToR down-port. Congestion then spreads upstream through
-                // the shared buffer exactly as a real storm would.
+                // the shared buffer exactly as a real storm would. The
+                // partitioner co-locates a host with its ToR, so the
+                // primary owner handles the whole transition.
                 let up = self.topo.ports(node)[0];
-                self.accum.pfc_events += 1;
-                self.total_pfc_events += 1;
-                tel::event_at(self.now, tel::Event::PfcStormStart { host: node as u32 });
-                self.on_pfc_set(up.peer, up.peer_port, true);
+                debug_assert!(
+                    self.shard.is_none() || self.owns(node) == self.owns(up.peer),
+                    "PFC storm across a shard cut: host and ToR must share a shard"
+                );
+                if primary {
+                    self.accum.pfc_events += 1;
+                    self.total_pfc_events += 1;
+                    tel::event_at(self.now, tel::Event::PfcStormStart { host: node as u32 });
+                    self.on_pfc_set(up.peer, up.peer_port, true);
+                }
             }
             FaultKind::PfcStormEnd => {
                 let up = self.topo.ports(node)[0];
-                tel::event_at(self.now, tel::Event::PfcStormEnd { host: node as u32 });
-                self.on_pfc_set(up.peer, up.peer_port, false);
+                if primary {
+                    tel::event_at(self.now, tel::Event::PfcStormEnd { host: node as u32 });
+                    self.on_pfc_set(up.peer, up.peer_port, false);
+                }
             }
             // Control-plane transitions never reach the event queue —
             // `install_fault_plan` filters them out.
@@ -560,22 +880,36 @@ impl Simulator {
         }
     }
 
-    fn set_link_both(&mut self, node: NodeId, port: usize, f: impl Fn(&mut LinkState)) {
+    /// Apply `f` to the owned end(s) of the directed link pair at
+    /// `(node, port)`. The serial engine owns both ends; a shard touches
+    /// only its own rows (a foreign row would never be consulted here,
+    /// but writing it would race under parallel execution).
+    fn set_link_owned(&mut self, node: NodeId, port: usize, f: impl Fn(&mut LinkState)) {
         let peer = self.topo.ports(node)[port];
-        f(&mut self.links[node][port]);
-        f(&mut self.links[peer.peer][peer.peer_port]);
+        if self.owns(node) {
+            f(&mut self.links[node][port]);
+        }
+        if self.owns(peer.peer) {
+            f(&mut self.links[peer.peer][peer.peer_port]);
+        }
     }
 
     /// Recount [`Self::links_down`] after a liveness transition. O(links),
     /// but only runs on (rare) LinkDown/LinkUp fault events; counting
     /// transitions instead would miscount idempotent re-application.
+    /// Counts owned rows only: routing from owned nodes consults owned
+    /// rows exclusively, so the fast-path predicate stays sound per shard.
     fn recount_links_down(&mut self) {
-        self.links_down = self
-            .links
-            .iter()
-            .flat_map(|ls| ls.iter())
-            .filter(|l| !l.up)
-            .count() as u32;
+        let mut down = 0u32;
+        for (n, ls) in self.links.iter().enumerate() {
+            if match &self.shard {
+                None => true,
+                Some(s) => s.shard_of[n] == s.me,
+            } {
+                down += ls.iter().filter(|l| !l.up).count() as u32;
+            }
+        }
+        self.links_down = down;
     }
 
     fn kick_port(&mut self, node: NodeId, port: usize) {
@@ -603,7 +937,7 @@ impl Simulator {
             return true;
         }
         let delivered =
-            ls.up && (ls.drop_prob <= 0.0 || self.fault_rng.gen::<f64>() >= ls.drop_prob);
+            ls.up && (ls.drop_prob <= 0.0 || self.fault_rngs[node].gen::<f64>() >= ls.drop_prob);
         if !delivered {
             self.accum.fault_drops += 1;
             self.total_fault_drops += 1;
@@ -616,13 +950,39 @@ impl Simulator {
     /// clock to `t`.
     pub fn run_until(&mut self, t: Nanos) {
         assert!(t >= self.now, "time cannot run backward");
-        while let Some((ts, ev)) = self.events.pop_before(t) {
-            debug_assert!(ts >= self.now);
-            self.now = ts;
-            self.events_processed += 1;
-            self.handle(ev);
+        self.run_window(t, true);
+    }
+
+    /// Run one execution window: all pending events with `ts <= end`
+    /// (`inclusive`, the serial engine's whole-run case) or `ts < end`
+    /// (the parallel engine's half-open epoch windows — events at
+    /// exactly the barrier must wait for the mailbox exchange so
+    /// same-instant cross-shard events keep their key order). The clock
+    /// is left at `end` either way; an exclusive window may be followed
+    /// by an inclusive window at the same `end`.
+    pub(crate) fn run_window(&mut self, end: Nanos, inclusive: bool) {
+        if inclusive {
+            while let Some((ts, key, ev)) = self.events.pop_before(end) {
+                debug_assert!(ts >= self.now);
+                self.now = ts;
+                if self.tel_capture {
+                    tel::capture_stamp(ts, key);
+                }
+                self.events_processed += 1;
+                self.handle(ev);
+            }
+        } else {
+            while let Some((ts, key, ev)) = self.events.pop_strictly_before(end) {
+                debug_assert!(ts >= self.now);
+                self.now = ts;
+                if self.tel_capture {
+                    tel::capture_stamp(ts, key);
+                }
+                self.events_processed += 1;
+                self.handle(ev);
+            }
         }
-        self.now = t;
+        self.now = end;
     }
 
     /// Convenience: run for `dt` more nanoseconds.
@@ -651,15 +1011,146 @@ impl Simulator {
     /// Snapshot and reset the per-interval metrics; drains ToR sketches
     /// (the once-per-λ_MI control-plane read-and-reset).
     pub fn collect_interval(&mut self) -> IntervalMetrics {
+        let raw = self.interval_raw();
+        Self::finalize_interval(&self.topo, &self.cfg, vec![raw])
+    }
+
+    /// The per-shard half of interval collection: close pause intervals,
+    /// take the accumulators, snapshot per-switch observables and drain
+    /// sketches — for *owned* entities only — and run the audit sweep.
+    /// The serial engine is the one-shard special case.
+    pub(crate) fn interval_raw(&mut self) -> IntervalRaw {
         let dt = self.now.saturating_sub(self.interval_start);
+        self.finalize_pause_accounting();
+        let n_hosts = self.topo.n_hosts();
+        let n_nodes = self.topo.n_nodes();
+        // Reachability is computed from this shard's link rows; foreign
+        // rows are never faulted here, so `true` placeholders AND-merge
+        // into the owner's verdict.
+        let reachable: Vec<bool> = (0..n_nodes)
+            .map(|n| !self.owns(n) || self.node_reachable(n))
+            .collect();
+        let n_sw = self.switches.len();
+        let mut sw_seen = vec![0u64; n_sw];
+        let mut sw_marked = vec![0u64; n_sw];
+        let mut sw_buffer = vec![0u64; n_sw];
+        let mut sketches = Vec::new();
+        for i in 0..n_sw {
+            let node = n_hosts + i;
+            if !self.owns(node) {
+                continue;
+            }
+            let sw = &mut self.switches[i];
+            // Per-interval marking deltas; snapshots advance even when
+            // the switch is unreachable (the delta is simply not
+            // uploaded, matching a dead management channel).
+            sw_seen[i] = sw.marker.seen - sw.prev_seen;
+            sw_marked[i] = sw.marker.marked - sw.prev_marked;
+            sw.prev_seen = sw.marker.seen;
+            sw.prev_marked = sw.marker.marked;
+            sw_buffer[i] = sw.buffer_used;
+            // Drain ToR sketches (control-plane read-and-reset). A
+            // cut-off ToR cannot answer the read: its sketch keeps
+            // accumulating and is delivered after connectivity returns.
+            if reachable[node] {
+                if let Some(sk) = sw.sketch.as_mut() {
+                    let entries: Vec<(FlowId, u64)> =
+                        sk.drain().into_iter().map(|e| (e.flow, e.bytes)).collect();
+                    sketches.push((node, entries));
+                }
+            }
+        }
+        self.audit_sweep(dt);
+        let accum = std::mem::replace(&mut self.accum, IntervalAccum::new(n_nodes, n_hosts));
+        let raw = IntervalRaw {
+            start: self.interval_start,
+            end: self.now,
+            accum,
+            reachable,
+            sw_seen,
+            sw_marked,
+            sw_buffer,
+            sketches,
+        };
+        self.interval_start = self.now;
+        raw
+    }
+
+    /// The engine-independent half of interval collection: merge one raw
+    /// snapshot per shard (each entity's data lives in exactly one) and
+    /// compute the uploaded metrics, folding in global node order so the
+    /// floating-point results are bit-identical between engines.
+    pub(crate) fn finalize_interval(
+        topo: &Topology,
+        cfg: &SimConfig,
+        raws: Vec<IntervalRaw>,
+    ) -> IntervalMetrics {
+        let mut it = raws.into_iter();
+        let mut base = it.next().expect("at least one shard");
+        for r in it {
+            debug_assert_eq!(base.start, r.start);
+            debug_assert_eq!(base.end, r.end);
+            let a = &mut base.accum;
+            let b = r.accum;
+            for (x, y) in a.host_up_bytes.iter_mut().zip(&b.host_up_bytes) {
+                *x += y;
+            }
+            for (x, y) in a.host_down_bytes.iter_mut().zip(&b.host_down_bytes) {
+                *x += y;
+            }
+            // Safe f64 merge: a host's samples accumulate on exactly one
+            // shard, so this is selection, not reassociation.
+            for (x, y) in a.gamma_sum.iter_mut().zip(&b.gamma_sum) {
+                *x += y;
+            }
+            for (x, y) in a.rtt_sum.iter_mut().zip(&b.rtt_sum) {
+                *x += y;
+            }
+            for (x, y) in a.rtt_count.iter_mut().zip(&b.rtt_count) {
+                *x += y;
+            }
+            for (x, y) in a.pause_ns.iter_mut().zip(&b.pause_ns) {
+                *x += y;
+            }
+            for (x, y) in a.switch_tx_bytes.iter_mut().zip(&b.switch_tx_bytes) {
+                *x += y;
+            }
+            a.cnps += b.cnps;
+            a.ecn_marks += b.ecn_marks;
+            a.drops += b.drops;
+            a.fault_drops += b.fault_drops;
+            a.bytes_delivered += b.bytes_delivered;
+            a.pfc_events += b.pfc_events;
+            for (flow, bytes) in b.truth_flow_bytes {
+                *a.truth_flow_bytes.entry(flow).or_insert(0) += bytes;
+            }
+            for (x, y) in base.reachable.iter_mut().zip(&r.reachable) {
+                *x &= y;
+            }
+            for (x, y) in base.sw_seen.iter_mut().zip(&r.sw_seen) {
+                *x += y;
+            }
+            for (x, y) in base.sw_marked.iter_mut().zip(&r.sw_marked) {
+                *x += y;
+            }
+            for (x, y) in base.sw_buffer.iter_mut().zip(&r.sw_buffer) {
+                *x += y;
+            }
+            base.sketches.extend(r.sketches);
+        }
+        base.sketches.sort_unstable_by_key(|&(n, _)| n);
+
+        let accum = &base.accum;
+        let reachable = &base.reachable;
+        let dt = base.end.saturating_sub(base.start);
         let dt_f = dt.max(1) as f64;
 
         // O_TP over active host<->ToR uplinks.
         let mut util_sum = 0.0;
         let mut util_n = 0u32;
-        for h in 0..self.topo.n_hosts() {
-            let bw = self.topo.ports(h)[0].bw; // bytes/ns
-            for bytes in [self.accum.host_up_bytes[h], self.accum.host_down_bytes[h]] {
+        for h in 0..topo.n_hosts() {
+            let bw = topo.ports(h)[0].bw; // bytes/ns
+            for bytes in [accum.host_up_bytes[h], accum.host_down_bytes[h]] {
                 if bytes > 0 {
                     util_sum += (bytes as f64 / (bw * dt_f)).min(1.0);
                     util_n += 1;
@@ -672,26 +1163,27 @@ impl Simulator {
             util_sum / util_n as f64
         };
 
-        // O_RTT.
-        let (gamma, avg_rtt) = if self.accum.rtt_count == 0 {
+        // O_RTT: fold per-host partial sums in host order.
+        let mut gamma_sum = 0.0;
+        let mut rtt_sum = 0.0;
+        let mut rtt_count = 0u64;
+        for h in 0..topo.n_hosts() {
+            gamma_sum += accum.gamma_sum[h];
+            rtt_sum += accum.rtt_sum[h];
+            rtt_count += accum.rtt_count[h];
+        }
+        let (gamma, avg_rtt) = if rtt_count == 0 {
             (1.0, 0.0)
         } else {
-            (
-                self.accum.gamma_sum / self.accum.rtt_count as f64,
-                self.accum.rtt_sum / self.accum.rtt_count as f64,
-            )
+            (gamma_sum / rtt_count as f64, rtt_sum / rtt_count as f64)
         };
 
         // O_PFC over devices the controller can still hear from — a
         // fully cut-off node cannot upload pause statistics, and must
         // not be averaged in as a silent zero.
-        self.finalize_pause_accounting();
-        let reachable: Vec<bool> = (0..self.topo.n_nodes())
-            .map(|n| self.node_reachable(n))
-            .collect();
         let mut pause_sum = 0.0;
         let mut present = 0u32;
-        for (node, &p) in self.accum.pause_ns.iter().enumerate() {
+        for (node, &p) in accum.pause_ns.iter().enumerate() {
             if !reachable[node] {
                 continue;
             }
@@ -703,24 +1195,23 @@ impl Simulator {
         // Per-switch local observations (the ACC agents' inputs). A
         // switch with every link dead stops uploading: it is simply
         // absent from this interval's `switch_obs`.
-        let mut switch_obs = Vec::with_capacity(self.switches.len());
-        for (i, sw) in self.switches.iter_mut().enumerate() {
-            let node = self.topo.n_hosts() + i;
-            let seen = sw.marker.seen - sw.prev_seen;
-            let marked = sw.marker.marked - sw.prev_marked;
-            sw.prev_seen = sw.marker.seen;
-            sw.prev_marked = sw.marker.marked;
+        let n_sw = base.sw_seen.len();
+        let mut switch_obs = Vec::with_capacity(n_sw);
+        for i in 0..n_sw {
+            let node = topo.n_hosts() + i;
             if !reachable[node] {
                 continue;
             }
-            let total_bw: f64 = self.topo.ports(node).iter().map(|p| p.bw).sum();
-            let tx_util = (self.accum.switch_tx_bytes[i] as f64 / (total_bw * dt_f)).min(1.0);
+            let seen = base.sw_seen[i];
+            let marked = base.sw_marked[i];
+            let total_bw: f64 = topo.ports(node).iter().map(|p| p.bw).sum();
+            let tx_util = (accum.switch_tx_bytes[i] as f64 / (total_bw * dt_f)).min(1.0);
             let marking_rate = if seen == 0 {
                 0.0
             } else {
                 marked as f64 / seen as f64
             };
-            let queue_frac = sw.buffer_used as f64 / self.cfg.switch_buffer_bytes.max(1) as f64;
+            let queue_frac = base.sw_buffer[i] as f64 / cfg.switch_buffer_bytes.max(1) as f64;
             switch_obs.push(SwitchObs {
                 node,
                 tx_utilization: tx_util,
@@ -729,46 +1220,26 @@ impl Simulator {
             });
         }
 
-        // Drain ToR sketches (control-plane read-and-reset). A cut-off
-        // ToR cannot answer the read: its sketch keeps accumulating and
-        // is delivered after connectivity returns.
-        let mut tor_sketches = Vec::new();
-        for (i, sw) in self.switches.iter_mut().enumerate() {
-            let node = self.topo.n_hosts() + i;
-            if !reachable[node] {
-                continue;
-            }
-            if let Some(sk) = sw.sketch.as_mut() {
-                let entries: Vec<(FlowId, u64)> =
-                    sk.drain().into_iter().map(|e| (e.flow, e.bytes)).collect();
-                tor_sketches.push((node, entries));
-            }
-        }
-
-        let mut truth: Vec<(FlowId, u64)> = self.accum.truth_flow_bytes.drain().collect();
+        let mut truth: Vec<(FlowId, u64)> = base.accum.truth_flow_bytes.drain().collect();
         truth.sort_unstable();
 
-        let m = IntervalMetrics {
-            start: self.interval_start,
-            end: self.now,
+        IntervalMetrics {
+            start: base.start,
+            end: base.end,
             avg_uplink_utilization: avg_util,
             avg_normalized_rtt: gamma.min(1.0),
             avg_rtt_ns: avg_rtt,
             pfc_pause_ratio: pause_ratio.min(1.0),
-            cnps: self.accum.cnps,
-            ecn_marks: self.accum.ecn_marks,
-            drops: self.accum.drops,
-            fault_drops: self.accum.fault_drops,
-            pfc_events: self.accum.pfc_events,
-            bytes_delivered: self.accum.bytes_delivered,
+            cnps: base.accum.cnps,
+            ecn_marks: base.accum.ecn_marks,
+            drops: base.accum.drops,
+            fault_drops: base.accum.fault_drops,
+            pfc_events: base.accum.pfc_events,
+            bytes_delivered: base.accum.bytes_delivered,
             switch_obs,
-            tor_sketches,
+            tor_sketches: base.sketches,
             truth_flow_bytes: truth,
-        };
-        self.audit_sweep(dt);
-        self.accum.reset();
-        self.interval_start = self.now;
-        m
+        }
     }
 
     /// Structural invariant sweep run at every interval collection (the
@@ -917,7 +1388,7 @@ impl Simulator {
                 done: false,
             },
         );
-        self.events.push(self.now, Event::QpSend(f));
+        self.sched_local(meta.src, self.now, Event::QpSend(f));
     }
 
     /// A QP pacing tick. The pacing gap after a segment is
@@ -963,7 +1434,7 @@ impl Simulator {
                     // elapses, or sooner so rate recovery shortens it.
                     s.send_scheduled = true;
                     let recheck = allowed.min(self.now + RECHECK).max(self.now + 1);
-                    self.events.push(recheck, Event::QpSend(f));
+                    self.sched_local(h, recheck, Event::QpSend(f));
                     return;
                 }
             }
@@ -1004,11 +1475,10 @@ impl Simulator {
         }
         if !all_sent {
             let next = self.now + next_gap.clamp(1, RECHECK);
-            self.events.push(next, Event::QpSend(f));
+            self.sched_local(h, next, Event::QpSend(f));
         }
         if arm_retx {
-            self.events
-                .push(self.now + self.cfg.rto, Event::RetxCheck(f));
+            self.sched_local(h, self.now + self.cfg.rto, Event::RetxCheck(f));
         }
         self.host_try_tx(h);
     }
@@ -1045,7 +1515,7 @@ impl Simulator {
                 s.blocked = false;
                 if !s.send_scheduled && !s.done && s.sent < s.bytes {
                     s.send_scheduled = true;
-                    self.events.push(self.now, Event::QpSend(f));
+                    self.sched_local(h, self.now, Event::QpSend(f));
                 }
             }
         }
@@ -1071,18 +1541,22 @@ impl Simulator {
         let port = self.topo.ports(h)[0];
         let ser = self.ser_time(h, 0, q.wire);
         if self.link_delivers(h, 0) {
-            self.events.push(
+            self.sched_cross(
+                h,
+                port.peer,
                 self.now + ser + port.delay,
                 Event::Arrive {
                     node: port.peer as u32,
                     in_port: port.peer_port as u16,
                     pkt: q.id,
                 },
+                Some(q.id),
             );
         } else {
             self.packets.discard(q.id);
         }
-        self.events.push(
+        self.sched_local(
+            h,
             self.now + ser,
             Event::PortFree {
                 node: h as u32,
@@ -1112,8 +1586,9 @@ impl Simulator {
         if class == CLASS_DATA {
             // One bounds-checked index into the switch table for the whole
             // admission + PFC + sketch block (this runs per data packet
-            // per hop; `accum`/`events`/`packets` are disjoint fields, so
-            // the scoped borrow coexists with them).
+            // per hop; `accum`/`packets` are disjoint fields, so the
+            // scoped borrow coexists with them; the XOFF frame itself is
+            // scheduled after the borrow ends).
             let s = &mut self.switches[sw];
             // Shared-buffer admission.
             if s.buffer_used + wire > self.cfg.switch_buffer_bytes {
@@ -1129,8 +1604,21 @@ impl Simulator {
             // PFC XOFF on the upstream if this ingress queue exceeds the
             // dynamic threshold.
             let th = s.pause_threshold(self.cfg.pfc_alpha, self.cfg.switch_buffer_bytes);
-            if s.ingress_bytes[in_port] as f64 > th && !s.sent_xoff[in_port] {
+            let xoff = s.ingress_bytes[in_port] as f64 > th && !s.sent_xoff[in_port];
+            if xoff {
                 s.sent_xoff[in_port] = true;
+            }
+            // ToR measurement point (Keypoint 1: insert once, mark TOS).
+            let dedup = self.cfg.tos_dedup;
+            if let Some(sk) = s.sketch.as_mut() {
+                if !dedup || !already_sketched {
+                    sk.insert(qp, payload);
+                    if dedup {
+                        self.packets.get_mut(id).sketched = true;
+                    }
+                }
+            }
+            if xoff {
                 self.pfc_audit.xoff(sw as u32, in_port as u32);
                 self.accum.pfc_events += 1;
                 self.total_pfc_events += 1;
@@ -1142,24 +1630,17 @@ impl Simulator {
                     },
                 );
                 let up = self.topo.ports(node)[in_port];
-                self.events.push(
+                self.sched_cross(
+                    node,
+                    up.peer,
                     self.now + up.delay,
                     Event::PfcSet {
                         node: up.peer as u32,
                         port: up.peer_port as u16,
                         paused: true,
                     },
+                    None,
                 );
-            }
-            // ToR measurement point (Keypoint 1: insert once, mark TOS).
-            let dedup = self.cfg.tos_dedup;
-            if let Some(sk) = s.sketch.as_mut() {
-                if !dedup || !already_sketched {
-                    sk.insert(qp, payload);
-                    if dedup {
-                        self.packets.get_mut(id).sketched = true;
-                    }
-                }
             }
         }
         // Route and (for data) ECN-mark on enqueue: ECMP pins the QP, so
@@ -1191,25 +1672,32 @@ impl Simulator {
             self.packets.discard(id);
             return;
         };
-        {
-            let s = &mut self.switches[sw];
-            if class == CLASS_DATA {
+        if class == CLASS_DATA {
+            // The RED coin comes from *this switch's* stream: the draw
+            // sequence depends only on the data packets this switch
+            // examined, in its own event order — identical under the
+            // sharded engine.
+            let (qb, mark) = {
+                let s = &mut self.switches[sw];
                 let qb = s.ports[out].qbytes[CLASS_DATA];
-                tel::observe(tel::Hist::QueueBytes, qb);
-                let u: f64 = self.rng.gen();
-                if s.marker.should_mark(qb as f64, u) {
-                    self.packets.get_mut(id).ecn = true;
-                    self.accum.ecn_marks += 1;
-                    tel::event_at(
-                        self.now,
-                        tel::Event::EcnMark {
-                            switch: sw as u32,
-                            queue_bytes: qb,
-                        },
-                    );
-                }
+                let u: f64 = s.ecn_rng.gen();
+                (qb, s.marker.should_mark(qb as f64, u))
+            };
+            tel::observe(tel::Hist::QueueBytes, qb);
+            if mark {
+                self.packets.get_mut(id).ecn = true;
+                self.accum.ecn_marks += 1;
+                tel::event_at(
+                    self.now,
+                    tel::Event::EcnMark {
+                        switch: sw as u32,
+                        queue_bytes: qb,
+                    },
+                );
             }
-            let p = &mut s.ports[out];
+        }
+        {
+            let p = &mut self.switches[sw].ports[out];
             p.qbytes[class] += wire;
             p.queues[class].push_back(QueuedPkt {
                 id,
@@ -1261,13 +1749,16 @@ impl Simulator {
                         },
                     );
                     let up = self.topo.ports(node)[pin_port];
-                    self.events.push(
+                    self.sched_cross(
+                        node,
+                        up.peer,
                         self.now + up.delay,
                         Event::PfcSet {
                             node: up.peer as u32,
                             port: up.peer_port as u16,
                             paused: false,
                         },
+                        None,
                     );
                 }
             }
@@ -1275,18 +1766,22 @@ impl Simulator {
         let link = self.topo.ports(node)[port];
         let ser = self.ser_time(node, port, q.wire);
         if self.link_delivers(node, port) {
-            self.events.push(
+            self.sched_cross(
+                node,
+                link.peer,
                 self.now + ser + link.delay,
                 Event::Arrive {
                     node: link.peer as u32,
                     in_port: link.peer_port as u16,
                     pkt: id,
                 },
+                Some(id),
             );
         } else {
             self.packets.discard(id);
         }
-        self.events.push(
+        self.sched_local(
+            node,
             self.now + ser,
             Event::PortFree {
                 node: node as u32,
@@ -1367,13 +1862,6 @@ impl Simulator {
                 let mut ack: Option<Packet> = None;
                 if pkt.ecn {
                     if let Some(sig) = r.np.on_packet(self.now, true, iv) {
-                        tel::event_at(
-                            self.now,
-                            tel::Event::CnpSent {
-                                host: h as u32,
-                                flow: pkt.flow,
-                            },
-                        );
                         cnp = Some(Packet::cnp(
                             pkt.flow,
                             h,
@@ -1402,6 +1890,15 @@ impl Simulator {
                 if finished {
                     host.receivers.remove(&pkt.flow);
                 }
+                if cnp.is_some() {
+                    tel::event_at(
+                        self.now,
+                        tel::Event::CnpSent {
+                            host: h as u32,
+                            flow: pkt.flow,
+                        },
+                    );
+                }
                 for p in [cnp, ack].into_iter().flatten() {
                     let wire = p.wire_bytes;
                     let pid = self.packets.insert(p);
@@ -1418,9 +1915,12 @@ impl Simulator {
                 let rtt = self.now.saturating_sub(echo).max(1);
                 tel::observe(tel::Hist::RttNs, rtt);
                 let base = self.base_rtt(meta.src, meta.dst);
-                self.accum.gamma_sum += (base as f64 / rtt as f64).min(1.0);
-                self.accum.rtt_sum += rtt as f64;
-                self.accum.rtt_count += 1;
+                // Per-sender-host slots: the interval fold over hosts is
+                // in fixed id order, so the f64 sums are bit-identical no
+                // matter which shard (or order) the ACKs landed in.
+                self.accum.gamma_sum[h] += (base as f64 / rtt as f64).min(1.0);
+                self.accum.rtt_sum[h] += rtt as f64;
+                self.accum.rtt_count[h] += 1;
                 let mut completed = false;
                 if let Some(s) = self.hosts[h].senders.get_mut(&pkt.flow) {
                     if acked_bytes > s.acked {
@@ -1470,9 +1970,10 @@ impl Simulator {
 
     fn on_retx_check(&mut self, f: FlowId) {
         let rto = self.cfg.rto;
+        let src = self.flows[f as usize].src;
         let mut reschedule = false;
         let mut resend = false;
-        if let Some(s) = self.hosts[self.flows[f as usize].src].senders.get_mut(&f) {
+        if let Some(s) = self.hosts[src].senders.get_mut(&f) {
             if !s.done {
                 reschedule = true;
                 if self.now.saturating_sub(s.last_progress) >= rto && s.sent >= s.bytes {
@@ -1489,10 +1990,10 @@ impl Simulator {
             }
         }
         if resend {
-            self.events.push(self.now, Event::QpSend(f));
+            self.sched_local(src, self.now, Event::QpSend(f));
         }
         if reschedule {
-            self.events.push(self.now + rto, Event::RetxCheck(f));
+            self.sched_local(src, self.now + rto, Event::RetxCheck(f));
         }
     }
 }

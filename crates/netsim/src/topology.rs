@@ -89,6 +89,17 @@ impl ClosSpec {
     }
 }
 
+/// One shard of a conservative-parallel partition: the node ids one
+/// event core owns. Produced by [`Topology::partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Owned node ids: this shard's hosts, then their ToRs, then its
+    /// slice of the leaf tier.
+    pub nodes: Vec<NodeId>,
+    /// How many of `nodes` are hosts.
+    pub n_hosts: usize,
+}
+
 /// What a node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
@@ -319,6 +330,81 @@ impl Topology {
         }
     }
 
+    /// Partition the topology into `n_shards` event cores for the
+    /// conservative parallel engine.
+    ///
+    /// The unit of placement is a ToR subtree — a ToR plus every host
+    /// under it — so host↔ToR links are never cut (they are the
+    /// shortest-delay, highest-rate links and carry PFC at nanosecond
+    /// timescales). ToR subtrees are split contiguously and balanced to
+    /// within one ToR; the leaf tier is split the same way, which
+    /// maximizes co-sharded ToR↔leaf pairs under the balance constraint
+    /// (both splits give their "extra" unit to the lowest shard ids, so
+    /// large groups pair with large groups). Only ToR↔leaf links cross
+    /// shards; their propagation delay is the engine's lookahead.
+    ///
+    /// `n_shards` is clamped to `[1, n_tor]` — a shard with no subtree
+    /// would own no traffic sources and only add barrier latency.
+    pub fn partition(&self, n_shards: usize) -> Vec<ShardSpec> {
+        let n = n_shards.clamp(1, self.n_tor);
+        let split = |total: usize, s: usize| {
+            let base = total / n;
+            let extra = total % n;
+            let lo = s * base + s.min(extra);
+            lo..lo + base + usize::from(s < extra)
+        };
+        (0..n)
+            .map(|s| {
+                let mut nodes = Vec::new();
+                for t in split(self.n_tor, s) {
+                    for h in 0..self.hosts_per_tor {
+                        nodes.push(t * self.hosts_per_tor + h);
+                    }
+                }
+                let n_hosts = nodes.len();
+                for t in split(self.n_tor, s) {
+                    nodes.push(self.n_hosts + t);
+                }
+                for l in split(self.n_leaf, s) {
+                    nodes.push(self.n_hosts + self.n_tor + l);
+                }
+                ShardSpec { nodes, n_hosts }
+            })
+            .collect()
+    }
+
+    /// Node → shard index for a partition from [`Topology::partition`].
+    pub fn shard_map(&self, shards: &[ShardSpec]) -> Vec<u16> {
+        let mut map = vec![u16::MAX; self.n_nodes()];
+        for (s, spec) in shards.iter().enumerate() {
+            for &nd in &spec.nodes {
+                debug_assert_eq!(map[nd], u16::MAX, "node {nd} owned twice");
+                map[nd] = s as u16;
+            }
+        }
+        assert!(
+            map.iter().all(|&m| m != u16::MAX),
+            "partition must cover every node"
+        );
+        map
+    }
+
+    /// Conservative lookahead for a sharded run: the minimum propagation
+    /// delay across links whose endpoints live in different shards.
+    /// `None` when nothing is cut (single shard) — the engine then runs
+    /// serially.
+    pub fn lookahead(&self, shard_of: &[u16]) -> Option<Nanos> {
+        let mut min: Option<Nanos> = None;
+        for node in 0..self.n_nodes() {
+            for p in &self.ports[node] {
+                if shard_of[node] != shard_of[p.peer] {
+                    min = Some(min.map_or(p.delay, |m| m.min(p.delay)));
+                }
+            }
+        }
+        min
+    }
+
     /// Whether two hosts share a ToR.
     pub fn same_tor(&self, a: NodeId, b: NodeId) -> bool {
         self.host_tor[a] == self.host_tor[b]
@@ -477,6 +563,109 @@ mod tests {
     #[test]
     fn gbps_conversion() {
         assert!((gbps(100.0) - 12.5).abs() < 1e-12);
+    }
+
+    /// Count links whose endpoints land in different shards.
+    fn cut_edges(t: &Topology, map: &[u16]) -> usize {
+        let mut cut = 0;
+        for node in 0..t.n_nodes() {
+            for p in t.ports(node) {
+                if map[node] != map[p.peer] {
+                    cut += 1;
+                }
+            }
+        }
+        cut / 2 // each link seen from both ends
+    }
+
+    #[test]
+    fn partition_covers_balances_and_keeps_subtrees() {
+        // The committed topologies: paper clos, hunt tiny clos, dumbbell.
+        let topos = [
+            Topology::two_tier_clos(8, 16, 4, 100.0, 100.0, 5_000),
+            Topology::two_tier_clos(2, 2, 1, 100.0, 100.0, 1_000),
+            Topology::dumbbell(100.0, 1_000),
+        ];
+        for t in &topos {
+            for n in 1..=6 {
+                let shards = t.partition(n);
+                assert_eq!(shards.len(), n.min(t.n_tor()));
+                let map = t.shard_map(&shards); // asserts full coverage
+                                                // Host spread across shards ≤ one ToR's worth.
+                let hosts: Vec<usize> = shards.iter().map(|s| s.n_hosts).collect();
+                let (min_h, max_h) = (hosts.iter().min().unwrap(), hosts.iter().max().unwrap());
+                assert!(
+                    max_h - min_h <= t.hosts_per_tor,
+                    "host imbalance {min_h}..{max_h} on {n} shards"
+                );
+                // A host always shares its shard with its ToR: host↔ToR
+                // links (and so PFC toward hosts) are never cut.
+                for h in 0..t.n_hosts() {
+                    assert_eq!(map[h], map[t.tor_of(h)], "host {h} split from its ToR");
+                }
+                // Every cut edge is ToR↔leaf.
+                for node in 0..t.n_nodes() {
+                    for p in t.ports(node) {
+                        if map[node] != map[p.peer] {
+                            assert!(
+                                t.kind(node) != NodeKind::Host && t.kind(p.peer) != NodeKind::Host
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_cut_is_minimal_for_balanced_leaf_assignments() {
+        // Fixing the ToR split, the only freedom is where the leaves go.
+        // Brute-force every balanced leaf assignment and check ours cuts
+        // no more ToR↔leaf links than the best of them.
+        let t = Topology::two_tier_clos(8, 16, 4, 100.0, 100.0, 5_000);
+        for n in 2..=4usize {
+            let shards = t.partition(n);
+            let map = t.shard_map(&shards);
+            let ours = cut_edges(&t, &map);
+            let tors_of = |s: usize| {
+                shards[s]
+                    .nodes
+                    .iter()
+                    .filter(|&&nd| t.kind(nd) == NodeKind::Tor)
+                    .count()
+            };
+            let n_leaf = t.n_leaf();
+            let mut best = usize::MAX;
+            // Enumerate all n^n_leaf leaf→shard maps, keep balanced ones.
+            for code in 0..n.pow(n_leaf as u32) {
+                let mut c = code;
+                let mut leaves = vec![0usize; n];
+                for _ in 0..n_leaf {
+                    leaves[c % n] += 1;
+                    c /= n;
+                }
+                if leaves.iter().max().unwrap() - leaves.iter().min().unwrap() > 1 {
+                    continue;
+                }
+                // Cut ToR↔leaf links = total − co-sharded pairs.
+                let co: usize = (0..n).map(|s| tors_of(s) * leaves[s]).sum();
+                best = best.min(t.n_tor() * n_leaf - co);
+            }
+            assert_eq!(ours, best, "{n} shards: cut {ours}, best balanced {best}");
+        }
+    }
+
+    #[test]
+    fn partition_clamps_and_looks_ahead() {
+        let t = Topology::two_tier_clos(2, 2, 1, 100.0, 100.0, 1_000);
+        // More shards than ToRs clamps to n_tor.
+        assert_eq!(t.partition(16).len(), 2);
+        let map = t.shard_map(&t.partition(2));
+        // All links share one delay, so the lookahead is exactly it.
+        assert_eq!(t.lookahead(&map), Some(1_000));
+        // Single shard: nothing is cut.
+        let one = t.shard_map(&t.partition(1));
+        assert_eq!(t.lookahead(&one), None);
     }
 
     #[test]

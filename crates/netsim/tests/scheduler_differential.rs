@@ -86,9 +86,10 @@ proptest! {
                 Op::Push { dt, kind, count } => {
                     for _ in 0..count {
                         let ev = make_event(kind, n, &mut pool);
+                        let key = n;
                         n += 1;
-                        cal.push(last_popped + dt, ev);
-                        heap.push(last_popped + dt, ev);
+                        cal.push(last_popped + dt, key, ev);
+                        heap.push(last_popped + dt, key, ev);
                     }
                 }
                 Op::Pop { n } => {
@@ -97,7 +98,7 @@ proptest! {
                         let (a, b) = (cal.pop(), heap.pop());
                         prop_assert_eq!(a, b, "pop diverged");
                         match a {
-                            Some((t, _)) => last_popped = t,
+                            Some((t, _, _)) => last_popped = t,
                             None => break,
                         }
                     }
@@ -108,7 +109,7 @@ proptest! {
                         let (a, b) = (cal.pop_before(bound), heap.pop_before(bound));
                         prop_assert_eq!(a, b, "pop_before diverged");
                         match a {
-                            Some((t, _)) => last_popped = t,
+                            Some((t, _, _)) => last_popped = t,
                             None => break,
                         }
                     }
@@ -127,20 +128,22 @@ proptest! {
         }
     }
 
-    /// Same-timestamp bursts must pop in exact insertion order — the FIFO
-    /// tie-break the simulator's trace replay depends on.
+    /// Same-timestamp bursts must pop in ascending-key order — the
+    /// causal tie-break the parallel engine's determinism relies on
+    /// (keys are pushed here in *reverse* to prove it is the key, not
+    /// insertion order, that decides).
     #[test]
-    fn same_timestamp_bursts_pop_fifo(at in 0u64..1 << 40, count in 2usize..64) {
+    fn same_timestamp_bursts_pop_by_key(at in 0u64..1 << 40, count in 2usize..64) {
         let mut cal = EventQueue::new();
         let mut heap = BinaryHeapQueue::new();
-        for i in 0..count as u64 {
-            cal.push(at, Event::FlowStart(i));
-            heap.push(at, Event::FlowStart(i));
+        for i in (0..count as u64).rev() {
+            cal.push(at, i, Event::FlowStart(i));
+            heap.push(at, i, Event::FlowStart(i));
         }
         for i in 0..count as u64 {
             let a = cal.pop();
             prop_assert_eq!(a, heap.pop());
-            prop_assert_eq!(a, Some((at, Event::FlowStart(i))));
+            prop_assert_eq!(a, Some((at, i, Event::FlowStart(i))));
         }
         prop_assert!(cal.is_empty() && heap.is_empty());
     }

@@ -69,7 +69,7 @@ fn all_schemes_survive_the_same_scenario() {
         }
         assert!(cl.run_to_completion(2 * SEC), "{name}: flows must complete");
         assert_eq!(cl.completions.len(), 6, "{name}");
-        assert_eq!(cl.sim.total_drops, 0, "{name}: lossless invariant");
+        assert_eq!(cl.sim.total_drops(), 0, "{name}: lossless invariant");
     }
 }
 
