@@ -146,26 +146,26 @@ fn bench_event_queue(c: &mut Criterion) {
         g.bench_function(format!("calendar_push_pop_{pending}"), |b| {
             let mut q = EventQueue::new();
             for i in 0..pending {
-                q.push(1 + i.wrapping_mul(313) % 100_000, Event::QpSend(i));
+                q.push(1 + i.wrapping_mul(313) % 100_000, i, Event::QpSend(i));
             }
-            let mut i = 0u64;
+            let mut i = pending;
             b.iter(|| {
-                let (now, _) = q.pop().expect("steady state");
+                let (now, _, _) = q.pop().expect("steady state");
                 i += 1;
-                q.push(now + offset(now, i), Event::QpSend(i));
+                q.push(now + offset(now, i), i, Event::QpSend(i));
                 black_box(now)
             })
         });
         g.bench_function(format!("heap_push_pop_{pending}"), |b| {
             let mut q = BinaryHeapQueue::new();
             for i in 0..pending {
-                q.push(1 + i.wrapping_mul(313) % 100_000, Event::QpSend(i));
+                q.push(1 + i.wrapping_mul(313) % 100_000, i, Event::QpSend(i));
             }
-            let mut i = 0u64;
+            let mut i = pending;
             b.iter(|| {
-                let (now, _) = q.pop().expect("steady state");
+                let (now, _, _) = q.pop().expect("steady state");
                 i += 1;
-                q.push(now + offset(now, i), Event::QpSend(i));
+                q.push(now + offset(now, i), i, Event::QpSend(i));
                 black_box(now)
             })
         });

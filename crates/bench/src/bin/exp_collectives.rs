@@ -1,0 +1,243 @@
+//! Collective/topology scenario sweep: every collective shape the
+//! workloads crate generates (alltoall, ring allreduce, tree allreduce,
+//! pipeline bursts) crossed with every topology family the netsim crate
+//! builds (two-tier Clos, oversubscribed three-tier Clos, rail-optimized)
+//! under Default, Expert and PARALEON tuning.
+//!
+//! The paper's testbed evaluation (Figure 13) is a single collective on
+//! a single fabric; this harness opens the rest of the scenario space
+//! the poster gestures at — "tuning must adapt across workloads and
+//! topologies" — and reports NCCL-style algorithm bandwidth per cell.
+//!
+//! Run: `cargo run --release -p paraleon-bench --bin exp_collectives
+//!       [--paper] [--check]`
+//!
+//! `--check` additionally re-runs every cell on the 2-way sharded engine
+//! and demands byte-identical flow records and interval history against
+//! the serial run — the collective driver's barrier admission depends
+//! only on the completion-record stream, so any engine divergence
+//! surfaces here. The process exits non-zero on the first mismatch.
+
+use paraleon::prelude::*;
+use paraleon_bench::{print_table, write_json, Scale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    collective: String,
+    topology: String,
+    scheme: String,
+    algbw_gbps: f64,
+    mean_round_ms: f64,
+    rounds_done: u32,
+}
+
+/// The three topology families of the sweep, dimensioned so every family
+/// carries the same host count at a given scale. The three-tier fabric
+/// is 2:1 oversubscribed at the ToR→agg boundary; the rail fabric stripes
+/// host incidence across rails (the layout most hostile to locality
+/// assumptions in partitioning).
+fn topologies(scale: Scale) -> Vec<(&'static str, TopoSpec)> {
+    let (pods, tors, hpt, rails, servers) = match scale {
+        Scale::Reduced => (2, 2, 4, 4, 4), // 16 hosts everywhere
+        Scale::Paper => (2, 4, 8, 8, 8),   // 64 hosts everywhere
+    };
+    vec![
+        (
+            "two_tier",
+            TopoSpec::TwoTier(ClosSpec {
+                n_tor: pods * tors,
+                hosts_per_tor: hpt,
+                n_leaf: 2,
+                host_gbps: 100.0,
+                uplink_gbps: 100.0,
+                delay_ns: 5_000,
+            }),
+        ),
+        (
+            "three_tier_oversub",
+            TopoSpec::ThreeTier(ThreeTierSpec {
+                n_pod: pods,
+                tors_per_pod: tors,
+                hosts_per_tor: hpt,
+                aggs_per_pod: 2,
+                spines_per_agg: 1,
+                host_gbps: 100.0,
+                agg_gbps: 100.0,
+                spine_gbps: 100.0,
+                delay_ns: 5_000,
+            }),
+        ),
+        (
+            "rail_optimized",
+            TopoSpec::Rail(RailSpec {
+                n_rail: rails,
+                n_server: servers,
+                n_spine: 2,
+                host_gbps: 100.0,
+                uplink_gbps: 100.0,
+                delay_ns: 5_000,
+            }),
+        ),
+    ]
+}
+
+const COLLECTIVES: &[&str] = &["ring_allreduce", "alltoall", "pipeline_burst"];
+
+/// Build one collective over all hosts of the fabric.
+fn collective(kind: &str, n_hosts: usize, scale: Scale, rounds: u32) -> Box<dyn Collective> {
+    let workers: Vec<usize> = (0..n_hosts).collect();
+    let message_bytes = scale.llm_message();
+    match kind {
+        "ring_allreduce" => Box::new(RingAllreduce::new(RingConfig {
+            workers,
+            message_bytes,
+            off_time: MILLI,
+            rounds: Some(rounds),
+        })),
+        "alltoall" => Box::new(AllToAll::new(AllToAllConfig {
+            workers,
+            message_bytes,
+            off_time: MILLI,
+            rounds: Some(rounds),
+        })),
+        "pipeline_burst" => Box::new(PipelineBurst::new(PipelineConfig {
+            workers,
+            microbatch_bytes: message_bytes,
+            microbatches: 4,
+            off_time: MILLI,
+            rounds: Some(rounds),
+        })),
+        other => panic!("unknown collective {other}"),
+    }
+}
+
+/// Run one (collective, topology, scheme) cell and return everything a
+/// differential check needs alongside the headline numbers.
+#[allow(clippy::type_complexity)]
+fn run_cell(
+    kind: &str,
+    spec: &TopoSpec,
+    scheme: SchemeKind,
+    scale: Scale,
+    rounds: u32,
+    threads: usize,
+) -> (Vec<FlowRecord>, Vec<IntervalRecord>, f64, f64, u32) {
+    let mut cl = ClosedLoop::builder(spec.build())
+        .scheme(scheme)
+        .parallel(threads)
+        .loop_config(LoopConfig {
+            force_tuning: true,
+            weights: UtilityWeights::throughput_sensitive(),
+            ..LoopConfig::default()
+        })
+        .build();
+    let mut coll = collective(kind, spec.n_hosts(), scale, rounds);
+    let records = drivers::run_collective(&mut cl, coll.as_mut(), 0, 30 * SEC);
+    // Steady state: mean algbw over the last half of the rounds (the
+    // early rounds include PARALEON's search transient).
+    let done = coll.round_durations().len();
+    let take = (done / 2).max(1);
+    let vals: Vec<f64> = (done.saturating_sub(take)..done)
+        .filter_map(|i| coll.algbw_bytes_per_sec(i))
+        .map(|b| b * 8.0 / 1e9)
+        .collect();
+    let mean_round_ms = paraleon::stats::mean(
+        &coll
+            .round_durations()
+            .iter()
+            .map(|&d| d as f64 / 1e6)
+            .collect::<Vec<_>>(),
+    );
+    let algbw = paraleon::stats::mean(&vals);
+    let rounds_done = coll.rounds_done();
+    (
+        records,
+        cl.history.clone(),
+        algbw,
+        mean_round_ms,
+        rounds_done,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let check = std::env::args().any(|a| a == "--check");
+    let rounds = match scale {
+        Scale::Reduced => 4,
+        Scale::Paper => 6,
+    };
+    println!(
+        "Collective/topology sweep ({} scale{})",
+        scale.label(),
+        if check {
+            ", serial-vs-parallel check"
+        } else {
+            ""
+        }
+    );
+    let schemes = [SchemeKind::Default, SchemeKind::Expert, scale.paraleon()];
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    let mut mismatches = 0usize;
+    for kind in COLLECTIVES {
+        for (topo_name, spec) in &topologies(scale) {
+            let mut row = vec![kind.to_string(), topo_name.to_string()];
+            for scheme in &schemes {
+                let (records, history, algbw, round_ms, rounds_done) =
+                    run_cell(kind, spec, scheme.clone(), scale, rounds, 1);
+                if check {
+                    let (par_records, par_history, ..) =
+                        run_cell(kind, spec, scheme.clone(), scale, rounds, 2);
+                    if par_records != records || par_history != history {
+                        mismatches += 1;
+                        eprintln!(
+                            "DIVERGED: {kind} on {topo_name} under {}: \
+                             2-way sharded run is not byte-identical to serial",
+                            scheme.name()
+                        );
+                    }
+                }
+                row.push(format!("{algbw:.1}"));
+                out.push(Row {
+                    collective: kind.to_string(),
+                    topology: topo_name.to_string(),
+                    scheme: scheme.name().to_string(),
+                    algbw_gbps: algbw,
+                    mean_round_ms: round_ms,
+                    rounds_done,
+                });
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Collective algbw (Gbps) by topology family and scheme",
+        &["collective", "topology", "Default", "Expert", "PARALEON"],
+        &rows,
+    );
+    // PARALEON's adaptivity claim, cell by cell.
+    for kind in COLLECTIVES {
+        for (topo_name, _) in &topologies(scale) {
+            let get = |n: &str| {
+                out.iter()
+                    .find(|r| r.collective == *kind && r.topology == *topo_name && r.scheme == n)
+                    .map(|r| r.algbw_gbps)
+                    .unwrap_or(0.0)
+            };
+            let best_static = get("Default").max(get("Expert"));
+            println!(
+                "{kind} on {topo_name}: PARALEON vs best static = {:+.1}%",
+                (get("PARALEON") / best_static.max(1e-9) - 1.0) * 100.0
+            );
+        }
+    }
+    write_json("collectives", &out);
+    if check {
+        if mismatches > 0 {
+            eprintln!("serial-vs-parallel check FAILED: {mismatches} diverged cell(s)");
+            std::process::exit(1);
+        }
+        println!("serial-vs-parallel check passed: every cell byte-identical");
+    }
+}

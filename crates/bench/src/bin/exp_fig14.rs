@@ -77,7 +77,10 @@ fn run_one(scale: Scale, scheme: SchemeKind) -> Series {
     while cl.sim.now() < total {
         if let Some(t) = next_round {
             if cl.sim.now() >= t {
-                for f in a2a.start_round(cl.sim.now()) {
+                for f in a2a
+                    .start_round(cl.sim.now())
+                    .expect("round start while idle")
+                {
                     let qp = drivers::qp_id(f.src, f.dst);
                     collective.insert(cl.sim.add_flow_on_qp(
                         f.src,
@@ -103,7 +106,7 @@ fn run_one(scale: Scale, scheme: SchemeKind) -> Series {
         seen = cl.completions.len();
         for r in new {
             if collective.remove(&r.flow) {
-                if let Some(t) = a2a.on_flow_done(r.finish) {
+                if let Some(t) = a2a.on_flow_done(r.finish).expect("round in flight") {
                     next_round = Some(t);
                 }
             } else if rpc_ids.remove(&r.flow) {

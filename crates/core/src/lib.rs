@@ -69,13 +69,15 @@ pub mod prelude {
     pub use paraleon_dcqcn::{DcqcnParams, ParamId, ParamSpace};
     pub use paraleon_monitor::UtilityWeights;
     pub use paraleon_netsim::{
-        FaultEvent, FaultKind, FaultPlan, FlowRecord, SimConfig, SimError, Simulator, Topology,
-        MICRO, MILLI, SEC,
+        ClosSpec, FaultEvent, FaultKind, FaultPlan, FlowRecord, MixedRateSpec, RailSpec, SimConfig,
+        SimError, Simulator, ThreeTierSpec, TopoSpec, Topology, MICRO, MILLI, SEC,
     };
     pub use paraleon_sketch::{FlowType, Fsd, WindowConfig};
     pub use paraleon_tuner::SaConfig;
     pub use paraleon_workloads::{
-        AllToAll, AllToAllConfig, FlowRequest, FlowSizeDist, PoissonConfig, PoissonWorkload,
+        AllToAll, AllToAllConfig, Collective, CollectiveError, FlowRequest, FlowSizeDist,
+        PipelineBurst, PipelineConfig, PoissonConfig, PoissonWorkload, Progress, RingAllreduce,
+        RingConfig, TreeAllreduce, TreeConfig,
     };
 }
 

@@ -176,7 +176,7 @@ pub fn load_dir(dir: &Path) -> Result<Vec<HuntCase>, String> {
 mod tests {
     use super::*;
     use paraleon_dcqcn::DcqcnParams;
-    use paraleon_netsim::{ClosSpec, FaultPlan, MILLI};
+    use paraleon_netsim::{ClosSpec, FaultPlan, TopoSpec, MILLI};
 
     fn case() -> HuntCase {
         let mut faults = FaultPlan::new(1);
@@ -193,14 +193,14 @@ mod tests {
             oracles: OracleConfig::default(),
             minimize: None,
             point: HuntPoint {
-                topo: ClosSpec {
+                topo: TopoSpec::TwoTier(ClosSpec {
                     n_tor: 2,
                     hosts_per_tor: 2,
                     n_leaf: 1,
                     host_gbps: 100.0,
                     uplink_gbps: 100.0,
                     delay_ns: 2_000,
-                },
+                }),
                 workload: vec![crate::genome::FlowSpec {
                     src: 2,
                     dst: 0,
@@ -209,6 +209,7 @@ mod tests {
                     count: 4,
                     gap: MILLI,
                 }],
+                collective: None,
                 faults,
                 params: DcqcnParams::nvidia_default(),
                 seed: 1,

@@ -15,7 +15,8 @@ use serde::{Serialize, Value};
 
 use paraleon::{ClosedLoop, CtrlPlaneConfig, LoopConfig, MonitorKind, SchemeKind};
 use paraleon_dcqcn::DcqcnParams;
-use paraleon_netsim::{FaultPlan, FlowId, SimConfig, Simulator, MILLI};
+use paraleon_netsim::{FaultPlan, FlowId, FlowRecord, Nanos, SimConfig, Simulator, MILLI};
+use paraleon_workloads::Progress;
 
 use crate::genome::HuntPoint;
 use crate::oracle::{judge, CtrlMeasure, OracleConfig, OracleReport};
@@ -137,11 +138,69 @@ fn run_one(
         intervals_run: 0,
         tail_len: cfg.tail,
     };
+    // An attached collective is driven at interval granularity: waves
+    // and round starts quantize to λ_MI boundaries exactly like the
+    // `paraleon::drivers::run_collective` barrier, so the genome field
+    // changes nothing about how the plain workload path executes. The
+    // mid-run completion drains only happen on this path — fault-only
+    // genomes keep the byte-identical single-drain execution the corpus
+    // was recorded under.
+    let mut collective = point.collective.as_ref().map(|c| c.build());
+    let mut next_round: Option<Nanos> = collective.as_ref().map(|_| 0);
+    let mut coll_flows: std::collections::HashSet<FlowId> = Default::default();
+    let mut drained: Vec<FlowRecord> = Vec::new();
     // Exact per-flow bytes for every interval; the tail slice feeds the
     // fairness oracle after we know where the run actually ended.
     let mut truth: Vec<Vec<(FlowId, u64)>> = Vec::new();
     for i in 0..cfg.intervals {
+        if let Some(coll) = collective.as_mut() {
+            if let Some(t) = next_round {
+                if sim.now() >= t && !coll.finished() {
+                    let wave = coll
+                        .start_round(sim.now())
+                        .map_err(|e| format!("collective round: {e}"))?;
+                    for f in &wave {
+                        let qp = paraleon::drivers::qp_id(f.src, f.dst);
+                        let id = sim
+                            .try_add_flow_on_qp(f.src, f.dst, f.bytes, sim.now(), qp)
+                            .map_err(|e| format!("collective flow {}->{}: {e}", f.src, f.dst))?;
+                        coll_flows.insert(id);
+                    }
+                    next_round = None;
+                }
+            }
+        }
         sim.run_until((i + 1) * cfg.lambda_mi);
+        if let Some(coll) = collective.as_mut() {
+            let recs = sim.take_completions();
+            for r in &recs {
+                if coll_flows.remove(&r.flow) {
+                    match coll
+                        .on_flow_done(r.finish)
+                        .map_err(|e| format!("collective completion: {e}"))?
+                    {
+                        Progress::Pending => {}
+                        Progress::NextWave(wave) => {
+                            for f in &wave {
+                                let qp = paraleon::drivers::qp_id(f.src, f.dst);
+                                let id = sim
+                                    .try_add_flow_on_qp(f.src, f.dst, f.bytes, sim.now(), qp)
+                                    .map_err(|e| {
+                                        format!("collective flow {}->{}: {e}", f.src, f.dst)
+                                    })?;
+                                coll_flows.insert(id);
+                            }
+                        }
+                        Progress::RoundDone { next_round: nr } => {
+                            if let Some(t) = nr {
+                                next_round = Some(t);
+                            }
+                        }
+                    }
+                }
+            }
+            drained.extend(recs);
+        }
         let iv = sim.collect_interval();
         m.goodput.push(iv.goodput_bytes_per_sec());
         m.pause_ratio.push(iv.pfc_pause_ratio);
@@ -160,9 +219,9 @@ fn run_one(
 
     let tail_start_iv = (m.intervals_run as usize).saturating_sub(cfg.tail);
     let tail_start_t = tail_start_iv as u64 * cfg.lambda_mi;
-    let finished: std::collections::HashMap<FlowId, u64> = sim
-        .take_completions()
+    let finished: std::collections::HashMap<FlowId, u64> = drained
         .into_iter()
+        .chain(sim.take_completions())
         .map(|r| (r.flow, r.finish))
         .collect();
     for (flow_idx, &start) in starts.iter().enumerate() {
@@ -203,6 +262,9 @@ const PROBE_SETTLE: u64 = 400;
 /// control-plane events: the probe (and the CtrlDivergence outcome it
 /// feeds) then never runs, which keeps ctrl-free reports — including
 /// every corpus case committed before this oracle existed — byte-stable.
+/// The probe drives only the plain flow workload: it judges protocol
+/// convergence, not traffic shape, and the expanded specs already keep
+/// dispatches flowing.
 fn ctrl_probe(cfg: &EvalConfig, point: &HuntPoint) -> Result<Option<CtrlMeasure>, String> {
     if !point.faults.events().iter().any(|e| e.kind.is_ctrl()) {
         return Ok(None);
@@ -318,19 +380,19 @@ pub fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::genome::{FlowSpec, HuntPoint};
-    use paraleon_netsim::ClosSpec;
+    use crate::genome::{CollectiveKind, CollectiveSpec, FlowSpec, HuntPoint};
+    use paraleon_netsim::{ClosSpec, TopoSpec};
 
     fn tiny_point() -> HuntPoint {
         HuntPoint {
-            topo: ClosSpec {
+            topo: TopoSpec::TwoTier(ClosSpec {
                 n_tor: 2,
                 hosts_per_tor: 2,
                 n_leaf: 1,
                 host_gbps: 100.0,
                 uplink_gbps: 100.0,
                 delay_ns: 1_000,
-            },
+            }),
             workload: vec![FlowSpec {
                 src: 0,
                 dst: 2,
@@ -339,6 +401,7 @@ mod tests {
                 count: 2,
                 gap: 100_000,
             }],
+            collective: None,
             faults: FaultPlan::new(7),
             params: DcqcnParams::nvidia_default(),
             seed: 7,
@@ -360,6 +423,43 @@ mod tests {
             ev.report.fired_kinds().is_empty(),
             "healthy run fired {:?}",
             ev.report.fired_kinds()
+        );
+    }
+
+    #[test]
+    fn collective_points_evaluate_deterministically() {
+        let cfg = EvalConfig {
+            intervals: 8,
+            lambda_mi: MILLI,
+            event_budget: 50_000_000,
+            tail: 3,
+        };
+        let mut p = tiny_point();
+        // A rail-optimized fabric plus a ring allreduce: the genome's two
+        // new axes together, through the full evaluate path.
+        p.topo = TopoSpec::Rail(paraleon_netsim::RailSpec {
+            n_rail: 2,
+            n_server: 2,
+            n_spine: 1,
+            host_gbps: 100.0,
+            uplink_gbps: 100.0,
+            delay_ns: 1_000,
+        });
+        p.collective = Some(CollectiveSpec {
+            kind: CollectiveKind::RingAllreduce,
+            workers: vec![0, 1, 2, 3],
+            message_bytes: 200_000,
+            rounds: 2,
+            off_time: MILLI,
+        });
+        p.validate().expect("fixture valid");
+        let a = evaluate(&cfg, &OracleConfig::default(), &p).expect("evaluates");
+        let b = evaluate(&cfg, &OracleConfig::default(), &p).expect("evaluates");
+        assert_eq!(a.run.bytes_delivered, b.run.bytes_delivered);
+        assert_eq!(a.run.events_processed, b.run.events_processed);
+        assert!(
+            a.run.bytes_delivered.iter().sum::<u64>() > 0,
+            "the collective must move bytes"
         );
     }
 

@@ -7,7 +7,11 @@
 //! is what makes corpus cases replayable: the repro *is* the genome.
 
 use paraleon_dcqcn::DcqcnParams;
-use paraleon_netsim::{ClosSpec, FaultKind, FaultPlan, Nanos, NodeId};
+use paraleon_netsim::{ClosSpec, FaultKind, FaultPlan, Nanos, NodeId, TopoSpec};
+use paraleon_workloads::{
+    AllToAll, AllToAllConfig, Collective, PipelineBurst, PipelineConfig, RingAllreduce, RingConfig,
+    TreeAllreduce, TreeConfig,
+};
 use serde::{Serialize, Value};
 
 /// A burst of identical flows: `count` flows of `bytes` from `src` to
@@ -56,13 +60,160 @@ impl FlowSpec {
     }
 }
 
+/// Which collective round machine a [`CollectiveSpec`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CollectiveKind {
+    /// Full-mesh alltoall (the paper's LLM workload).
+    Alltoall,
+    /// Ring allreduce: 2(n−1) barrier waves of n chunk flows.
+    RingAllreduce,
+    /// Binomial-tree allreduce: reduce up, broadcast down.
+    TreeAllreduce,
+    /// Pipeline-parallel activation bursts between neighbor ranks.
+    PipelineBurst,
+}
+
+/// Every collective kind, in serialization-name order.
+pub const ALL_COLLECTIVES: [CollectiveKind; 4] = [
+    CollectiveKind::Alltoall,
+    CollectiveKind::RingAllreduce,
+    CollectiveKind::TreeAllreduce,
+    CollectiveKind::PipelineBurst,
+];
+
+impl CollectiveKind {
+    /// The serialized name (matches the derive's unit-variant encoding).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Alltoall => "Alltoall",
+            Self::RingAllreduce => "RingAllreduce",
+            Self::TreeAllreduce => "TreeAllreduce",
+            Self::PipelineBurst => "PipelineBurst",
+        }
+    }
+
+    /// Inverse of [`CollectiveKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        ALL_COLLECTIVES.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A barrier-synchronized collective riding on top of the flow-spec
+/// workload: which round machine, which ranks, how much payload. The
+/// evaluation drives it through the simulator with completion feedback
+/// (waves release only when the previous wave drains), so genomes can
+/// express the self-clocked traffic that open-loop [`FlowSpec`] bursts
+/// cannot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CollectiveSpec {
+    /// Round-machine family.
+    pub kind: CollectiveKind,
+    /// Participating ranks (host ids), in rank order.
+    pub workers: Vec<NodeId>,
+    /// Per-message payload (alltoall/allreduce message, pipeline
+    /// microbatch), bytes.
+    pub message_bytes: u64,
+    /// Rounds to run (bounded so evaluations terminate).
+    pub rounds: u32,
+    /// OFF (compute) gap between rounds, ns.
+    pub off_time: Nanos,
+}
+
+impl CollectiveSpec {
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let uint = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("CollectiveSpec: missing `{name}`"))
+        };
+        let kind_name = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("CollectiveSpec: missing `kind`")?;
+        Ok(Self {
+            kind: CollectiveKind::from_name(kind_name)
+                .ok_or_else(|| format!("CollectiveSpec: unknown kind `{kind_name}`"))?,
+            workers: v
+                .get("workers")
+                .and_then(Value::as_array)
+                .ok_or("CollectiveSpec: missing `workers`")?
+                .iter()
+                .map(|w| {
+                    w.as_u64()
+                        .map(|w| w as NodeId)
+                        .ok_or("CollectiveSpec: worker is not an integer".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            message_bytes: uint("message_bytes")?,
+            rounds: uint("rounds")? as u32,
+            off_time: uint("off_time")?,
+        })
+    }
+
+    /// Check internal consistency against a fabric of `n_hosts` hosts.
+    pub fn validate(&self, n_hosts: usize) -> Result<(), String> {
+        if self.workers.len() < 2 {
+            return Err("collective: needs >= 2 workers".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &w in &self.workers {
+            if w >= n_hosts {
+                return Err(format!("collective: worker {w} out of range"));
+            }
+            if !seen.insert(w) {
+                return Err(format!("collective: duplicate worker {w}"));
+            }
+        }
+        if self.message_bytes == 0 || self.rounds == 0 {
+            return Err("collective: empty payload or zero rounds".into());
+        }
+        Ok(())
+    }
+
+    /// Build the round machine this spec describes.
+    pub fn build(&self) -> Box<dyn Collective> {
+        let workers = self.workers.clone();
+        let rounds = Some(self.rounds);
+        match self.kind {
+            CollectiveKind::Alltoall => Box::new(AllToAll::new(AllToAllConfig {
+                workers,
+                message_bytes: self.message_bytes,
+                off_time: self.off_time,
+                rounds,
+            })),
+            CollectiveKind::RingAllreduce => Box::new(RingAllreduce::new(RingConfig {
+                workers,
+                message_bytes: self.message_bytes,
+                off_time: self.off_time,
+                rounds,
+            })),
+            CollectiveKind::TreeAllreduce => Box::new(TreeAllreduce::new(TreeConfig {
+                workers,
+                message_bytes: self.message_bytes,
+                off_time: self.off_time,
+                rounds,
+            })),
+            CollectiveKind::PipelineBurst => Box::new(PipelineBurst::new(PipelineConfig {
+                workers,
+                microbatch_bytes: self.message_bytes,
+                microbatches: 2,
+                off_time: self.off_time,
+                rounds,
+            })),
+        }
+    }
+}
+
 /// One point in the hunt search space.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HuntPoint {
-    /// Topology recipe.
-    pub topo: ClosSpec,
+    /// Topology recipe (any [`TopoSpec`] family).
+    pub topo: TopoSpec,
     /// Offered load.
     pub workload: Vec<FlowSpec>,
+    /// Optional barrier-synchronized collective on top of the workload.
+    pub collective: Option<CollectiveSpec>,
     /// Scheduled fabric faults.
     pub faults: FaultPlan,
     /// DCQCN parameter setting under test.
@@ -79,13 +230,20 @@ impl HuntPoint {
                 .ok_or_else(|| format!("HuntPoint: missing `{name}`"))
         };
         let point = Self {
-            topo: ClosSpec::from_value(field("topo")?)?,
+            // Untagged objects parse as legacy two-tier specs, so corpus
+            // files committed before topology families keep loading.
+            topo: TopoSpec::from_value(field("topo")?)?,
             workload: field("workload")?
                 .as_array()
                 .ok_or("HuntPoint: `workload` is not an array")?
                 .iter()
                 .map(FlowSpec::from_value)
                 .collect::<Result<Vec<_>, _>>()?,
+            // Pre-collective genomes simply lack the field.
+            collective: match v.get("collective") {
+                None | Some(Value::Null) => None,
+                Some(c) => Some(CollectiveSpec::from_value(c)?),
+            },
             faults: FaultPlan::from_value(field("faults")?)?,
             params: DcqcnParams::from_value(field("params")?)?,
             seed: field("seed")?
@@ -96,8 +254,8 @@ impl HuntPoint {
         Ok(point)
     }
 
-    /// Check internal consistency: every flow endpoint and fault target
-    /// must exist in the topology the spec builds.
+    /// Check internal consistency: every flow endpoint, collective rank
+    /// and fault target must exist in the topology the spec builds.
     pub fn validate(&self) -> Result<(), String> {
         let n_hosts = self.topo.n_hosts();
         for (i, f) in self.workload.iter().enumerate() {
@@ -108,6 +266,9 @@ impl HuntPoint {
                 return Err(format!("workload[{i}]: src == dst"));
             }
         }
+        if let Some(c) = &self.collective {
+            c.validate(n_hosts)?;
+        }
         // Cross-parameter constraint the simulator asserts at admission
         // (`EcnMarker::new`): per-param clamping cannot catch it.
         if self.params.k_min > self.params.k_max {
@@ -116,17 +277,23 @@ impl HuntPoint {
                 self.params.k_min, self.params.k_max
             ));
         }
-        for (i, ev) in self.faults.events().iter().enumerate() {
-            if node_class(&self.topo, ev.node).is_none() {
-                return Err(format!("faults[{i}]: node {} out of range", ev.node));
-            }
-            if port_valid(&self.topo, ev.node, ev.port).is_none() {
-                return Err(format!("faults[{i}]: port {} invalid", ev.port));
-            }
-            if matches!(ev.kind, FaultKind::PfcStormStart | FaultKind::PfcStormEnd)
-                && ev.node >= n_hosts
-            {
-                return Err(format!("faults[{i}]: storm target must be a host"));
+        if !self.faults.events().is_empty() {
+            // Fault targets are checked against the *built* graph so the
+            // same rules cover every topology family (for two-tier specs
+            // this matches the old `node_class`/`port_valid` arithmetic).
+            let topo = self.topo.build();
+            for (i, ev) in self.faults.events().iter().enumerate() {
+                if ev.node >= topo.n_nodes() {
+                    return Err(format!("faults[{i}]: node {} out of range", ev.node));
+                }
+                if ev.port >= topo.ports(ev.node).len() {
+                    return Err(format!("faults[{i}]: port {} invalid", ev.port));
+                }
+                if matches!(ev.kind, FaultKind::PfcStormStart | FaultKind::PfcStormEnd)
+                    && ev.node >= n_hosts
+                {
+                    return Err(format!("faults[{i}]: storm target must be a host"));
+                }
             }
         }
         Ok(())
@@ -212,12 +379,14 @@ pub fn port_valid(spec: &ClosSpec, node: NodeId, port: usize) -> Option<PortClas
     }
 }
 
-/// Re-address `point` onto the smaller (or differently shaped) topology
-/// `new`: every workload endpoint and fault target is re-classified
-/// under the old layout and re-encoded under the new one. Returns `None`
-/// when anything falls off the shrunken fabric (a flow's host no longer
-/// exists, a fault's uplink index exceeds the new leaf count) — the
-/// minimizer simply treats that shrink as a failed trial.
+/// Re-address `point` onto the smaller (or differently shaped) two-tier
+/// topology `new`: every workload endpoint and fault target is
+/// re-classified under the old layout and re-encoded under the new one.
+/// Returns `None` when anything falls off the shrunken fabric (a flow's
+/// host no longer exists, a fault's uplink index exceeds the new leaf
+/// count) — the minimizer simply treats that shrink as a failed trial.
+/// Only two-tier points remap: the minimizer's family pass collapses
+/// other families to [`TopoSpec::TwoTier`] first.
 pub fn remap_point(point: &HuntPoint, new: ClosSpec) -> Option<HuntPoint> {
     let mut new = new;
     // A zero-delay fabric has no propagation lookahead, which would force
@@ -225,7 +394,7 @@ pub fn remap_point(point: &HuntPoint, new: ClosSpec) -> Option<HuntPoint> {
     // 1 ns keeps every minimized genome runnable on both engines without
     // perceptibly changing the pathology being shrunk.
     new.delay_ns = new.delay_ns.max(1);
-    let old = &point.topo;
+    let old = point.topo.as_two_tier()?;
     let map_node = |node: NodeId| -> Option<NodeId> {
         match node_class(old, node)? {
             NodeClass::Host(t, l) => {
@@ -252,6 +421,20 @@ pub fn remap_point(point: &HuntPoint, new: ClosSpec) -> Option<HuntPoint> {
             ..*f
         });
     }
+    let collective = match &point.collective {
+        None => None,
+        Some(c) => {
+            let workers = c
+                .workers
+                .iter()
+                .map(|&w| map_node(w))
+                .collect::<Option<Vec<_>>>()?;
+            Some(CollectiveSpec {
+                workers,
+                ..c.clone()
+            })
+        }
+    };
     let mut faults = FaultPlan::new(point.faults.seed);
     for ev in point.faults.events() {
         let mut ev = *ev;
@@ -260,8 +443,9 @@ pub fn remap_point(point: &HuntPoint, new: ClosSpec) -> Option<HuntPoint> {
         faults.push(ev);
     }
     let out = HuntPoint {
-        topo: new,
+        topo: TopoSpec::TwoTier(new),
         workload,
+        collective,
         faults,
         params: point.params,
         seed: point.seed,
@@ -328,7 +512,7 @@ mod tests {
         faults.link_flap(8, 4, 1_000_000, 200_000, 500_000, 2);
         faults.pfc_storm(0, 2_000_000, 3_000_000);
         HuntPoint {
-            topo: spec(),
+            topo: TopoSpec::TwoTier(spec()),
             workload: vec![
                 FlowSpec {
                     src: 0,
@@ -347,6 +531,7 @@ mod tests {
                     gap: 2_000_000,
                 },
             ],
+            collective: None,
             faults,
             params: DcqcnParams::expert(),
             seed: 42,
@@ -417,6 +602,118 @@ mod tests {
         assert_eq!(got.workload[0].dst, 2);
     }
 
+    fn collective() -> CollectiveSpec {
+        CollectiveSpec {
+            kind: CollectiveKind::RingAllreduce,
+            workers: vec![0, 1, 4, 5],
+            message_bytes: 500_000,
+            rounds: 2,
+            off_time: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn collective_and_family_genomes_round_trip() {
+        let mut p = point();
+        p.collective = Some(collective());
+        let back = HuntPoint::from_value(&p.serialize_value()).unwrap();
+        assert_eq!(back, p);
+        // A non-two-tier family round-trips too (faults dropped: the
+        // rail fabric has a different port layout).
+        let mut p = point();
+        p.topo = TopoSpec::Rail(paraleon_netsim::RailSpec {
+            n_rail: 2,
+            n_server: 4,
+            n_spine: 2,
+            host_gbps: 100.0,
+            uplink_gbps: 100.0,
+            delay_ns: 5_000,
+        });
+        p.faults = FaultPlan::new(7);
+        p.validate().expect("rail genome valid");
+        let back = HuntPoint::from_value(&p.serialize_value()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn legacy_untagged_genome_parses_as_two_tier() {
+        // Corpus files committed before topology families carry a bare
+        // ClosSpec object and no `collective` field.
+        let p = point();
+        let mut v = p.serialize_value();
+        if let Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "collective");
+            for (k, val) in fields.iter_mut() {
+                if k == "topo" {
+                    if let Value::Object(topo_fields) = val {
+                        topo_fields.retain(|(k, _)| k != "family");
+                    }
+                }
+            }
+        }
+        let back = HuntPoint::from_value(&v).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn validate_rejects_bad_collectives() {
+        let mut p = point();
+        p.collective = Some(CollectiveSpec {
+            workers: vec![0, 99],
+            ..collective()
+        });
+        assert!(p.validate().is_err(), "worker out of range");
+        p.collective = Some(CollectiveSpec {
+            workers: vec![0, 0],
+            ..collective()
+        });
+        assert!(p.validate().is_err(), "duplicate worker");
+        p.collective = Some(CollectiveSpec {
+            rounds: 0,
+            ..collective()
+        });
+        assert!(p.validate().is_err(), "zero rounds");
+    }
+
+    #[test]
+    fn collective_spec_builds_every_kind() {
+        for kind in ALL_COLLECTIVES {
+            let c = CollectiveSpec {
+                kind,
+                ..collective()
+            };
+            let machine = c.build();
+            assert!(!machine.finished());
+            assert_eq!(machine.workers(), &[0, 1, 4, 5]);
+            assert_eq!(CollectiveKind::from_name(kind.name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn remap_remaps_collective_workers() {
+        let mut p = point();
+        p.workload.truncate(1);
+        p.faults = FaultPlan::new(1);
+        p.collective = Some(CollectiveSpec {
+            workers: vec![0, 4],
+            ..collective()
+        });
+        let small = ClosSpec {
+            hosts_per_tor: 2,
+            n_leaf: 1,
+            ..spec()
+        };
+        let got = remap_point(&p, small).expect("fits");
+        // Host 4 (ToR1 local 0) becomes host 2 at 2 hosts/ToR.
+        assert_eq!(got.collective.unwrap().workers, vec![0, 2]);
+        // A worker that falls off the fabric fails the remap.
+        p.collective = Some(CollectiveSpec {
+            workers: vec![0, 2],
+            ..collective()
+        });
+        assert!(remap_point(&p, small).is_none());
+    }
+
     #[test]
     fn remap_clamps_zero_delay_for_shard_lookahead() {
         let p = point();
@@ -425,7 +722,7 @@ mod tests {
             ..spec()
         };
         let got = remap_point(&p, zero_delay).expect("same shape fits");
-        assert_eq!(got.topo.delay_ns, 1, "delay must stay >= 1 ns");
+        assert_eq!(got.topo.delay_ns(), 1, "delay must stay >= 1 ns");
         let topo = got.topo.build();
         let map = topo.shard_map(&topo.partition(2));
         assert!(

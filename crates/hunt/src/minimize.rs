@@ -16,7 +16,7 @@
 //! "evaluate and check the oracle still fires" check.
 
 use paraleon_dcqcn::DcqcnParams;
-use paraleon_netsim::{ClosSpec, FaultPlan};
+use paraleon_netsim::{ClosSpec, FaultPlan, TopoSpec};
 use serde::Serialize;
 
 use crate::eval::{evaluate, EvalConfig};
@@ -130,6 +130,36 @@ where
             }
         }
 
+        // Pass 3b: strip the collective, or failing that shrink it —
+        // halve the payload (floor 1 KiB) and collapse to one round. A
+        // finding that survives without its collective is a plain
+        // workload bug; one that doesn't has proven the barrier matters.
+        if best.collective.is_some() {
+            let mut cand = best.clone();
+            cand.collective = None;
+            improved |= try_candidate(cand, &mut best, &mut stats);
+        }
+        if let Some(c) = &best.collective {
+            if c.rounds > 1 {
+                let mut cand = best.clone();
+                cand.collective.as_mut().unwrap().rounds = 1;
+                improved |= try_candidate(cand, &mut best, &mut stats);
+            }
+        }
+        while best
+            .collective
+            .as_ref()
+            .is_some_and(|c| c.message_bytes > 1024)
+        {
+            let mut cand = best.clone();
+            let c = cand.collective.as_mut().unwrap();
+            c.message_bytes = (c.message_bytes / 2).max(1024);
+            if !try_candidate(cand, &mut best, &mut stats) {
+                break;
+            }
+            improved = true;
+        }
+
         // Pass 4: drop fault events, rightmost-first. Dropping half of a
         // paired transition (a storm's end, a loss window's clear) is
         // legal — the fault simply persists, often an even simpler repro.
@@ -162,34 +192,48 @@ where
             improved |= try_candidate(cand, &mut best, &mut stats);
         }
 
-        // Pass 6: shrink the fabric one dimension at a time, re-mapping
+        // Pass 6a: collapse an exotic topology family back to the plain
+        // two-tier Clos with the same host count. Fault events that no
+        // longer address a real port make the candidate invalid and the
+        // collapse is skipped (dropping them first is pass 4's job); a
+        // finding that survives the collapse didn't need the family.
+        if best.topo.as_two_tier().is_none() {
+            let mut cand = best.clone();
+            cand.topo = TopoSpec::TwoTier(best.topo.to_two_tier());
+            improved |= try_candidate(cand, &mut best, &mut stats);
+        }
+
+        // Pass 6b: shrink the fabric one dimension at a time, re-mapping
         // every endpoint; a shrink that orphans anything fails remap and
         // is skipped without spending a trial. Each candidate derives
         // from the *current* best topology — deriving all three from the
         // sweep-start topology would let a later candidate silently
         // restore a dimension an earlier acceptance just shrank, and the
-        // minimizer would oscillate instead of converging.
+        // minimizer would oscillate instead of converging. Dimension
+        // shrinking only understands the two-tier family; exotic families
+        // must collapse (pass 6a) before their dims can shrink.
         for dim in 0..3usize {
-            let t = best.topo;
-            let new_topo = match dim {
-                0 => ClosSpec {
-                    n_leaf: t.n_leaf.saturating_sub(1).max(1),
-                    ..t
-                },
-                1 => ClosSpec {
-                    n_tor: t.n_tor.saturating_sub(1).max(1),
-                    ..t
-                },
-                _ => ClosSpec {
-                    hosts_per_tor: t.hosts_per_tor.saturating_sub(1).max(1),
-                    ..t
-                },
-            };
-            if new_topo == best.topo {
-                continue;
-            }
-            if let Some(cand) = remap_point(&best, new_topo) {
-                improved |= try_candidate(cand, &mut best, &mut stats);
+            if let Some(&t) = best.topo.as_two_tier() {
+                let new_topo = match dim {
+                    0 => ClosSpec {
+                        n_leaf: t.n_leaf.saturating_sub(1).max(1),
+                        ..t
+                    },
+                    1 => ClosSpec {
+                        n_tor: t.n_tor.saturating_sub(1).max(1),
+                        ..t
+                    },
+                    _ => ClosSpec {
+                        hosts_per_tor: t.hosts_per_tor.saturating_sub(1).max(1),
+                        ..t
+                    },
+                };
+                if TopoSpec::TwoTier(new_topo) == best.topo {
+                    continue;
+                }
+                if let Some(cand) = remap_point(&best, new_topo) {
+                    improved |= try_candidate(cand, &mut best, &mut stats);
+                }
             }
         }
 
@@ -234,14 +278,14 @@ mod tests {
         faults.pfc_storm(0, MILLI, 2 * MILLI);
         faults.degrade(MILLI, 9, 0, 0.1);
         HuntPoint {
-            topo: ClosSpec {
+            topo: TopoSpec::TwoTier(ClosSpec {
                 n_tor: 2,
                 hosts_per_tor: 4,
                 n_leaf: 2,
                 host_gbps: 100.0,
                 uplink_gbps: 100.0,
                 delay_ns: 4_000,
-            },
+            }),
             workload: vec![
                 FlowSpec {
                     src: 0,
@@ -260,6 +304,7 @@ mod tests {
                     gap: MILLI,
                 },
             ],
+            collective: None,
             faults,
             params: DcqcnParams::expert(),
             seed: 5,
@@ -290,6 +335,47 @@ mod tests {
         assert_eq!(min.params.ai_rate, DcqcnParams::nvidia_default().ai_rate);
         // The fabric shrank to the minimum that still hosts the genome.
         assert!(min.topo.n_hosts() < fat_point().topo.n_hosts());
+    }
+
+    #[test]
+    fn shrinks_collective_and_collapses_family() {
+        use crate::genome::{CollectiveKind, CollectiveSpec};
+        // Start on a rail fabric with a fat allreduce; the synthetic
+        // oracle only needs *a* collective with ≥ 4 KiB messages, so the
+        // minimizer must collapse the family, drop the extra round and
+        // halve the payload down to the 4 KiB floor the predicate sets.
+        let mut p = fat_point();
+        p.topo = TopoSpec::Rail(paraleon_netsim::RailSpec {
+            n_rail: 2,
+            n_server: 4,
+            n_spine: 2,
+            host_gbps: 100.0,
+            uplink_gbps: 100.0,
+            delay_ns: 4_000,
+        });
+        p.collective = Some(CollectiveSpec {
+            kind: CollectiveKind::RingAllreduce,
+            workers: vec![0, 1, 2, 3],
+            message_bytes: 1 << 20,
+            rounds: 4,
+            off_time: MILLI,
+        });
+        p.validate().expect("fixture valid");
+        let fires = |p: &HuntPoint| {
+            p.collective
+                .as_ref()
+                .is_some_and(|c| c.message_bytes >= 4096)
+        };
+        let (min, stats) = minimize_with(&p, 10_000, fires);
+        assert!(stats.converged);
+        let c = min.collective.expect("collective is load-bearing");
+        assert_eq!(c.rounds, 1);
+        assert_eq!(c.message_bytes, 4096);
+        assert!(
+            min.topo.as_two_tier().is_some(),
+            "family must collapse to two-tier, got {:?}",
+            min.topo
+        );
     }
 
     #[test]

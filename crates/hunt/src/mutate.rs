@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use paraleon_dcqcn::{ParamSpace, ALL_PARAMS};
-use paraleon_netsim::{FaultPlan, Nanos, NodeId};
+use paraleon_netsim::{FaultPlan, Nanos, NodeId, TopoSpec};
 
 use crate::genome::{GenomeCaps, HuntPoint};
 use crate::oracle::OracleKind;
@@ -44,27 +44,18 @@ fn random_host_pair(point: &HuntPoint, rng: &mut StdRng) -> (NodeId, NodeId) {
 }
 
 /// A random existing `(node, port)` edge endpoint, weighted toward the
-/// contended ones (ToR ports and host uplinks).
+/// contended ones (switch ports over host uplinks, 3:1). Sampling the
+/// built graph instead of two-tier index arithmetic keeps the operator
+/// correct for every topology family.
 fn random_edge(point: &HuntPoint, rng: &mut StdRng) -> (NodeId, usize) {
-    let t = &point.topo;
-    match rng.gen_range(0u32..4) {
+    let t = point.topo.build();
+    if rng.gen_range(0u32..4) == 0 {
         // A host's uplink.
-        0 => (rng.gen_range(0..t.n_hosts()), 0),
-        // A ToR down-port.
-        1 => (
-            t.n_hosts() + rng.gen_range(0..t.n_tor),
-            rng.gen_range(0..t.hosts_per_tor),
-        ),
-        // A ToR uplink.
-        2 => (
-            t.n_hosts() + rng.gen_range(0..t.n_tor),
-            t.hosts_per_tor + rng.gen_range(0..t.n_leaf),
-        ),
-        // A leaf down-port.
-        _ => (
-            t.n_hosts() + t.n_tor + rng.gen_range(0..t.n_leaf),
-            rng.gen_range(0..t.n_tor),
-        ),
+        (rng.gen_range(0..t.n_hosts()), 0)
+    } else {
+        // Any switch port (down-ports and uplinks alike).
+        let sw = rng.gen_range(t.n_hosts()..t.n_nodes());
+        (sw, rng.gen_range(0..t.ports(sw).len()))
     }
 }
 
@@ -106,6 +97,15 @@ enum Op {
     DropFault,
     /// Re-seed the simulator RNG.
     Reseed,
+    /// Swap the topology family (two-tier ↔ rail/mixed-rate/three-tier),
+    /// preserving the host count; fault events that don't fit the new
+    /// port layout are dropped.
+    SwapTopoFamily,
+    /// Attach a barrier-synchronized collective (or re-roll the existing
+    /// one's kind).
+    AddCollective,
+    /// Detach the collective.
+    DropCollective,
 }
 
 /// Generic pool every hunt draws from.
@@ -118,6 +118,9 @@ const GENERIC: &[Op] = &[
     Op::DropFault,
     Op::Reseed,
     Op::FlipClamp,
+    Op::SwapTopoFamily,
+    Op::AddCollective,
+    Op::DropCollective,
 ];
 
 /// Kind-targeted palette, mixed 50/50 with [`GENERIC`].
@@ -136,6 +139,8 @@ fn palette(kind: OracleKind) -> &'static [Op] {
             Op::AddDegrade,
             Op::BoostCount,
             Op::ExtremeParam,
+            // Barrier-synchronized waves are the natural incast machine.
+            Op::AddCollective,
         ],
         OracleKind::Unfairness => &[
             Op::AddDegrade,
@@ -143,6 +148,8 @@ fn palette(kind: OracleKind) -> &'static [Op] {
             Op::AddIncast,
             Op::ExtremeParam,
             Op::AddStorm,
+            // Rail/mixed-rate planes skew path capacity between ranks.
+            Op::SwapTopoFamily,
         ],
         OracleKind::AuditViolation => &[
             Op::AddStorm,
@@ -363,6 +370,92 @@ fn apply(op: Op, p: &mut HuntPoint, caps: &GenomeCaps, rng: &mut StdRng) -> bool
             p.seed = rng.gen_range(0u64..1 << 32);
             true
         }
+        Op::SwapTopoFamily => {
+            // Re-express the current fabric in a different family with
+            // the same host count, so every workload endpoint and
+            // collective rank survives the swap. The rail and mixed-rate
+            // families share the two-tier port layout; the three-tier
+            // family does not, so fault events that no longer address a
+            // real port are dropped afterwards.
+            let base = p.topo.to_two_tier();
+            let choices = [
+                TopoSpec::TwoTier(base),
+                TopoSpec::Rail(paraleon_netsim::RailSpec {
+                    n_rail: base.n_tor,
+                    n_server: base.hosts_per_tor,
+                    n_spine: base.n_leaf,
+                    host_gbps: base.host_gbps,
+                    uplink_gbps: base.uplink_gbps,
+                    delay_ns: base.delay_ns,
+                }),
+                TopoSpec::MixedRate(paraleon_netsim::MixedRateSpec {
+                    n_tor: base.n_tor,
+                    hosts_per_tor: base.hosts_per_tor,
+                    n_leaf: base.n_leaf,
+                    host_gbps: base.host_gbps,
+                    fast_gbps: base.uplink_gbps,
+                    slow_gbps: (base.uplink_gbps / 4.0).max(1.0),
+                    delay_ns: base.delay_ns,
+                }),
+                TopoSpec::ThreeTier(paraleon_netsim::ThreeTierSpec {
+                    n_pod: base.n_tor,
+                    tors_per_pod: 1,
+                    hosts_per_tor: base.hosts_per_tor,
+                    aggs_per_pod: base.n_leaf,
+                    spines_per_agg: 1,
+                    host_gbps: base.host_gbps,
+                    agg_gbps: base.uplink_gbps,
+                    spine_gbps: base.uplink_gbps,
+                    delay_ns: base.delay_ns,
+                }),
+            ];
+            let new = choices[rng.gen_range(0..choices.len())];
+            if new == p.topo {
+                return false;
+            }
+            p.topo = new;
+            // Keep only fault events the new fabric can address.
+            let topo = p.topo.build();
+            let n_hosts = topo.n_hosts();
+            let mut faults = FaultPlan::new(p.faults.seed);
+            for ev in p.faults.events() {
+                let port_ok = ev.node < topo.n_nodes() && ev.port < topo.ports(ev.node).len();
+                let storm_ok = !matches!(
+                    ev.kind,
+                    paraleon_netsim::FaultKind::PfcStormStart
+                        | paraleon_netsim::FaultKind::PfcStormEnd
+                ) || ev.node < n_hosts;
+                if port_ok && storm_ok {
+                    faults.push(*ev);
+                }
+            }
+            p.faults = faults;
+            true
+        }
+        Op::AddCollective => {
+            let n = p.topo.n_hosts();
+            if n < 2 {
+                return false;
+            }
+            // A small distinct-rank set via partial Fisher-Yates.
+            let k = rng.gen_range(2..=n.min(6));
+            let mut hosts: Vec<NodeId> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                hosts.swap(i, j);
+            }
+            hosts.truncate(k);
+            let kinds = crate::genome::ALL_COLLECTIVES;
+            p.collective = Some(crate::genome::CollectiveSpec {
+                kind: kinds[rng.gen_range(0..kinds.len())],
+                workers: hosts,
+                message_bytes: rng.gen_range(64u64..=caps.max_flow_bytes / 1024) * 1024,
+                rounds: rng.gen_range(1..=3),
+                off_time: quantized(rng, QUANTUM, caps.horizon / 8),
+            });
+            true
+        }
+        Op::DropCollective => p.collective.take().is_some(),
     }
 }
 
@@ -370,17 +463,18 @@ fn apply(op: Op, p: &mut HuntPoint, caps: &GenomeCaps, rng: &mut StdRng) -> bool
 /// specs and no faults — deliberately bland, so whatever the search
 /// finds is attributable to mutation pressure, not a loaded seed.
 pub fn seed_point(caps: &GenomeCaps, rng: &mut StdRng) -> HuntPoint {
-    let topo = paraleon_netsim::ClosSpec {
+    let topo = TopoSpec::TwoTier(paraleon_netsim::ClosSpec {
         n_tor: rng.gen_range(2..=caps.max_tor),
         hosts_per_tor: rng.gen_range(2..=caps.max_hosts_per_tor),
         n_leaf: rng.gen_range(1..=caps.max_leaf),
         host_gbps: 100.0,
         uplink_gbps: if rng.gen_bool(0.5) { 100.0 } else { 200.0 },
         delay_ns: 4_000,
-    };
+    });
     let mut point = HuntPoint {
         topo,
         workload: Vec::new(),
+        collective: None,
         faults: FaultPlan::new(rng.gen_range(0u64..1 << 32)),
         params: paraleon_dcqcn::DcqcnParams::nvidia_default(),
         seed: rng.gen_range(0u64..1 << 32),

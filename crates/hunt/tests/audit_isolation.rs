@@ -7,20 +7,20 @@ use paraleon_dcqcn::DcqcnParams;
 use paraleon_hunt::eval::{evaluate, EvalConfig};
 use paraleon_hunt::genome::{FlowSpec, HuntPoint};
 use paraleon_hunt::oracle::OracleConfig;
-use paraleon_netsim::{ClosSpec, FaultPlan, MILLI};
+use paraleon_netsim::{ClosSpec, FaultPlan, TopoSpec, MILLI};
 
 fn stormy_point() -> HuntPoint {
     let mut faults = FaultPlan::new(9);
     faults.pfc_storm(0, MILLI, 3 * MILLI);
     HuntPoint {
-        topo: ClosSpec {
+        topo: TopoSpec::TwoTier(ClosSpec {
             n_tor: 2,
             hosts_per_tor: 2,
             n_leaf: 1,
             host_gbps: 100.0,
             uplink_gbps: 100.0,
             delay_ns: 2_000,
-        },
+        }),
         workload: vec![FlowSpec {
             src: 2,
             dst: 0,
@@ -29,6 +29,7 @@ fn stormy_point() -> HuntPoint {
             count: 4,
             gap: MILLI,
         }],
+        collective: None,
         faults,
         params: DcqcnParams::nvidia_default(),
         seed: 9,

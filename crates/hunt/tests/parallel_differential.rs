@@ -188,6 +188,69 @@ proptest! {
     }
 }
 
+/// Collective-workload differential: a barrier-synchronized ring
+/// allreduce driven through the closed loop over a *rail-optimized*
+/// fabric (striped host incidence — the layout most sensitive to shard
+/// partitioning) must be byte-identical serial vs 2- and 4-way sharded.
+/// Wave admission depends on the completion-record stream, so any
+/// engine-level reordering would cascade into different wave timings —
+/// this gate catches it at the first diverged record.
+#[test]
+fn collective_over_rail_topology_is_byte_identical() {
+    use paraleon::drivers::run_collective;
+    use paraleon_netsim::RailSpec;
+    use paraleon_workloads::{Collective, RingAllreduce, RingConfig};
+    let spec = RailSpec {
+        n_rail: 4,
+        n_server: 2,
+        n_spine: 2,
+        host_gbps: 100.0,
+        uplink_gbps: 100.0,
+        delay_ns: 1_000,
+    };
+    let run = |threads: usize| {
+        tel::set_enabled(true);
+        tel::reset();
+        paraleon_audit::reset();
+        let mut cl = ClosedLoop::builder(spec.build())
+            .scheme(SchemeKind::Paraleon)
+            .monitor(MonitorKind::Paraleon)
+            .parallel(threads)
+            .loop_config(LoopConfig {
+                lambda_mi: MILLI,
+                force_tuning: true,
+                ..LoopConfig::default()
+            })
+            .seed(7)
+            .build();
+        let mut ring = RingAllreduce::new(RingConfig {
+            workers: (0..8).collect(),
+            message_bytes: 250_000,
+            off_time: MILLI,
+            rounds: Some(2),
+        });
+        let recs = run_collective(&mut cl, &mut ring, 0, 100 * MILLI);
+        assert!(ring.finished(), "2 rounds must finish within 100 ms");
+        let flight = tel::flight_events();
+        let tail_start = flight.len().saturating_sub(FLIGHT_TAIL);
+        (
+            recs,
+            cl.history.clone(),
+            cl.sim.events_processed(),
+            flight[tail_start..].to_vec(),
+            paraleon_audit::violation_count(),
+        )
+    };
+    let serial = run(1);
+    for threads in [2usize, 4] {
+        let par = run(threads);
+        assert_eq!(
+            par, serial,
+            "{threads} threads diverged from serial on the collective workload"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 

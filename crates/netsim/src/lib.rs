@@ -40,7 +40,10 @@ pub use metrics::{FlowRecord, IntervalMetrics, SwitchObs};
 pub use packet::{Packet, PacketId, PacketKind, PacketPool};
 pub use par::{Engine, ParallelSim};
 pub use sim::{SimError, Simulator};
-pub use topology::{gbps, ClosSpec, NodeKind, Port, ShardSpec, Topology};
+pub use topology::{
+    gbps, ClosSpec, MixedRateSpec, NodeKind, Port, RailSpec, ShardSpec, ThreeTierSpec, TopoSpec,
+    Topology,
+};
 
 /// Node identifier (index into the topology).
 pub type NodeId = usize;

@@ -5,9 +5,13 @@
 //! switches, ToRs attach to leaf (spine) switches, with configurable
 //! oversubscription (4:1 in the NS3 evaluation, 1:1 on the testbed).
 //! [`Topology::two_tier_clos`] builds exactly that; a dumbbell helper
-//! supports unit tests.
+//! supports unit tests. Beyond the paper, [`TopoSpec`] opens the
+//! scenario space to the fabric families the Chameleon artifact sweeps:
+//! an oversubscribed three-tier Clos ([`Topology::three_tier_clos`]),
+//! a rail-optimized plane (GPU `g` of every server on rail switch `g`),
+//! and a mixed-link-speed plane (alternating fast/slow leaf uplinks).
 //!
-//! Routing is deterministic ECMP: the upward leaf choice at a ToR is a
+//! Routing is deterministic ECMP: the upward choice at a switch is a
 //! hash of the flow id, so one flow always follows one path (no
 //! reordering), matching RoCEv2 deployments.
 
@@ -32,6 +36,34 @@ pub struct ClosSpec {
     pub uplink_gbps: f64,
     /// Per-link propagation delay in nanoseconds.
     pub delay_ns: Nanos,
+}
+
+/// Validate the fields shared by every spec family. `delay_ns == 0` is
+/// rejected because a zero-delay link zeroes [`Topology::lookahead`],
+/// which degenerates the conservative parallel engine to lockstep —
+/// the same floor `remap_point` clamps to in the hunt minimizer.
+fn validate_common(
+    what: &str,
+    dims: &[(&str, usize)],
+    rates: &[f64],
+    delay_ns: Nanos,
+) -> Result<(), String> {
+    for &(name, v) in dims {
+        if v == 0 {
+            return Err(format!("{what}: `{name}` must be >= 1"));
+        }
+    }
+    for &rate in rates {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(format!("{what}: link rates must be positive"));
+        }
+    }
+    if delay_ns == 0 {
+        return Err(format!(
+            "{what}: delay_ns must be >= 1 (zero delay gives the parallel engine no lookahead)"
+        ));
+    }
+    Ok(())
 }
 
 impl ClosSpec {
@@ -77,15 +109,415 @@ impl ClosSpec {
             uplink_gbps: float("uplink_gbps")?,
             delay_ns: uint("delay_ns")?,
         };
-        if spec.n_tor == 0 || spec.hosts_per_tor == 0 || spec.n_leaf == 0 {
-            return Err("ClosSpec: dimensions must be >= 1".into());
-        }
-        for rate in [spec.host_gbps, spec.uplink_gbps] {
-            if !rate.is_finite() || rate <= 0.0 {
-                return Err("ClosSpec: link rates must be positive".into());
-            }
-        }
+        validate_common(
+            "ClosSpec",
+            &[
+                ("n_tor", spec.n_tor),
+                ("hosts_per_tor", spec.hosts_per_tor),
+                ("n_leaf", spec.n_leaf),
+            ],
+            &[spec.host_gbps, spec.uplink_gbps],
+            spec.delay_ns,
+        )?;
         Ok(spec)
+    }
+}
+
+/// Recipe for [`Topology::three_tier_clos`]: pods of ToRs under
+/// aggregation switches, aggregation planes joined by spines. The
+/// canonical way to express oversubscription at two levels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ThreeTierSpec {
+    /// Number of pods.
+    pub n_pod: usize,
+    /// ToR switches per pod.
+    pub tors_per_pod: usize,
+    /// Hosts attached to each ToR.
+    pub hosts_per_tor: usize,
+    /// Aggregation switches per pod.
+    pub aggs_per_pod: usize,
+    /// Spines attached to each aggregation plane (total spines =
+    /// `aggs_per_pod · spines_per_agg`).
+    pub spines_per_agg: usize,
+    /// Host link rate in Gbps.
+    pub host_gbps: f64,
+    /// ToR↔aggregation link rate in Gbps.
+    pub agg_gbps: f64,
+    /// Aggregation↔spine link rate in Gbps.
+    pub spine_gbps: f64,
+    /// Per-link propagation delay in nanoseconds.
+    pub delay_ns: Nanos,
+}
+
+impl ThreeTierSpec {
+    /// Total host count.
+    pub fn n_hosts(&self) -> usize {
+        self.n_pod * self.tors_per_pod * self.hosts_per_tor
+    }
+
+    /// Total node count (hosts + ToRs + aggs + spines).
+    pub fn n_nodes(&self) -> usize {
+        self.n_hosts()
+            + self.n_pod * self.tors_per_pod
+            + self.n_pod * self.aggs_per_pod
+            + self.aggs_per_pod * self.spines_per_agg
+    }
+
+    /// Materialize the spec into a routed [`Topology`].
+    pub fn build(&self) -> Topology {
+        Topology::three_tier_clos(
+            self.n_pod,
+            self.tors_per_pod,
+            self.hosts_per_tor,
+            self.aggs_per_pod,
+            self.spines_per_agg,
+            self.host_gbps,
+            self.agg_gbps,
+            self.spine_gbps,
+            self.delay_ns,
+        )
+    }
+
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let uint = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("ThreeTierSpec: missing `{name}`"))
+        };
+        let float = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("ThreeTierSpec: missing `{name}`"))
+        };
+        let spec = Self {
+            n_pod: uint("n_pod")? as usize,
+            tors_per_pod: uint("tors_per_pod")? as usize,
+            hosts_per_tor: uint("hosts_per_tor")? as usize,
+            aggs_per_pod: uint("aggs_per_pod")? as usize,
+            spines_per_agg: uint("spines_per_agg")? as usize,
+            host_gbps: float("host_gbps")?,
+            agg_gbps: float("agg_gbps")?,
+            spine_gbps: float("spine_gbps")?,
+            delay_ns: uint("delay_ns")?,
+        };
+        validate_common(
+            "ThreeTierSpec",
+            &[
+                ("n_pod", spec.n_pod),
+                ("tors_per_pod", spec.tors_per_pod),
+                ("hosts_per_tor", spec.hosts_per_tor),
+                ("aggs_per_pod", spec.aggs_per_pod),
+                ("spines_per_agg", spec.spines_per_agg),
+            ],
+            &[spec.host_gbps, spec.agg_gbps, spec.spine_gbps],
+            spec.delay_ns,
+        )?;
+        Ok(spec)
+    }
+}
+
+/// Recipe for a rail-optimized plane: GPU `g` of every server attaches
+/// to rail switch `g`, so host ids stripe across the "ToR" tier instead
+/// of blocking under it. Same two-tier graph shape as [`ClosSpec`],
+/// different host↔switch incidence — which is exactly what changes the
+/// contention pattern of collectives over consecutive ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RailSpec {
+    /// Number of rail switches (GPUs per server).
+    pub n_rail: usize,
+    /// Servers — each contributes one host (GPU) per rail.
+    pub n_server: usize,
+    /// Spine switches joining the rails.
+    pub n_spine: usize,
+    /// Host link rate in Gbps.
+    pub host_gbps: f64,
+    /// Rail↔spine link rate in Gbps.
+    pub uplink_gbps: f64,
+    /// Per-link propagation delay in nanoseconds.
+    pub delay_ns: Nanos,
+}
+
+impl RailSpec {
+    /// Total host count (`n_server · n_rail` GPUs).
+    pub fn n_hosts(&self) -> usize {
+        self.n_rail * self.n_server
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.n_hosts() + self.n_rail + self.n_spine
+    }
+
+    /// Materialize the spec into a routed [`Topology`].
+    pub fn build(&self) -> Topology {
+        Topology::rail_optimized(
+            self.n_rail,
+            self.n_server,
+            self.n_spine,
+            self.host_gbps,
+            self.uplink_gbps,
+            self.delay_ns,
+        )
+    }
+
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let uint = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("RailSpec: missing `{name}`"))
+        };
+        let float = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("RailSpec: missing `{name}`"))
+        };
+        let spec = Self {
+            n_rail: uint("n_rail")? as usize,
+            n_server: uint("n_server")? as usize,
+            n_spine: uint("n_spine")? as usize,
+            host_gbps: float("host_gbps")?,
+            uplink_gbps: float("uplink_gbps")?,
+            delay_ns: uint("delay_ns")?,
+        };
+        validate_common(
+            "RailSpec",
+            &[
+                ("n_rail", spec.n_rail),
+                ("n_server", spec.n_server),
+                ("n_spine", spec.n_spine),
+            ],
+            &[spec.host_gbps, spec.uplink_gbps],
+            spec.delay_ns,
+        )?;
+        Ok(spec)
+    }
+}
+
+/// Recipe for a mixed-link-speed two-tier Clos: even-indexed leaves get
+/// `fast_gbps` uplinks, odd-indexed leaves `slow_gbps`. ECMP still
+/// spreads flows over all leaves, so a hash-unlucky flow rides the slow
+/// plane — the heterogeneity DCQCN parameter tuning must tolerate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MixedRateSpec {
+    /// Number of ToR switches.
+    pub n_tor: usize,
+    /// Hosts attached to each ToR.
+    pub hosts_per_tor: usize,
+    /// Number of leaf switches (fast/slow alternating).
+    pub n_leaf: usize,
+    /// Host link rate in Gbps.
+    pub host_gbps: f64,
+    /// Uplink rate of even-indexed leaves, Gbps.
+    pub fast_gbps: f64,
+    /// Uplink rate of odd-indexed leaves, Gbps.
+    pub slow_gbps: f64,
+    /// Per-link propagation delay in nanoseconds.
+    pub delay_ns: Nanos,
+}
+
+impl MixedRateSpec {
+    /// Total host count.
+    pub fn n_hosts(&self) -> usize {
+        self.n_tor * self.hosts_per_tor
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.n_hosts() + self.n_tor + self.n_leaf
+    }
+
+    /// Materialize the spec into a routed [`Topology`].
+    pub fn build(&self) -> Topology {
+        let fast = self.fast_gbps;
+        let slow = self.slow_gbps;
+        Topology::build_two_tier(
+            self.n_tor,
+            self.hosts_per_tor,
+            self.n_leaf,
+            self.host_gbps,
+            &|l| if l % 2 == 0 { fast } else { slow },
+            self.delay_ns,
+            false,
+        )
+    }
+
+    /// Reconstruct from the [`Serialize`] representation.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let uint = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("MixedRateSpec: missing `{name}`"))
+        };
+        let float = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("MixedRateSpec: missing `{name}`"))
+        };
+        let spec = Self {
+            n_tor: uint("n_tor")? as usize,
+            hosts_per_tor: uint("hosts_per_tor")? as usize,
+            n_leaf: uint("n_leaf")? as usize,
+            host_gbps: float("host_gbps")?,
+            fast_gbps: float("fast_gbps")?,
+            slow_gbps: float("slow_gbps")?,
+            delay_ns: uint("delay_ns")?,
+        };
+        validate_common(
+            "MixedRateSpec",
+            &[
+                ("n_tor", spec.n_tor),
+                ("hosts_per_tor", spec.hosts_per_tor),
+                ("n_leaf", spec.n_leaf),
+            ],
+            &[spec.host_gbps, spec.fast_gbps, spec.slow_gbps],
+            spec.delay_ns,
+        )?;
+        Ok(spec)
+    }
+}
+
+/// A topology *family* plus its dimensions: everything needed to build,
+/// route and partition a fabric, round-trippable through JSON like
+/// [`ClosSpec`] (which it embeds as its first family).
+///
+/// Serialized form is the family spec's fields plus a `"family"` tag;
+/// an object *without* a tag parses as a legacy untagged [`ClosSpec`],
+/// so corpus files written before families existed keep loading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopoSpec {
+    /// The paper's two-tier Clos ([`ClosSpec`]).
+    TwoTier(ClosSpec),
+    /// Oversubscribed three-tier Clos ([`ThreeTierSpec`]).
+    ThreeTier(ThreeTierSpec),
+    /// Rail-optimized GPU plane ([`RailSpec`]).
+    Rail(RailSpec),
+    /// Two-tier Clos with alternating fast/slow leaf planes
+    /// ([`MixedRateSpec`]).
+    MixedRate(MixedRateSpec),
+}
+
+impl Serialize for TopoSpec {
+    fn serialize_value(&self) -> Value {
+        let tagged = |family: &str, v: Value| {
+            let mut entries = vec![("family".to_string(), Value::String(family.to_string()))];
+            if let Value::Object(fields) = v {
+                entries.extend(fields);
+            }
+            Value::Object(entries)
+        };
+        match self {
+            Self::TwoTier(s) => tagged("two_tier", s.serialize_value()),
+            Self::ThreeTier(s) => tagged("three_tier", s.serialize_value()),
+            Self::Rail(s) => tagged("rail", s.serialize_value()),
+            Self::MixedRate(s) => tagged("mixed_rate", s.serialize_value()),
+        }
+    }
+}
+
+impl TopoSpec {
+    /// Total host count.
+    pub fn n_hosts(&self) -> usize {
+        match self {
+            Self::TwoTier(s) => s.n_hosts(),
+            Self::ThreeTier(s) => s.n_hosts(),
+            Self::Rail(s) => s.n_hosts(),
+            Self::MixedRate(s) => s.n_hosts(),
+        }
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        match self {
+            Self::TwoTier(s) => s.n_nodes(),
+            Self::ThreeTier(s) => s.n_nodes(),
+            Self::Rail(s) => s.n_nodes(),
+            Self::MixedRate(s) => s.n_nodes(),
+        }
+    }
+
+    /// The family tag used in the serialized form.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Self::TwoTier(_) => "two_tier",
+            Self::ThreeTier(_) => "three_tier",
+            Self::Rail(_) => "rail",
+            Self::MixedRate(_) => "mixed_rate",
+        }
+    }
+
+    /// Per-link propagation delay (uniform within every family).
+    pub fn delay_ns(&self) -> Nanos {
+        match self {
+            Self::TwoTier(s) => s.delay_ns,
+            Self::ThreeTier(s) => s.delay_ns,
+            Self::Rail(s) => s.delay_ns,
+            Self::MixedRate(s) => s.delay_ns,
+        }
+    }
+
+    /// The embedded [`ClosSpec`], when this is the two-tier family.
+    pub fn as_two_tier(&self) -> Option<&ClosSpec> {
+        match self {
+            Self::TwoTier(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Collapse to a host-count-preserving two-tier Clos: the
+    /// minimizer's family shrink (a counterexample that survives on
+    /// the plain family is strictly simpler to reason about).
+    pub fn to_two_tier(&self) -> ClosSpec {
+        match *self {
+            Self::TwoTier(s) => s,
+            Self::ThreeTier(s) => ClosSpec {
+                n_tor: s.n_pod * s.tors_per_pod,
+                hosts_per_tor: s.hosts_per_tor,
+                n_leaf: s.aggs_per_pod,
+                host_gbps: s.host_gbps,
+                uplink_gbps: s.agg_gbps,
+                delay_ns: s.delay_ns,
+            },
+            Self::Rail(s) => ClosSpec {
+                n_tor: s.n_rail,
+                hosts_per_tor: s.n_server,
+                n_leaf: s.n_spine,
+                host_gbps: s.host_gbps,
+                uplink_gbps: s.uplink_gbps,
+                delay_ns: s.delay_ns,
+            },
+            Self::MixedRate(s) => ClosSpec {
+                n_tor: s.n_tor,
+                hosts_per_tor: s.hosts_per_tor,
+                n_leaf: s.n_leaf,
+                host_gbps: s.host_gbps,
+                uplink_gbps: s.fast_gbps,
+                delay_ns: s.delay_ns,
+            },
+        }
+    }
+
+    /// Materialize into a routed [`Topology`].
+    pub fn build(&self) -> Topology {
+        match self {
+            Self::TwoTier(s) => s.build(),
+            Self::ThreeTier(s) => s.build(),
+            Self::Rail(s) => s.build(),
+            Self::MixedRate(s) => s.build(),
+        }
+    }
+
+    /// Reconstruct from the [`Serialize`] representation. Objects with
+    /// no `"family"` tag parse as legacy untagged [`ClosSpec`]s.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        match v.get("family").and_then(Value::as_str) {
+            None | Some("two_tier") => ClosSpec::from_value(v).map(Self::TwoTier),
+            Some("three_tier") => ThreeTierSpec::from_value(v).map(Self::ThreeTier),
+            Some("rail") => RailSpec::from_value(v).map(Self::Rail),
+            Some("mixed_rate") => MixedRateSpec::from_value(v).map(Self::MixedRate),
+            Some(other) => Err(format!("TopoSpec: unknown family `{other}`")),
+        }
     }
 }
 
@@ -94,7 +526,7 @@ impl ClosSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardSpec {
     /// Owned node ids: this shard's hosts, then their ToRs, then its
-    /// slice of the leaf tier.
+    /// slice of the upper tiers.
     pub nodes: Vec<NodeId>,
     /// How many of `nodes` are hosts.
     pub n_hosts: usize,
@@ -107,9 +539,12 @@ pub enum NodeKind {
     Host,
     /// A top-of-rack switch (runs the measurement sketch).
     Tor,
-    /// A leaf/spine switch (no sketch; Keypoint 1 makes ToR-only
+    /// A leaf/aggregation switch (no sketch; Keypoint 1 makes ToR-only
     /// sketching sufficient since every path crosses a ToR first).
     Leaf,
+    /// A three-tier core switch above the aggregation tier (no sketch,
+    /// like [`NodeKind::Leaf`]).
+    Spine,
 }
 
 /// One directed attachment point of a node.
@@ -126,6 +561,20 @@ pub struct Port {
     pub delay: Nanos,
 }
 
+/// Tier structure of a built topology, driving the per-kind routing
+/// decisions in [`Topology::next_port_masked`].
+#[derive(Debug, Clone, Copy)]
+enum Tiers {
+    /// Hosts → ToRs → leaves.
+    Two,
+    /// Hosts → ToRs → pod aggregation → spines.
+    Three {
+        tors_per_pod: usize,
+        aggs_per_pod: usize,
+        spines_per_agg: usize,
+    },
+}
+
 /// An immutable node/port graph plus routing state.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -137,6 +586,8 @@ pub struct Topology {
     hosts_per_tor: usize,
     n_tor: usize,
     n_leaf: usize,
+    n_spine: usize,
+    tiers: Tiers,
 }
 
 /// Convert Gbps to the internal bytes-per-nanosecond unit.
@@ -161,6 +612,54 @@ impl Topology {
         uplink_gbps: f64,
         delay: Nanos,
     ) -> Self {
+        Self::build_two_tier(
+            n_tor,
+            hosts_per_tor,
+            n_leaf,
+            host_gbps,
+            &|_| uplink_gbps,
+            delay,
+            false,
+        )
+    }
+
+    /// Build a rail-optimized plane: `n_rail` rail switches, `n_server`
+    /// servers, host `h` (GPU `h mod n_rail` of server `h / n_rail`)
+    /// attaches to rail switch `h mod n_rail`. Graph shape matches the
+    /// two-tier Clos (rails play the ToR role, `n_spine` spines the
+    /// leaf role); only the host↔switch incidence differs.
+    pub fn rail_optimized(
+        n_rail: usize,
+        n_server: usize,
+        n_spine: usize,
+        host_gbps: f64,
+        uplink_gbps: f64,
+        delay: Nanos,
+    ) -> Self {
+        Self::build_two_tier(
+            n_rail,
+            n_server,
+            n_spine,
+            host_gbps,
+            &|_| uplink_gbps,
+            delay,
+            true,
+        )
+    }
+
+    /// Shared two-tier builder: `uplink_gbps_of(l)` sets the rate of
+    /// leaf `l`'s plane (mixed-speed fabrics), `striped` switches the
+    /// host↔ToR incidence from blocked (`t·hosts_per_tor + h`) to
+    /// rail-striped (`h·n_tor + t`).
+    pub(crate) fn build_two_tier(
+        n_tor: usize,
+        hosts_per_tor: usize,
+        n_leaf: usize,
+        host_gbps: f64,
+        uplink_gbps_of: &dyn Fn(usize) -> f64,
+        delay: Nanos,
+        striped: bool,
+    ) -> Self {
         assert!(n_tor >= 1 && hosts_per_tor >= 1 && n_leaf >= 1);
         let n_hosts = n_tor * hosts_per_tor;
         let n_nodes = n_hosts + n_tor + n_leaf;
@@ -174,13 +673,16 @@ impl Topology {
         let tor_id = |t: usize| n_hosts + t;
         let leaf_id = |l: usize| n_hosts + n_tor + l;
         let host_bw = gbps(host_gbps);
-        let up_bw = gbps(uplink_gbps);
 
-        // Host <-> ToR links. ToR port t*hosts_per_tor-relative index h is
-        // the down-port toward its h-th host; host port 0 is its uplink.
+        // Host <-> ToR links. ToR-relative index h is the down-port
+        // toward its h-th host; host port 0 is its uplink.
         for t in 0..n_tor {
             for h in 0..hosts_per_tor {
-                let host = t * hosts_per_tor + h;
+                let host = if striped {
+                    h * n_tor + t
+                } else {
+                    t * hosts_per_tor + h
+                };
                 host_tor[host] = tor_id(t);
                 let tor_port = h; // down ports come first on a ToR
                 ports[host].push(Port {
@@ -204,7 +706,7 @@ impl Topology {
                 ports[tor_id(t)].push(Port {
                     peer: leaf_id(l),
                     peer_port: t,
-                    bw: up_bw,
+                    bw: gbps(uplink_gbps_of(l)),
                     delay,
                 });
             }
@@ -214,7 +716,7 @@ impl Topology {
                 ports[leaf_id(l)].push(Port {
                     peer: tor_id(t),
                     peer_port: hosts_per_tor + l,
-                    bw: up_bw,
+                    bw: gbps(uplink_gbps_of(l)),
                     delay,
                 });
             }
@@ -228,6 +730,150 @@ impl Topology {
             hosts_per_tor,
             n_tor,
             n_leaf,
+            n_spine: 0,
+            tiers: Tiers::Two,
+        }
+    }
+
+    /// Build a three-tier CLOS of `n_pod` pods.
+    ///
+    /// Each pod has `tors_per_pod` ToRs (with `hosts_per_tor` hosts
+    /// each) fully meshed to `aggs_per_pod` aggregation switches; each
+    /// aggregation plane `a` connects to its own `spines_per_agg`
+    /// spines, and every spine reaches one aggregation switch per pod
+    /// (fat-tree plane structure). Oversubscription falls out of the
+    /// rate ratios: `hosts_per_tor·host_gbps : aggs_per_pod·agg_gbps`
+    /// at the ToR and `tors_per_pod·agg_gbps : spines_per_agg·
+    /// spine_gbps` at the aggregation tier.
+    ///
+    /// Node ids: hosts (pod-major), ToRs (pod-major), aggregation
+    /// switches (pod-major, kind [`NodeKind::Leaf`]), spines
+    /// (plane-major, kind [`NodeKind::Spine`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn three_tier_clos(
+        n_pod: usize,
+        tors_per_pod: usize,
+        hosts_per_tor: usize,
+        aggs_per_pod: usize,
+        spines_per_agg: usize,
+        host_gbps: f64,
+        agg_gbps: f64,
+        spine_gbps: f64,
+        delay: Nanos,
+    ) -> Self {
+        assert!(
+            n_pod >= 1
+                && tors_per_pod >= 1
+                && hosts_per_tor >= 1
+                && aggs_per_pod >= 1
+                && spines_per_agg >= 1
+        );
+        let n_tor = n_pod * tors_per_pod;
+        let n_leaf = n_pod * aggs_per_pod;
+        let n_spine = aggs_per_pod * spines_per_agg;
+        let n_hosts = n_tor * hosts_per_tor;
+        let n_nodes = n_hosts + n_tor + n_leaf + n_spine;
+        let mut kinds = Vec::with_capacity(n_nodes);
+        kinds.extend(std::iter::repeat_n(NodeKind::Host, n_hosts));
+        kinds.extend(std::iter::repeat_n(NodeKind::Tor, n_tor));
+        kinds.extend(std::iter::repeat_n(NodeKind::Leaf, n_leaf));
+        kinds.extend(std::iter::repeat_n(NodeKind::Spine, n_spine));
+        let mut ports: Vec<Vec<Port>> = vec![Vec::new(); n_nodes];
+        let mut host_tor = vec![0usize; n_hosts];
+
+        let tor_id = |t: usize| n_hosts + t;
+        let agg_id = |p: usize, a: usize| n_hosts + n_tor + p * aggs_per_pod + a;
+        let spine_id = |a: usize, j: usize| n_hosts + n_tor + n_leaf + a * spines_per_agg + j;
+        let host_bw = gbps(host_gbps);
+        let agg_bw = gbps(agg_gbps);
+        let spine_bw = gbps(spine_gbps);
+
+        // Host <-> ToR: identical layout to the two-tier builder.
+        for t in 0..n_tor {
+            for h in 0..hosts_per_tor {
+                let host = t * hosts_per_tor + h;
+                host_tor[host] = tor_id(t);
+                ports[host].push(Port {
+                    peer: tor_id(t),
+                    peer_port: h,
+                    bw: host_bw,
+                    delay,
+                });
+                ports[tor_id(t)].push(Port {
+                    peer: host,
+                    peer_port: 0,
+                    bw: host_bw,
+                    delay,
+                });
+            }
+        }
+        // ToR <-> pod aggregation. ToR up-port for agg a is
+        // hosts_per_tor + a; agg down-port for its pod's ToR tt is tt.
+        for p in 0..n_pod {
+            for tt in 0..tors_per_pod {
+                let t = p * tors_per_pod + tt;
+                for a in 0..aggs_per_pod {
+                    ports[tor_id(t)].push(Port {
+                        peer: agg_id(p, a),
+                        peer_port: tt,
+                        bw: agg_bw,
+                        delay,
+                    });
+                }
+            }
+            for a in 0..aggs_per_pod {
+                for tt in 0..tors_per_pod {
+                    let t = p * tors_per_pod + tt;
+                    ports[agg_id(p, a)].push(Port {
+                        peer: tor_id(t),
+                        peer_port: hosts_per_tor + a,
+                        bw: agg_bw,
+                        delay,
+                    });
+                }
+            }
+        }
+        // Aggregation <-> spine planes. Agg (p, a) up-port for its j-th
+        // spine is tors_per_pod + j; spine (a, j)'s port for pod p is p.
+        for p in 0..n_pod {
+            for a in 0..aggs_per_pod {
+                for j in 0..spines_per_agg {
+                    ports[agg_id(p, a)].push(Port {
+                        peer: spine_id(a, j),
+                        peer_port: p,
+                        bw: spine_bw,
+                        delay,
+                    });
+                }
+            }
+        }
+        for a in 0..aggs_per_pod {
+            for j in 0..spines_per_agg {
+                for p in 0..n_pod {
+                    ports[spine_id(a, j)].push(Port {
+                        peer: agg_id(p, a),
+                        peer_port: tors_per_pod + j,
+                        bw: spine_bw,
+                        delay,
+                    });
+                }
+            }
+        }
+
+        Self {
+            kinds,
+            ports,
+            host_tor,
+            n_hosts,
+            hosts_per_tor,
+            n_tor,
+            n_leaf,
+            n_spine,
+            tiers: Tiers::Three {
+                tors_per_pod,
+                aggs_per_pod,
+                spines_per_agg,
+            },
         }
     }
 
@@ -251,9 +897,14 @@ impl Topology {
         self.n_tor
     }
 
-    /// Number of leaf switches.
+    /// Number of leaf (or aggregation) switches.
     pub fn n_leaf(&self) -> usize {
         self.n_leaf
+    }
+
+    /// Number of spine switches (three-tier fabrics only; 0 otherwise).
+    pub fn n_spine(&self) -> usize {
+        self.n_spine
     }
 
     /// Kind of `node`.
@@ -278,12 +929,33 @@ impl Topology {
             .expect("all links up")
     }
 
+    /// ECMP choice over `range` of `node`'s ports, restricted to live
+    /// links. Two passes (count, then select the k-th live port) keep
+    /// this allocation-free: it runs once per packet per switch hop, so
+    /// a heap allocation here dominates the routing cost. May query
+    /// `link_up` twice per port.
+    fn ecmp(
+        &self,
+        node: NodeId,
+        range: std::ops::Range<usize>,
+        flow_hash: u64,
+        link_up: &mut dyn FnMut(NodeId, usize) -> bool,
+    ) -> Option<usize> {
+        let n_alive = range.clone().filter(|&p| link_up(node, p)).count();
+        if n_alive == 0 {
+            None
+        } else {
+            let k = flow_hash as usize % n_alive;
+            range.filter(|&p| link_up(node, p)).nth(k)
+        }
+    }
+
     /// Liveness-aware routing: like [`Topology::next_port`] but only
-    /// considers ports for which `link_up(node, port)` holds. A ToR with
-    /// a dead uplink rehashes its ECMP choice over the surviving
+    /// considers ports for which `link_up(node, port)` holds. A switch
+    /// with a dead uplink rehashes its ECMP choice over the surviving
     /// uplinks, steering flows around the failure; returns `None` when
     /// no live port reaches `dst` (single-path segments — host uplinks,
-    /// ToR down-ports, leaf down-ports — cannot be routed around).
+    /// down-ports on any tier — cannot be routed around).
     pub fn next_port_masked(
         &self,
         node: NodeId,
@@ -302,30 +974,48 @@ impl Topology {
         match self.kinds[node] {
             NodeKind::Host => only_if_up(0, &mut link_up),
             NodeKind::Tor => {
-                let tor_index = node - self.n_hosts;
-                let first_host = tor_index * self.hosts_per_tor;
-                if dst >= first_host && dst < first_host + self.hosts_per_tor {
-                    // Down-port to the local host: single path.
-                    only_if_up(dst - first_host, &mut link_up)
+                if self.host_tor[dst] == node {
+                    // Down-port to the local host: single path. The
+                    // host's uplink records which of our down-ports it
+                    // hangs off, for any host↔ToR incidence.
+                    only_if_up(self.ports[dst][0].peer_port, &mut link_up)
                 } else {
-                    // ECMP over live uplinks only. Two passes (count, then
-                    // select the k-th live port) keep this allocation-free:
-                    // it runs once per packet per switch hop, so a heap
-                    // allocation here dominates the routing cost. May query
-                    // `link_up` twice per port.
-                    let uplinks = self.hosts_per_tor..self.hosts_per_tor + self.n_leaf;
-                    let n_alive = uplinks.clone().filter(|&p| link_up(node, p)).count();
-                    if n_alive == 0 {
-                        None
-                    } else {
-                        let k = flow_hash as usize % n_alive;
-                        uplinks.filter(|&p| link_up(node, p)).nth(k)
-                    }
+                    // ECMP over live uplinks (everything after the
+                    // down-ports, whatever the upper tier is).
+                    let uplinks = self.hosts_per_tor..self.ports[node].len();
+                    self.ecmp(node, uplinks, flow_hash, &mut link_up)
                 }
             }
             NodeKind::Leaf => {
-                let dst_tor = self.host_tor[dst];
-                only_if_up(dst_tor - self.n_hosts, &mut link_up)
+                let dst_tor = self.host_tor[dst] - self.n_hosts;
+                match self.tiers {
+                    // Two-tier leaf: one down-port per ToR, in ToR order.
+                    Tiers::Two => only_if_up(dst_tor, &mut link_up),
+                    Tiers::Three {
+                        tors_per_pod,
+                        aggs_per_pod,
+                        spines_per_agg,
+                    } => {
+                        let agg_index = node - self.n_hosts - self.n_tor;
+                        if dst_tor / tors_per_pod == agg_index / aggs_per_pod {
+                            // Same pod: down to the ToR's local index.
+                            only_if_up(dst_tor % tors_per_pod, &mut link_up)
+                        } else {
+                            // Cross-pod: ECMP up to this plane's spines.
+                            let up = tors_per_pod..tors_per_pod + spines_per_agg;
+                            self.ecmp(node, up, flow_hash, &mut link_up)
+                        }
+                    }
+                }
+            }
+            NodeKind::Spine => {
+                // One down-port per pod, in pod order.
+                let dst_tor = self.host_tor[dst] - self.n_hosts;
+                let tors_per_pod = match self.tiers {
+                    Tiers::Three { tors_per_pod, .. } => tors_per_pod,
+                    Tiers::Two => unreachable!("two-tier fabrics have no spines"),
+                };
+                only_if_up(dst_tor / tors_per_pod, &mut link_up)
             }
         }
     }
@@ -337,11 +1027,12 @@ impl Topology {
     /// under it — so host↔ToR links are never cut (they are the
     /// shortest-delay, highest-rate links and carry PFC at nanosecond
     /// timescales). ToR subtrees are split contiguously and balanced to
-    /// within one ToR; the leaf tier is split the same way, which
-    /// maximizes co-sharded ToR↔leaf pairs under the balance constraint
-    /// (both splits give their "extra" unit to the lowest shard ids, so
-    /// large groups pair with large groups). Only ToR↔leaf links cross
-    /// shards; their propagation delay is the engine's lookahead.
+    /// within one ToR; each upper tier (leaves/aggs, then spines) is
+    /// split the same way, which maximizes co-sharded ToR↔leaf pairs
+    /// under the balance constraint (both splits give their "extra"
+    /// unit to the lowest shard ids, so large groups pair with large
+    /// groups). Only switch↔switch links cross shards; their
+    /// propagation delay is the engine's lookahead.
     ///
     /// `n_shards` is clamped to `[1, n_tor]` — a shard with no subtree
     /// would own no traffic sources and only add barrier latency.
@@ -353,13 +1044,18 @@ impl Topology {
             let lo = s * base + s.min(extra);
             lo..lo + base + usize::from(s < extra)
         };
+        // Hosts grouped under their ToR, ascending host id within each
+        // group (identical to the old arithmetic for blocked layouts,
+        // and correct for rail-striped ones).
+        let mut tor_hosts: Vec<Vec<NodeId>> = vec![Vec::new(); self.n_tor];
+        for h in 0..self.n_hosts {
+            tor_hosts[self.host_tor[h] - self.n_hosts].push(h);
+        }
         (0..n)
             .map(|s| {
                 let mut nodes = Vec::new();
                 for t in split(self.n_tor, s) {
-                    for h in 0..self.hosts_per_tor {
-                        nodes.push(t * self.hosts_per_tor + h);
-                    }
+                    nodes.extend_from_slice(&tor_hosts[t]);
                 }
                 let n_hosts = nodes.len();
                 for t in split(self.n_tor, s) {
@@ -367,6 +1063,9 @@ impl Topology {
                 }
                 for l in split(self.n_leaf, s) {
                     nodes.push(self.n_hosts + self.n_tor + l);
+                }
+                for sp in split(self.n_spine, s) {
+                    nodes.push(self.n_hosts + self.n_tor + self.n_leaf + sp);
                 }
                 ShardSpec { nodes, n_hosts }
             })
@@ -410,15 +1109,22 @@ impl Topology {
         self.host_tor[a] == self.host_tor[b]
     }
 
-    /// Hop count (number of links) of the data path between two hosts.
+    /// Hop count (number of links) of the data path between two hosts,
+    /// by walking the route (2 intra-ToR, 4 across a two-tier fabric or
+    /// within a pod, 6 across pods).
     pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
         if src == dst {
-            0
-        } else if self.same_tor(src, dst) {
-            2
-        } else {
-            4
+            return 0;
         }
+        let mut node = src;
+        let mut hops = 0;
+        while node != dst {
+            let p = self.next_port(node, dst, 0);
+            node = self.ports[node][p].peer;
+            hops += 1;
+            assert!(hops <= 8, "routing loop {src}->{dst}");
+        }
+        hops
     }
 
     /// Base round-trip delay between two hosts: propagation plus one MTU
@@ -465,6 +1171,7 @@ mod tests {
         assert_eq!(t.kind(0), NodeKind::Host);
         assert_eq!(t.kind(128), NodeKind::Tor);
         assert_eq!(t.kind(136), NodeKind::Leaf);
+        assert_eq!(t.n_spine(), 0);
     }
 
     #[test]
@@ -580,11 +1287,24 @@ mod tests {
 
     #[test]
     fn partition_covers_balances_and_keeps_subtrees() {
-        // The committed topologies: paper clos, hunt tiny clos, dumbbell.
+        // The committed topologies: paper clos, hunt tiny clos, dumbbell,
+        // plus one of each new family.
         let topos = [
             Topology::two_tier_clos(8, 16, 4, 100.0, 100.0, 5_000),
             Topology::two_tier_clos(2, 2, 1, 100.0, 100.0, 1_000),
             Topology::dumbbell(100.0, 1_000),
+            Topology::three_tier_clos(2, 2, 4, 2, 2, 100.0, 100.0, 400.0, 5_000),
+            Topology::rail_optimized(4, 4, 2, 100.0, 200.0, 1_000),
+            MixedRateSpec {
+                n_tor: 4,
+                hosts_per_tor: 4,
+                n_leaf: 2,
+                host_gbps: 100.0,
+                fast_gbps: 100.0,
+                slow_gbps: 25.0,
+                delay_ns: 1_000,
+            }
+            .build(),
         ];
         for t in &topos {
             for n in 1..=6 {
@@ -603,7 +1323,7 @@ mod tests {
                 for h in 0..t.n_hosts() {
                     assert_eq!(map[h], map[t.tor_of(h)], "host {h} split from its ToR");
                 }
-                // Every cut edge is ToR↔leaf.
+                // Every cut edge is switch↔switch.
                 for node in 0..t.n_nodes() {
                     for p in t.ports(node) {
                         if map[node] != map[p.peer] {
@@ -674,5 +1394,311 @@ mod tests {
         assert_eq!(t.n_hosts(), 2);
         assert!(t.same_tor(0, 1));
         assert_eq!(t.hops(0, 1), 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Topology families
+    // ------------------------------------------------------------------
+
+    fn three_tier() -> Topology {
+        // 2 pods × 2 ToRs × 4 hosts, 2 aggs/pod, 2 spines/agg,
+        // oversubscribed 2:1 at the aggregation tier.
+        Topology::three_tier_clos(2, 2, 4, 2, 2, 100.0, 100.0, 100.0, 5_000)
+    }
+
+    #[test]
+    fn three_tier_dimensions_and_kinds() {
+        let t = three_tier();
+        assert_eq!(t.n_hosts(), 16);
+        assert_eq!(t.n_tor(), 4);
+        assert_eq!(t.n_leaf(), 4); // aggregation switches
+        assert_eq!(t.n_spine(), 4);
+        assert_eq!(t.n_nodes(), 16 + 4 + 4 + 4);
+        assert_eq!(t.kind(15), NodeKind::Host);
+        assert_eq!(t.kind(16), NodeKind::Tor);
+        assert_eq!(t.kind(20), NodeKind::Leaf);
+        assert_eq!(t.kind(24), NodeKind::Spine);
+        // Radix: ToR = 4 down + 2 up; agg = 2 down + 2 up; spine = 1/pod.
+        assert_eq!(t.ports(16).len(), 6);
+        assert_eq!(t.ports(20).len(), 4);
+        assert_eq!(t.ports(24).len(), 2);
+    }
+
+    #[test]
+    fn three_tier_back_references_are_consistent() {
+        let t = three_tier();
+        for node in 0..t.n_nodes() {
+            for (i, p) in t.ports(node).iter().enumerate() {
+                let back = t.ports(p.peer)[p.peer_port];
+                assert_eq!(back.peer, node, "node {node} port {i}");
+                assert_eq!(back.peer_port, i);
+            }
+        }
+    }
+
+    #[test]
+    fn three_tier_routes_reach_every_pair() {
+        let t = three_tier();
+        for src in 0..t.n_hosts() {
+            for dst in 0..t.n_hosts() {
+                if src == dst {
+                    continue;
+                }
+                for hash in [0u64, 7, 0xDEAD_BEEF] {
+                    let mut node = src;
+                    let mut hops = 0;
+                    while node != dst {
+                        let p = t.next_port(node, dst, hash);
+                        node = t.ports(node)[p].peer;
+                        hops += 1;
+                        assert!(hops <= 6, "path too long {src}->{dst}");
+                    }
+                }
+            }
+        }
+        // Same ToR: 2 hops; same pod: 4; cross-pod: 6.
+        assert_eq!(t.hops(0, 1), 2);
+        assert_eq!(t.hops(0, 4), 4);
+        assert_eq!(t.hops(0, 8), 6);
+    }
+
+    #[test]
+    fn three_tier_ecmp_uses_all_planes_and_spines() {
+        let t = three_tier();
+        // ToR 16 (pod 0) to a cross-pod host spreads over both aggs.
+        let mut agg_ports = std::collections::HashSet::new();
+        for h in 0..32u64 {
+            agg_ports.insert(t.next_port(16, 8, h));
+        }
+        assert_eq!(agg_ports.len(), 2);
+        // Agg 20 (pod 0, plane 0) cross-pod spreads over its 2 spines.
+        let mut spine_ports = std::collections::HashSet::new();
+        for h in 0..32u64 {
+            spine_ports.insert(t.next_port(20, 8, h));
+        }
+        assert_eq!(spine_ports.len(), 2);
+        // Masked routing steers around a dead spine uplink.
+        let dead = *spine_ports.iter().next().unwrap();
+        for h in 0..16u64 {
+            let p = t
+                .next_port_masked(20, 8, h, |_, port| port != dead)
+                .unwrap();
+            assert_ne!(p, dead);
+        }
+    }
+
+    #[test]
+    fn rail_optimized_stripes_hosts_across_rails() {
+        let t = Topology::rail_optimized(4, 4, 2, 100.0, 200.0, 1_000);
+        assert_eq!(t.n_hosts(), 16);
+        assert_eq!(t.n_tor(), 4);
+        // GPU g of server s is host s·4+g and lives on rail g.
+        for h in 0..16 {
+            assert_eq!(t.tor_of(h), 16 + h % 4, "host {h}");
+        }
+        // Same rail ⇔ same GPU index: 2 hops; otherwise via a spine.
+        assert!(t.same_tor(0, 4));
+        assert!(!t.same_tor(0, 1));
+        assert_eq!(t.hops(0, 4), 2);
+        assert_eq!(t.hops(0, 1), 4);
+        // Graph is still a consistent two-tier Clos.
+        for node in 0..t.n_nodes() {
+            for (i, p) in t.ports(node).iter().enumerate() {
+                let back = t.ports(p.peer)[p.peer_port];
+                assert_eq!(back.peer, node, "node {node} port {i}");
+                assert_eq!(back.peer_port, i);
+            }
+        }
+        for src in 0..t.n_hosts() {
+            for dst in 0..t.n_hosts() {
+                if src != dst {
+                    t.hops(src, dst); // asserts internally on loops
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_rate_alternates_leaf_plane_speeds() {
+        let spec = MixedRateSpec {
+            n_tor: 2,
+            hosts_per_tor: 2,
+            n_leaf: 2,
+            host_gbps: 100.0,
+            fast_gbps: 100.0,
+            slow_gbps: 25.0,
+            delay_ns: 1_000,
+        };
+        let t = spec.build();
+        // ToR 4's uplinks: port 2 → leaf 0 (fast), port 3 → leaf 1 (slow).
+        assert!((t.ports(4)[2].bw - gbps(100.0)).abs() < 1e-12);
+        assert!((t.ports(4)[3].bw - gbps(25.0)).abs() < 1e-12);
+        // Leaf-side ports match their plane's speed.
+        assert!((t.ports(6)[0].bw - gbps(100.0)).abs() < 1e-12);
+        assert!((t.ports(7)[0].bw - gbps(25.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_tier_partition_lookahead_and_invariants() {
+        let t = three_tier();
+        for n in [2usize, 3, 4] {
+            let shards = t.partition(n);
+            let map = t.shard_map(&shards);
+            assert_eq!(t.lookahead(&map), Some(5_000));
+            for h in 0..t.n_hosts() {
+                assert_eq!(map[h], map[t.tor_of(h)]);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Specs: validation and serde round-trips
+    // ------------------------------------------------------------------
+
+    fn specs() -> [TopoSpec; 4] {
+        [
+            TopoSpec::TwoTier(ClosSpec {
+                n_tor: 2,
+                hosts_per_tor: 4,
+                n_leaf: 2,
+                host_gbps: 100.0,
+                uplink_gbps: 100.0,
+                delay_ns: 4_000,
+            }),
+            TopoSpec::ThreeTier(ThreeTierSpec {
+                n_pod: 2,
+                tors_per_pod: 2,
+                hosts_per_tor: 2,
+                aggs_per_pod: 2,
+                spines_per_agg: 1,
+                host_gbps: 100.0,
+                agg_gbps: 100.0,
+                spine_gbps: 400.0,
+                delay_ns: 4_000,
+            }),
+            TopoSpec::Rail(RailSpec {
+                n_rail: 4,
+                n_server: 2,
+                n_spine: 2,
+                host_gbps: 100.0,
+                uplink_gbps: 200.0,
+                delay_ns: 4_000,
+            }),
+            TopoSpec::MixedRate(MixedRateSpec {
+                n_tor: 2,
+                hosts_per_tor: 2,
+                n_leaf: 2,
+                host_gbps: 100.0,
+                fast_gbps: 100.0,
+                slow_gbps: 25.0,
+                delay_ns: 4_000,
+            }),
+        ]
+    }
+
+    #[test]
+    fn topo_spec_round_trips_every_family() {
+        for spec in specs() {
+            let v = spec.serialize_value();
+            let back = TopoSpec::from_value(&v).expect(spec.family());
+            assert_eq!(back, spec);
+            // Spec-level counts agree with the built topology.
+            let t = spec.build();
+            assert_eq!(t.n_hosts(), spec.n_hosts(), "{}", spec.family());
+            assert_eq!(t.n_nodes(), spec.n_nodes(), "{}", spec.family());
+        }
+    }
+
+    #[test]
+    fn untagged_value_parses_as_legacy_clos_spec() {
+        let spec = ClosSpec {
+            n_tor: 3,
+            hosts_per_tor: 2,
+            n_leaf: 2,
+            host_gbps: 100.0,
+            uplink_gbps: 100.0,
+            delay_ns: 4_000,
+        };
+        // Pre-family corpus files serialized the bare ClosSpec.
+        let v = spec.serialize_value();
+        assert!(v.get("family").is_none());
+        assert_eq!(TopoSpec::from_value(&v), Ok(TopoSpec::TwoTier(spec)));
+    }
+
+    #[test]
+    fn unknown_family_is_rejected() {
+        let mut v = specs()[0].serialize_value();
+        if let Value::Object(entries) = &mut v {
+            entries[0].1 = Value::String("hypercube".into());
+        }
+        assert!(TopoSpec::from_value(&v).unwrap_err().contains("hypercube"));
+    }
+
+    /// `delay_ns == 0` would zero the parallel engine's lookahead; every
+    /// spec family rejects it (satellite regression — `ClosSpec` used to
+    /// accept it).
+    #[test]
+    fn specs_reject_zero_delay() {
+        for spec in specs() {
+            let mut v = spec.serialize_value();
+            if let Value::Object(entries) = &mut v {
+                for (k, val) in entries.iter_mut() {
+                    if k == "delay_ns" {
+                        *val = Value::UInt(0);
+                    }
+                }
+            }
+            let err = TopoSpec::from_value(&v).unwrap_err();
+            assert!(err.contains("delay_ns"), "{}: {err}", spec.family());
+        }
+        // Directly through the legacy entry point too.
+        let mut v = specs()[0].serialize_value();
+        if let Value::Object(entries) = &mut v {
+            entries.retain(|(k, _)| k != "family");
+            for (k, val) in entries.iter_mut() {
+                if k == "delay_ns" {
+                    *val = Value::UInt(0);
+                }
+            }
+        }
+        assert!(ClosSpec::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn specs_reject_zero_dimensions_and_bad_rates() {
+        let base = ClosSpec {
+            n_tor: 2,
+            hosts_per_tor: 2,
+            n_leaf: 1,
+            host_gbps: 100.0,
+            uplink_gbps: 100.0,
+            delay_ns: 1_000,
+        };
+        let mut v = base.serialize_value();
+        if let Value::Object(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "n_leaf" {
+                    *val = Value::UInt(0);
+                }
+            }
+        }
+        assert!(ClosSpec::from_value(&v).is_err());
+        let mut v = base.serialize_value();
+        if let Value::Object(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "uplink_gbps" {
+                    *val = Value::Float(-1.0);
+                }
+            }
+        }
+        assert!(ClosSpec::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn to_two_tier_preserves_host_count() {
+        for spec in specs() {
+            let two = spec.to_two_tier();
+            assert_eq!(two.n_hosts(), spec.n_hosts(), "{}", spec.family());
+        }
     }
 }

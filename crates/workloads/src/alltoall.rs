@@ -8,11 +8,17 @@
 //! enter an OFF period (model update, paper default 20 ms) and then start
 //! the next round.
 //!
-//! [`AllToAll`] is a round state machine: the embedding simulator calls
+//! [`AllToAll`] is a round state machine implementing
+//! [`crate::Collective`]: the embedding simulator calls
 //! [`AllToAll::start_round`] to obtain the round's flows and
 //! [`AllToAll::on_flow_done`] at each completion; the latter returns the
-//! start time of the next round once the round drains.
+//! start time of the next round once the round drains. Misuse (driving a
+//! finished machine, completions with no round in flight — states hunt
+//! mutations can reach) reports a typed [`CollectiveError`] instead of
+//! panicking, and the final round's duration is recorded *before* the
+//! finished check so bounded runs never lose their last data point.
 
+use crate::collective::{Collective, CollectiveError, Progress};
 use crate::{FlowRequest, HostId, Nanos};
 
 /// Configuration of an ON-OFF alltoall workload.
@@ -77,11 +83,16 @@ impl AllToAll {
         }
     }
 
-    /// Begin a round at `now`: returns the full-mesh flow set. Panics if a
-    /// round is already active or the workload is finished.
-    pub fn start_round(&mut self, now: Nanos) -> Vec<FlowRequest> {
-        assert!(!self.round_active(), "previous round still in flight");
-        assert!(!self.finished(), "workload already finished");
+    /// Begin a round at `now`: returns the full-mesh flow set, or a
+    /// typed error if a round is already active or the workload is
+    /// finished.
+    pub fn start_round(&mut self, now: Nanos) -> Result<Vec<FlowRequest>, CollectiveError> {
+        if self.round_active() {
+            return Err(CollectiveError::RoundInFlight);
+        }
+        if self.finished() {
+            return Err(CollectiveError::Finished);
+        }
         let n = self.cfg.workers.len();
         let mut flows = Vec::with_capacity(n * (n - 1));
         for (i, &src) in self.cfg.workers.iter().enumerate() {
@@ -98,27 +109,33 @@ impl AllToAll {
         }
         self.outstanding = flows.len();
         self.round_start = Some(now);
-        flows
+        Ok(flows)
     }
 
-    /// Record one flow completion at `now`. When the round drains, returns
-    /// `Some(next_round_start)` (i.e. `now + off_time`) unless all rounds
-    /// are done, in which case the round is accounted and `None` returned.
-    pub fn on_flow_done(&mut self, now: Nanos) -> Option<Nanos> {
-        assert!(self.outstanding > 0, "no round in flight");
+    /// Record one flow completion at `now`. When the round drains, the
+    /// round's duration is accounted first, then `Ok(Some(next_round_
+    /// start))` (i.e. `now + off_time`) is returned unless all rounds
+    /// are done (`Ok(None)`). `Err(NoRoundInFlight)` if no round is in
+    /// flight.
+    pub fn on_flow_done(&mut self, now: Nanos) -> Result<Option<Nanos>, CollectiveError> {
+        if self.outstanding == 0 {
+            return Err(CollectiveError::NoRoundInFlight);
+        }
         self.outstanding -= 1;
         if self.outstanding > 0 {
-            return None;
+            return Ok(None);
         }
+        // Account the round *before* the finished check: the final
+        // round of a bounded run must land in `round_durations` too.
         self.rounds_done += 1;
         self.last_round_end = Some(now);
         if let Some(start) = self.round_start.take() {
             self.round_durations.push(now.saturating_sub(start));
         }
         if self.finished() {
-            None
+            Ok(None)
         } else {
-            Some(now + self.cfg.off_time)
+            Ok(Some(now + self.cfg.off_time))
         }
     }
 
@@ -143,6 +160,55 @@ impl AllToAll {
     }
 }
 
+impl Collective for AllToAll {
+    fn name(&self) -> &'static str {
+        "alltoall"
+    }
+
+    fn workers(&self) -> &[HostId] {
+        &self.cfg.workers
+    }
+
+    fn round_active(&self) -> bool {
+        AllToAll::round_active(self)
+    }
+
+    fn finished(&self) -> bool {
+        AllToAll::finished(self)
+    }
+
+    fn rounds_done(&self) -> u32 {
+        self.rounds_done
+    }
+
+    fn round_durations(&self) -> &[Nanos] {
+        &self.round_durations
+    }
+
+    fn bytes_per_round(&self) -> u64 {
+        AllToAll::bytes_per_round(self)
+    }
+
+    fn per_rank_bytes(&self) -> u64 {
+        (self.cfg.workers.len() as u64 - 1) * self.cfg.message_bytes
+    }
+
+    fn start_round(&mut self, now: Nanos) -> Result<Vec<FlowRequest>, CollectiveError> {
+        AllToAll::start_round(self, now)
+    }
+
+    fn on_flow_done(&mut self, now: Nanos) -> Result<Progress, CollectiveError> {
+        let next = AllToAll::on_flow_done(self, now)?;
+        if AllToAll::round_active(self) {
+            Ok(Progress::Pending)
+        } else {
+            // Alltoall is a single wave, so a drained wave is a
+            // drained round.
+            Ok(Progress::RoundDone { next_round: next })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,7 +225,7 @@ mod tests {
     #[test]
     fn round_is_a_full_mesh() {
         let mut w = a2a(4, None);
-        let flows = w.start_round(0);
+        let flows = w.start_round(0).unwrap();
         assert_eq!(flows.len(), 12);
         for f in &flows {
             assert_ne!(f.src, f.dst);
@@ -176,10 +242,10 @@ mod tests {
     #[test]
     fn next_round_starts_after_off_time() {
         let mut w = a2a(3, None);
-        let flows = w.start_round(100);
+        let flows = w.start_round(100).unwrap();
         let mut next = None;
         for k in 0..flows.len() {
-            next = w.on_flow_done(1000 + k as Nanos);
+            next = w.on_flow_done(1000 + k as Nanos).unwrap();
         }
         assert_eq!(next, Some(1005 + 20_000_000));
         assert_eq!(w.rounds_done, 1);
@@ -190,22 +256,40 @@ mod tests {
     fn bounded_rounds_finish() {
         let mut w = a2a(2, Some(2));
         for round in 0..2 {
-            let flows = w.start_round(round * 1000);
+            let flows = w.start_round(round * 1000).unwrap();
             assert!(!w.finished());
             for k in 0..flows.len() {
-                w.on_flow_done(round * 1000 + 10 + k as Nanos);
+                w.on_flow_done(round * 1000 + 10 + k as Nanos).unwrap();
             }
         }
         assert!(w.finished());
     }
 
+    /// The final round of a bounded run is fully accounted: its
+    /// duration is recorded before the finished early-return, so a
+    /// 2-round run reports 2 durations (satellite regression).
+    #[test]
+    fn final_round_duration_is_recorded_when_bounded() {
+        let mut w = a2a(2, Some(2));
+        for round in 0u64..2 {
+            let start = round * 1_000_000;
+            let flows = w.start_round(start).unwrap();
+            for k in 0..flows.len() {
+                w.on_flow_done(start + 500 + k as Nanos).unwrap();
+            }
+        }
+        assert!(w.finished());
+        assert_eq!(w.round_durations, vec![501, 501]);
+        assert_eq!(w.last_round_end, Some(1_000_501));
+    }
+
     #[test]
     fn algbw_matches_definition() {
         let mut w = a2a(4, Some(1));
-        let flows = w.start_round(0);
+        let flows = w.start_round(0).unwrap();
         let end = 1_000_000; // 1 ms round
         for _ in 0..flows.len() {
-            w.on_flow_done(end);
+            w.on_flow_done(end).unwrap();
         }
         let algbw = w.algbw_bytes_per_sec(0).unwrap();
         let expect = 3.0 * (1 << 20) as f64 / 1e-3;
@@ -213,16 +297,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "previous round still in flight")]
-    fn cannot_start_overlapping_rounds() {
-        let mut w = a2a(3, None);
-        w.start_round(0);
-        w.start_round(1);
+    fn misuse_reports_typed_errors() {
+        let mut w = a2a(3, Some(1));
+        // Completion with no round in flight.
+        assert_eq!(w.on_flow_done(0), Err(CollectiveError::NoRoundInFlight));
+        // Overlapping rounds.
+        let flows = w.start_round(0).unwrap();
+        assert_eq!(w.start_round(1), Err(CollectiveError::RoundInFlight));
+        for k in 0..flows.len() {
+            w.on_flow_done(10 + k as Nanos).unwrap();
+        }
+        // Starting past the configured round budget.
+        assert_eq!(w.start_round(100), Err(CollectiveError::Finished));
+        // And the stray completion after the last round.
+        assert_eq!(w.on_flow_done(100), Err(CollectiveError::NoRoundInFlight));
     }
 
     #[test]
     fn bytes_per_round_formula() {
         let w = a2a(5, None);
         assert_eq!(w.bytes_per_round(), 5 * 4 * (1 << 20));
+    }
+
+    #[test]
+    fn trait_object_reports_round_done_with_off_gap() {
+        let mut w = a2a(2, Some(1));
+        let c: &mut dyn Collective = &mut w;
+        let flows = c.start_round(0).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(c.on_flow_done(10).unwrap(), Progress::Pending);
+        assert_eq!(
+            c.on_flow_done(20).unwrap(),
+            Progress::RoundDone { next_round: None }
+        );
+        assert_eq!(c.per_rank_bytes(), 1 << 20);
+        assert!(c.finished());
     }
 }

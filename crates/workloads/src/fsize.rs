@@ -70,10 +70,18 @@ impl FlowSizeDist {
     }
 
     /// A degenerate single-size distribution (useful in tests and for
-    /// fixed-size alltoall messages).
+    /// fixed-size alltoall messages). Every sample is exactly `bytes`:
+    /// the CDF is a vertical step at `bytes`, not a `(bytes−1, bytes)`
+    /// ramp — the old ramp could round down to `bytes−1` under
+    /// log-interpolation and silently bumped `fixed(1)` to 2 bytes.
     pub fn fixed(bytes: u64) -> Self {
-        let b = bytes.max(2) as f64;
-        Self::from_points("fixed", &[(b - 1.0, 0.0), (b, 1.0)])
+        let b = bytes.max(1) as f64;
+        // Built directly: `from_points` (rightly) rejects non-increasing
+        // sizes, but a zero-width step is exactly what "fixed" means.
+        Self {
+            name: "fixed".to_string(),
+            points: vec![(b, 0.0), (b, 1.0)],
+        }
     }
 
     /// Distribution name.
@@ -97,6 +105,12 @@ impl FlowSizeDist {
         }
         let (s0, c0) = pts[i - 1];
         let (s1, c1) = pts[i];
+        if s0 == s1 {
+            // Degenerate (vertical) segment, e.g. `fixed`: the size is
+            // exact by construction; skip the ln/exp round trip, which
+            // can be off by one ULP and round to the wrong integer.
+            return (s0 as u64).max(1);
+        }
         let frac = if c1 > c0 { (u - c0) / (c1 - c0) } else { 1.0 };
         let frac = frac.clamp(0.0, 1.0);
         let ls = s0.ln() + frac * (s1.ln() - s0.ln());
@@ -118,11 +132,13 @@ impl FlowSizeDist {
     /// Fraction of *flows* at or below `bytes` (the CDF itself).
     pub fn cdf(&self, bytes: f64) -> f64 {
         let pts = &self.points;
-        if bytes <= pts[0].0 {
-            return 0.0;
-        }
+        // Upper bound first so a vertical step (`fixed`) reports
+        // `P(X <= bytes) = 1` at the step itself.
         if bytes >= pts[pts.len() - 1].0 {
             return 1.0;
+        }
+        if bytes <= pts[0].0 {
+            return 0.0;
         }
         let mut i = 1;
         while pts[i].0 < bytes {
@@ -191,15 +207,30 @@ mod tests {
         }
     }
 
+    /// `fixed(b)` must sample *exactly* `b` — never `b−1` (the old
+    /// ramp CDF could round down) and never a silent bump of
+    /// `fixed(1)` to 2 bytes.
     #[test]
-    fn fixed_distribution_returns_constant() {
-        let d = FlowSizeDist::fixed(12 << 20);
-        let mut rng = StdRng::seed_from_u64(3);
-        for _ in 0..100 {
-            let s = d.sample(&mut rng);
-            // log-linear interp across the 1-byte control gap
-            assert!((s as i64 - (12i64 << 20)).abs() <= 1);
+    fn fixed_distribution_returns_exactly_bytes() {
+        for bytes in [1u64, 2, 12 << 20] {
+            let d = FlowSizeDist::fixed(bytes);
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..200 {
+                assert_eq!(d.sample(&mut rng), bytes, "fixed({bytes})");
+            }
+            // The quantile is the constant over the whole unit interval.
+            for u in [0.0, 1e-9, 0.25, 0.5, 0.999_999, 1.0] {
+                assert_eq!(d.quantile(u), bytes, "fixed({bytes}) at u={u}");
+            }
+            assert_eq!(d.cdf(bytes as f64), 1.0);
+            assert_eq!(d.cdf(bytes as f64 - 0.5), 0.0);
         }
+    }
+
+    #[test]
+    fn fixed_mean_is_exact() {
+        let d = FlowSizeDist::fixed(12 << 20);
+        assert!((d.mean_bytes() - (12u64 << 20) as f64).abs() < 1e-6);
     }
 
     #[test]

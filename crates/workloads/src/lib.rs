@@ -16,6 +16,13 @@
 //! * **NCCL-Tests-style alltoall sweeps** — single synchronized alltoall
 //!   rounds of configurable message size, used by Table II and Fig. 13.
 //!
+//! Beyond the paper, [`collective`] generalizes the alltoall round
+//! machine into a [`Collective`] trait and adds the other collectives
+//! NCCL schedules — ring allreduce, binomial-tree allreduce and
+//! pipeline-parallel activation bursts — so the harness can ask whether
+//! PARALEON's tuning guidance survives barrier-synchronized traffic
+//! that is *not* a full mesh (ROADMAP item 2).
+//!
 //! The generators are pure: they emit [`FlowRequest`] values (or round
 //! state machines) and never touch the simulator, so the same workload
 //! can drive the packet simulator, the monitoring accuracy harness, and
@@ -24,10 +31,15 @@
 //! curves approximate the published plots (documented per distribution).
 
 pub mod alltoall;
+pub mod collective;
 pub mod fsize;
 pub mod poisson;
 
 pub use alltoall::{AllToAll, AllToAllConfig};
+pub use collective::{
+    Collective, CollectiveError, PipelineBurst, PipelineConfig, Progress, RingAllreduce,
+    RingConfig, TreeAllreduce, TreeConfig,
+};
 pub use fsize::FlowSizeDist;
 pub use poisson::{PoissonConfig, PoissonWorkload};
 

@@ -4,7 +4,50 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use paraleon_workloads::{AllToAll, AllToAllConfig, FlowSizeDist, PoissonConfig, PoissonWorkload};
+use paraleon_workloads::{
+    AllToAll, AllToAllConfig, Collective, FlowSizeDist, PipelineBurst, PipelineConfig,
+    PoissonConfig, PoissonWorkload, Progress, RingAllreduce, RingConfig, TreeAllreduce, TreeConfig,
+};
+
+/// Drive `rounds` rounds of any collective to completion, checking the
+/// barrier invariant (waves only advance when fully drained) and
+/// returning the total number of flows seen.
+fn drive_collective(c: &mut dyn Collective, rounds: u32) -> usize {
+    let mut t = 0u64;
+    let mut total = 0usize;
+    for _ in 0..rounds {
+        let first = c.start_round(t).expect("round start while idle");
+        assert!(!first.is_empty());
+        let mut pending = first.len();
+        total += pending;
+        loop {
+            t += 1;
+            pending -= 1;
+            match c.on_flow_done(t).expect("completion with round in flight") {
+                Progress::Pending => assert!(pending > 0, "Pending with wave drained"),
+                Progress::NextWave(flows) => {
+                    assert_eq!(pending, 0, "barrier released early");
+                    assert!(!flows.is_empty());
+                    pending = flows.len();
+                    total += flows.len();
+                }
+                Progress::RoundDone { next_round } => {
+                    assert_eq!(pending, 0, "round ended with flows in flight");
+                    match next_round {
+                        Some(nr) => {
+                            assert!(!c.finished());
+                            assert!(nr >= t);
+                            t = nr;
+                        }
+                        None => assert!(c.finished()),
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    total
+}
 
 /// Strategy for valid CDF control points: strictly increasing sizes and
 /// non-decreasing CDF values spanning [0, 1].
@@ -105,12 +148,12 @@ proptest! {
         });
         let mut t = 0u64;
         for _ in 0..rounds {
-            let flows = a2a.start_round(t);
+            let flows = a2a.start_round(t).unwrap();
             prop_assert_eq!(flows.len(), n * (n - 1));
             let mut next = None;
             for _ in 0..flows.len() {
                 t += 1;
-                next = a2a.on_flow_done(t);
+                next = a2a.on_flow_done(t).unwrap();
             }
             if a2a.finished() {
                 prop_assert!(next.is_none());
@@ -122,5 +165,65 @@ proptest! {
         }
         prop_assert!(a2a.finished());
         prop_assert_eq!(a2a.round_durations.len(), rounds as usize);
+    }
+
+    /// `fixed(b)` samples exactly `b` for any `b` — the regression the
+    /// ramp-CDF encoding failed (it could emit `b−1`, and bumped
+    /// `fixed(1)` to 2).
+    #[test]
+    fn fixed_dist_is_exact_for_any_size(bytes in 1u64..1 << 40, seed in 0u64..1000) {
+        let d = FlowSizeDist::fixed(bytes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(d.sample(&mut rng), bytes);
+        }
+    }
+
+    /// Ring allreduce: every round is 2(n−1) waves of n chunk flows,
+    /// barrier-separated, and all configured rounds account a duration.
+    #[test]
+    fn ring_allreduce_accounting(n in 2usize..10, rounds in 1u32..4) {
+        let mut ring = RingAllreduce::new(RingConfig {
+            workers: (0..n).collect(),
+            message_bytes: 10_000,
+            off_time: 10,
+            rounds: Some(rounds),
+        });
+        let total = drive_collective(&mut ring, rounds);
+        prop_assert_eq!(total, rounds as usize * 2 * (n - 1) * n);
+        prop_assert!(ring.finished());
+        prop_assert_eq!(ring.round_durations().len(), rounds as usize);
+    }
+
+    /// Tree allreduce: a round carries each of the n−1 tree edges once
+    /// up and once down.
+    #[test]
+    fn tree_allreduce_accounting(n in 2usize..17, rounds in 1u32..3) {
+        let mut tree = TreeAllreduce::new(TreeConfig {
+            workers: (0..n).collect(),
+            message_bytes: 10_000,
+            off_time: 10,
+            rounds: Some(rounds),
+        });
+        let total = drive_collective(&mut tree, rounds);
+        prop_assert_eq!(total, rounds as usize * 2 * (n - 1));
+        prop_assert!(tree.finished());
+        prop_assert_eq!(tree.round_durations().len(), rounds as usize);
+    }
+
+    /// Pipeline bursts: one wave of n−1 neighbor flows per microbatch.
+    #[test]
+    fn pipeline_burst_accounting(n in 2usize..10, mb in 1u32..5, rounds in 1u32..3) {
+        let mut pipe = PipelineBurst::new(PipelineConfig {
+            workers: (0..n).collect(),
+            microbatch_bytes: 10_000,
+            microbatches: mb,
+            off_time: 10,
+            rounds: Some(rounds),
+        });
+        let total = drive_collective(&mut pipe, rounds);
+        prop_assert_eq!(total, rounds as usize * mb as usize * (n - 1));
+        prop_assert!(pipe.finished());
+        prop_assert_eq!(pipe.round_durations().len(), rounds as usize);
     }
 }

@@ -54,7 +54,10 @@ fn main() {
     while cl.sim.now() < 60 * MILLI {
         if let Some(t) = next_round {
             if cl.sim.now() >= t {
-                for f in a2a.start_round(cl.sim.now()) {
+                let wave = a2a
+                    .start_round(cl.sim.now())
+                    .expect("rounds start only while the collective is idle");
+                for f in wave {
                     let qp = drivers::qp_id(f.src, f.dst);
                     collective.insert(cl.sim.add_flow_on_qp(
                         f.src,
@@ -78,7 +81,10 @@ fn main() {
         let r = cl.step().clone();
         for done in cl.completions[seen..].iter().copied() {
             if collective.remove(&done.flow) {
-                if let Some(t) = a2a.on_flow_done(done.finish) {
+                if let Some(t) = a2a
+                    .on_flow_done(done.finish)
+                    .expect("only admitted completions are fed back")
+                {
                     next_round = Some(t);
                 }
             }
