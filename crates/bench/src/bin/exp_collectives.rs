@@ -153,7 +153,7 @@ fn run_cell(
     let rounds_done = coll.rounds_done();
     (
         records,
-        cl.history.clone(),
+        cl.cell.history.clone(),
         algbw,
         mean_round_ms,
         rounds_done,

@@ -167,12 +167,12 @@ fn run_scenario(scale: CtrlScale, label: &'static str, faulted: bool, naive: boo
     // The divergence verdict is taken at quiescence, before fresh load
     // can trigger new tuning episodes: this is the protocol's end state.
     let diverged = cl.ctrl_diverged();
-    let measure_from = cl.history.len();
+    let measure_from = cl.cell.history.len();
     for _ in 0..MEASURE_INTERVALS {
         inject_interval(&mut cl, scale);
         cl.step();
     }
-    let phase = &cl.history[measure_from..];
+    let phase = &cl.cell.history[measure_from..];
     let recovery_goodput = phase.iter().map(|r| r.goodput).sum::<f64>() / phase.len().max(1) as f64;
     let stats = cl.ctrl().expect("ctrl plane armed").stats();
     let dump = telemetry_dump(&format!("ctrl_faults_{}_{label}", scale.label()));

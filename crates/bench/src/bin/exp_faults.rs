@@ -217,7 +217,7 @@ fn debug_dump(tag: &str, cl: &ClosedLoop) {
     if std::env::var("FAULTS_DEBUG").is_err() {
         return;
     }
-    for (i, r) in cl.history.iter().enumerate() {
+    for (i, r) in cl.cell.history.iter().enumerate() {
         eprintln!(
             "[{tag}] MI {:>3} goodput {:>8.2} Gbps util {:.3} disp {} rej {} rb {} safe {}",
             i + 1,
@@ -285,11 +285,12 @@ fn run_scenario(scale: FaultScale, guarded: bool) -> LoopOutcome {
     // Recovery and storm measures come from the shared oracle detectors
     // (crates/hunt), judged over the closed-loop history: baseline is
     // intervals 10..20 (faults start at 20 ms), tail is the last 10.
-    let goodputs: Vec<f64> = cl.history.iter().map(|r| r.goodput).collect();
+    let goodputs: Vec<f64> = cl.cell.history.iter().map(|r| r.goodput).collect();
     let collapse = goodput_collapse(&goodputs, 10..20, 10);
-    let pauses: Vec<f64> = cl.history.iter().map(|r| r.pause_ratio()).collect();
+    let pauses: Vec<f64> = cl.cell.history.iter().map(|r| r.pause_ratio()).collect();
     let storm = pfc_storm(&pauses, STORM_WINDOW, 0.25);
     let first_rollback = cl
+        .cell
         .history
         .iter()
         .position(|r| r.rolled_back)
@@ -359,14 +360,14 @@ fn run_safe_mode(scale: FaultScale) -> SafeModeOutcome {
     }
     debug_dump("safemode", &cl);
     let guard = cl.guard().expect("guarded").stats();
-    let safe_intervals = cl.history.iter().filter(|r| r.safe_mode).count() as u64;
+    let safe_intervals = cl.cell.history.iter().filter(|r| r.safe_mode).count() as u64;
     let outcome = SafeModeOutcome {
         rejects: guard.rejects,
         rollbacks: guard.rollbacks,
         safe_mode_entries: guard.safe_mode_entries,
         safe_mode_intervals: safe_intervals,
         exited_safe_mode: !guard.in_safe_mode,
-        rejected_interval_seen: cl.history.iter().any(|r| r.rejected),
+        rejected_interval_seen: cl.cell.history.iter().any(|r| r.rejected),
     };
     let dump = telemetry_dump(&format!("faults_{}_safemode", scale.label()));
     for ev in [

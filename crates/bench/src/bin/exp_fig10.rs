@@ -55,7 +55,12 @@ fn run_one(scale: Scale, monitor: MonitorKind, load: f64) -> Row {
     drivers::run_schedule(&mut cl, &flows, scale.monitor_window());
     cl.run_to_completion(scale.monitor_window() + 200 * MILLI);
 
-    let acc: Vec<f64> = cl.history.iter().filter_map(|r| r.fsd_accuracy).collect();
+    let acc: Vec<f64> = cl
+        .cell
+        .history
+        .iter()
+        .filter_map(|r| r.fsd_accuracy)
+        .collect();
     let mut fcts: Vec<f64> = cl
         .completions
         .iter()

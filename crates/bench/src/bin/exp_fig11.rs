@@ -53,7 +53,12 @@ fn run_one(scale: Scale, monitor: MonitorKind, lambda_mi: u64) -> Row {
     let flows = wl.generate(&mut rng);
     drivers::run_schedule(&mut cl, &flows, scale.monitor_window());
     cl.run_to_completion(scale.monitor_window() + 200 * MILLI);
-    let acc: Vec<f64> = cl.history.iter().filter_map(|r| r.fsd_accuracy).collect();
+    let acc: Vec<f64> = cl
+        .cell
+        .history
+        .iter()
+        .filter_map(|r| r.fsd_accuracy)
+        .collect();
     let fcts: Vec<f64> = cl
         .completions
         .iter()

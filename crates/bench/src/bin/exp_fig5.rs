@@ -66,7 +66,7 @@ fn measure(scale: Scale, params: DcqcnParams) -> (f64, f64) {
         t += 3 * MILLI;
     }
     cl.run_until(window);
-    let n = cl.history.len();
+    let n = cl.cell.history.len();
     let tail = n.saturating_sub(1); // skip only the first interval
     (tail_goodput(&cl, tail), tail_rtt_us(&cl, tail))
 }

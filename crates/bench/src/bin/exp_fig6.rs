@@ -62,7 +62,7 @@ fn measure(scale: Scale, rpg_time_reset: f64, k_max: f64) -> (f64, f64) {
         t += 3 * MILLI;
     }
     cl.run_until(window);
-    let n = cl.history.len();
+    let n = cl.cell.history.len();
     (
         tail_goodput(&cl, n.saturating_sub(1)),
         tail_rtt_us(&cl, n.saturating_sub(1)),

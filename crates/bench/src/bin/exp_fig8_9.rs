@@ -162,7 +162,7 @@ fn pretrain_alltoall(scale: Scale) -> DcqcnParams {
         rounds: Some(12),
     });
     drivers::run_alltoall(&mut cl, &mut a2a, 0, 2 * SEC);
-    cl.last_params
+    cl.cell.last_params
 }
 
 fn pretrain_fb(scale: Scale) -> DcqcnParams {
@@ -186,7 +186,7 @@ fn pretrain_fb(scale: Scale) -> DcqcnParams {
     let mut rng = StdRng::seed_from_u64(31);
     let flows = wl.generate(&mut rng);
     drivers::run_schedule(&mut cl, &flows, scale.fb_window());
-    cl.last_params
+    cl.cell.last_params
 }
 
 fn summarize(series: &[Series]) {

@@ -1,0 +1,402 @@
+//! Fleet-service scaling experiment: one tuner process managing N
+//! heterogeneous simulated fabrics.
+//!
+//! For each fleet size the harness admits N tenants rotating over four
+//! topology families, four schemes, mixed monitors, mixed λ_MI, mixed
+//! initial DCQCN parameters, per-tenant Poisson workloads and one
+//! control-plane-impaired tenant — then runs the service and reports
+//! controller memory footprint and per-tick scheduling latency.
+//!
+//! Flags:
+//! * `--smoke` — small sizes and short runs (CI).
+//! * `--check` — enforce the fleet's correctness gates and exit
+//!   nonzero on violation: serial vs threaded byte-identity, per-tenant
+//!   equivalence with a standalone `ClosedLoop`, and snapshot
+//!   round-trip identity.
+//! * `--paper` — paper-scale SA schedule for the PARALEON tenants.
+
+use std::time::Instant;
+
+use paraleon::prelude::*;
+use paraleon_bench::{print_table, telemetry_begin, telemetry_dump, write_json, Scale};
+use paraleon_dcqcn::DcqcnParams;
+use paraleon_fleet::{standalone_run, FleetConfig, FleetService, TenantSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The four small topology families tenants rotate over.
+fn topo_for(i: usize) -> TopoSpec {
+    match i % 4 {
+        0 => TopoSpec::TwoTier(ClosSpec {
+            n_tor: 2,
+            hosts_per_tor: 4,
+            n_leaf: 2,
+            host_gbps: 25.0,
+            uplink_gbps: 50.0,
+            delay_ns: 1_000,
+        }),
+        1 => TopoSpec::ThreeTier(ThreeTierSpec {
+            n_pod: 2,
+            tors_per_pod: 2,
+            hosts_per_tor: 2,
+            aggs_per_pod: 1,
+            spines_per_agg: 1,
+            host_gbps: 25.0,
+            agg_gbps: 50.0,
+            spine_gbps: 50.0,
+            delay_ns: 1_000,
+        }),
+        2 => TopoSpec::Rail(RailSpec {
+            n_rail: 2,
+            n_server: 4,
+            n_spine: 1,
+            host_gbps: 25.0,
+            uplink_gbps: 50.0,
+            delay_ns: 1_500,
+        }),
+        _ => TopoSpec::MixedRate(MixedRateSpec {
+            n_tor: 2,
+            hosts_per_tor: 4,
+            n_leaf: 2,
+            host_gbps: 25.0,
+            fast_gbps: 50.0,
+            slow_gbps: 25.0,
+            delay_ns: 1_000,
+        }),
+    }
+}
+
+fn topo_label(spec: &TopoSpec) -> String {
+    match spec {
+        TopoSpec::TwoTier(c) => format!("clos/{}h", c.n_tor * c.hosts_per_tor),
+        TopoSpec::ThreeTier(t) => format!("3tier/{}h", t.n_pod * t.tors_per_pod * t.hosts_per_tor),
+        TopoSpec::Rail(r) => format!("rail/{}h", r.n_rail * r.n_server),
+        TopoSpec::MixedRate(m) => format!("mixed/{}h", m.n_tor * m.hosts_per_tor),
+    }
+}
+
+fn hosts_of(spec: &TopoSpec) -> usize {
+    match spec {
+        TopoSpec::TwoTier(c) => c.n_tor * c.hosts_per_tor,
+        TopoSpec::ThreeTier(t) => t.n_pod * t.tors_per_pod * t.hosts_per_tor,
+        TopoSpec::Rail(r) => r.n_rail * r.n_server,
+        TopoSpec::MixedRate(m) => m.n_tor * m.hosts_per_tor,
+    }
+}
+
+/// Build tenant `i` of an `n`-tenant fleet: heterogeneous along every
+/// axis a tenant has (topology, scheme, monitor, λ_MI, initial DCQCN
+/// parameters, engine parallelism, workload load, faults).
+fn tenant_spec(i: usize, ticks: u64, scale: Scale) -> TenantSpec {
+    let mut spec = TenantSpec::new(topo_for(i));
+    spec.seed = 0xF1EE7 + i as u64;
+    spec.scheme = match i % 4 {
+        0 => scale.paraleon(),
+        1 => SchemeKind::Expert,
+        2 => SchemeKind::Default,
+        _ => scale.paraleon(),
+    };
+    spec.monitor = if i % 4 == 2 {
+        MonitorKind::NaiveSketch
+    } else {
+        MonitorKind::Paraleon
+    };
+    if i % 5 == 4 {
+        spec.loop_cfg.lambda_mi = 2 * MILLI;
+    }
+    if i % 2 == 1 {
+        spec.sim_cfg.dcqcn = DcqcnParams::expert();
+    }
+    if i % 8 == 3 {
+        spec.engine_threads = 2;
+    }
+    if i % 8 == 5 {
+        // One tenant per 8 suffers an impaired upload channel mid-run.
+        let mut plan = FaultPlan::new(spec.seed);
+        plan.push(FaultEvent {
+            at: 5 * MILLI,
+            node: 0,
+            port: 0,
+            kind: FaultKind::CtrlImpair {
+                up: true,
+                down: false,
+                loss: 0.1,
+                delay_max: 1,
+                dup: 0.05,
+            },
+        });
+        spec.fault_plan = Some(plan);
+    }
+    let hosts = hosts_of(&spec.topo);
+    let load = [0.35, 0.55, 0.7, 0.45][i % 4];
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    spec.schedule = PoissonWorkload::new(
+        PoissonConfig {
+            hosts,
+            host_bw_bytes_per_sec: 25.0e9 / 8.0,
+            load,
+            start: 0,
+            end: ticks * spec.loop_cfg.lambda_mi,
+        },
+        FlowSizeDist::fb_hadoop(),
+    )
+    .generate(&mut rng);
+    spec
+}
+
+#[derive(Serialize)]
+struct TenantSummary {
+    id: u32,
+    topo: String,
+    scheme: String,
+    monitor: String,
+    lambda_us: u64,
+    intervals: usize,
+    completions: usize,
+    backlog: usize,
+    upload_drops: u64,
+    starved: u64,
+    faulted: bool,
+}
+
+#[derive(Serialize)]
+struct FleetRow {
+    n_tenants: usize,
+    ticks: u64,
+    wall_ms: f64,
+    mean_tick_us: f64,
+    max_tick_us: f64,
+    mean_phase_a_us: f64,
+    mean_phase_b_us: f64,
+    controller_mem_bytes: usize,
+    mem_per_tenant_bytes: usize,
+    turns: u64,
+    throttled: u64,
+    starved_turns: u64,
+    upload_drops: u64,
+    serial_threaded_identical: Option<bool>,
+    standalone_identical: Option<bool>,
+    snapshot_round_trip_ok: Option<bool>,
+    tenants: Vec<TenantSummary>,
+}
+
+impl FleetRow {
+    fn checks_ok(&self) -> bool {
+        self.serial_threaded_identical != Some(false)
+            && self.standalone_identical != Some(false)
+            && self.snapshot_round_trip_ok != Some(false)
+    }
+}
+
+#[derive(Serialize)]
+struct FleetReport {
+    smoke: bool,
+    checked: bool,
+    scale: String,
+    threads_checked: usize,
+    rows: Vec<FleetRow>,
+}
+
+fn build_fleet(specs: &[TenantSpec], threads: usize) -> FleetService {
+    let mut fleet = FleetService::new(FleetConfig {
+        threads,
+        ..FleetConfig::default()
+    });
+    for s in specs {
+        fleet.admit(s.clone());
+    }
+    fleet
+}
+
+/// Byte-identity between two fleets over everything the controller
+/// owns: interval histories, tuned parameters, completions, queues and
+/// buckets.
+fn fleets_identical(a: &FleetService, b: &FleetService) -> bool {
+    a.n_tenants() == b.n_tenants()
+        && a.stats() == b.stats()
+        && a.tenants().iter().zip(b.tenants()).all(|(x, y)| {
+            x.id == y.id
+                && x.cell.history == y.cell.history
+                && x.cell.last_params == y.cell.last_params
+                && x.completions == y.completions
+                && x.ticks == y.ticks
+                && x.queue.len() == y.queue.len()
+                && x.bucket == y.bucket
+        })
+}
+
+fn run_size(n: usize, ticks: u64, check: bool, scale: Scale, dump: bool) -> FleetRow {
+    let specs: Vec<TenantSpec> = (0..n).map(|i| tenant_spec(i, ticks, scale)).collect();
+
+    if dump {
+        telemetry_begin();
+    }
+    let mut fleet = build_fleet(&specs, 1);
+    let t0 = Instant::now();
+    let mut turns = 0u64;
+    let mut tick_us: Vec<f64> = Vec::with_capacity(ticks as usize);
+    let mut phase_a_us = 0.0;
+    let mut phase_b_us = 0.0;
+    for _ in 0..ticks {
+        let r = fleet.tick();
+        turns += r.turns as u64;
+        let a = r.phase_a.as_secs_f64() * 1e6;
+        let b = r.phase_b.as_secs_f64() * 1e6;
+        phase_a_us += a;
+        phase_b_us += b;
+        tick_us.push(a + b);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if dump {
+        telemetry_dump(&format!("fleet_n{n}"));
+    }
+
+    let stats = fleet.stats();
+    let mem = fleet.controller_memory_bytes();
+    let tenants = fleet
+        .tenants()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TenantSummary {
+            id: t.id,
+            topo: topo_label(&t.spec().topo),
+            scheme: t.cell.scheme_name().to_string(),
+            monitor: t.cell.monitor_name().to_string(),
+            lambda_us: t.lambda() / 1_000,
+            intervals: t.cell.history.len(),
+            completions: t.completions.len(),
+            backlog: t.backlog(),
+            upload_drops: t.queue.dropped,
+            starved: t.starved,
+            faulted: specs[i].fault_plan.is_some(),
+        })
+        .collect();
+
+    let (mut serial_threaded, mut standalone, mut snapshot_ok) = (None, None, None);
+    if check {
+        // Gate 1: the threaded scheduler is byte-identical to serial.
+        let mut threaded = build_fleet(&specs, 4);
+        threaded.run(ticks);
+        serial_threaded = Some(fleets_identical(&fleet, &threaded));
+
+        // Gate 2: each tenant matches its spec run standalone.
+        standalone = Some(fleet.tenants().iter().zip(&specs).all(|(t, spec)| {
+            let cl = standalone_run(spec, ticks);
+            t.cell.history == cl.cell.history
+                && t.cell.last_params == cl.cell.last_params
+                && t.completions == cl.completions
+        }));
+
+        // Gate 3: snapshot + restore mid-run changes nothing.
+        let mut snapped = build_fleet(&specs, 1);
+        snapped.run(ticks / 2);
+        let snap = snapped.snapshot().expect("armed cells checkpoint");
+        snapped.restore(&snap).expect("same tenant set restores");
+        snapped.run(ticks - ticks / 2);
+        snapshot_ok = Some(fleets_identical(&fleet, &snapped));
+    }
+
+    FleetRow {
+        n_tenants: n,
+        ticks,
+        wall_ms,
+        mean_tick_us: tick_us.iter().sum::<f64>() / tick_us.len().max(1) as f64,
+        max_tick_us: tick_us.iter().cloned().fold(0.0, f64::max),
+        mean_phase_a_us: phase_a_us / ticks.max(1) as f64,
+        mean_phase_b_us: phase_b_us / ticks.max(1) as f64,
+        controller_mem_bytes: mem,
+        mem_per_tenant_bytes: mem / n.max(1),
+        turns,
+        throttled: stats.throttled,
+        starved_turns: stats.starved_turns,
+        upload_drops: stats.upload_drops,
+        serial_threaded_identical: serial_threaded,
+        standalone_identical: standalone,
+        snapshot_round_trip_ok: snapshot_ok,
+        tenants,
+    }
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let check = flag("--check");
+    let scale = Scale::from_args();
+    let sizes: &[usize] = if smoke { &[2, 8] } else { &[2, 4, 8, 16] };
+    let ticks: u64 = if smoke { 12 } else { 40 };
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let dump = n == *sizes.last().unwrap();
+        println!("[fleet: {n} tenants, {ticks} ticks]");
+        rows.push(run_size(n, ticks, check, scale, dump));
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n_tenants.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.mean_tick_us),
+                format!("{:.0}", r.max_tick_us),
+                format!("{}", r.controller_mem_bytes / 1024),
+                format!("{}", r.mem_per_tenant_bytes / 1024),
+                r.turns.to_string(),
+                r.upload_drops.to_string(),
+                fmt_check(r.serial_threaded_identical),
+                fmt_check(r.standalone_identical),
+                fmt_check(r.snapshot_round_trip_ok),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fleet service: one tuner process, N fabrics",
+        &[
+            "tenants",
+            "wall ms",
+            "tick µs",
+            "max µs",
+            "ctrl KiB",
+            "KiB/tenant",
+            "turns",
+            "drops",
+            "thr==ser",
+            "==standalone",
+            "snap ok",
+        ],
+        &table,
+    );
+
+    let ok = rows.iter().all(FleetRow::checks_ok);
+    write_json(
+        "fleet",
+        &FleetReport {
+            smoke,
+            checked: check,
+            scale: scale.label().to_string(),
+            threads_checked: 4,
+            rows,
+        },
+    );
+    if check {
+        if ok {
+            println!("[fleet checks: all gates passed]");
+        } else {
+            eprintln!("[fleet checks: GATE FAILED]");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn fmt_check(v: Option<bool>) -> String {
+    match v {
+        None => "-".to_string(),
+        Some(true) => "yes".to_string(),
+        Some(false) => "NO".to_string(),
+    }
+}

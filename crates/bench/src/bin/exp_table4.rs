@@ -118,16 +118,16 @@ fn main() {
     // wall time would overstate (the simulator compresses time), so we
     // report controller work relative to total harness wall-clock — the
     // honest analogue of "% of one core while the system runs".
-    let (sw_b, rnic_b, disp_b) = cl.ledger.per_interval();
+    let (sw_b, rnic_b, disp_b) = cl.cell.ledger.per_interval();
     let o = Overheads {
-        monitor_cpu_pct_of_interval: cl.monitor_cpu.as_secs_f64() / wall.as_secs_f64() * 100.0,
-        tuner_cpu_pct_of_interval: cl.tuner_cpu.as_secs_f64() / wall.as_secs_f64() * 100.0,
+        monitor_cpu_pct_of_interval: cl.cell.monitor_cpu.as_secs_f64() / wall.as_secs_f64() * 100.0,
+        tuner_cpu_pct_of_interval: cl.cell.tuner_cpu.as_secs_f64() / wall.as_secs_f64() * 100.0,
         control_plane_memory_bytes: monitor_mem + classifier.memory_bytes(),
         sketch_memory_bytes: sketch_mem,
         switch_to_controller_bytes_per_interval: sw_b,
         rnic_to_controller_bytes_per_interval: rnic_b,
         controller_to_devices_bytes_per_interval: disp_b,
-        intervals: cl.ledger.intervals,
+        intervals: cl.cell.ledger.intervals,
         telemetry,
     };
     let rows = vec![

@@ -28,15 +28,15 @@ fn main() {
         .build();
     drivers::run_schedule(&mut cl, &flows, scale.fb_window());
     cl.run_to_completion(scale.fb_window() + 300 * MILLI);
-    let trig = cl.history.iter().filter(|r| r.triggered).count();
-    let disp = cl.history.iter().filter(|r| r.dispatched).count();
+    let trig = cl.cell.history.iter().filter(|r| r.triggered).count();
+    let disp = cl.cell.history.iter().filter(|r| r.dispatched).count();
     println!(
         "intervals={} triggers={} dispatches={}",
-        cl.history.len(),
+        cl.cell.history.len(),
         trig,
         disp
     );
-    for (i, r) in cl.history.iter().enumerate() {
+    for (i, r) in cl.cell.history.iter().enumerate() {
         if i % 10 == 0 || r.triggered {
             println!(
                 "i={:>3} U={:.3} otp={:.2} ortt={:.2} opfc={:.2} mu={:.2} {:?} trig={} disp={}",
@@ -44,7 +44,7 @@ fn main() {
             );
         }
     }
-    let p = &cl.last_params;
+    let p = &cl.cell.last_params;
     println!(
         "final params: ai={:.0} hai={:.0} rrmp={:.0} cnp={:.0} timer={:.0} kmin={:.0} kmax={:.0} pmax={:.2}",
         p.ai_rate, p.hai_rate, p.rate_reduce_monitor_period, p.min_time_between_cnps,

@@ -226,7 +226,7 @@ pub fn gbps_of(bytes_per_sec: f64) -> f64 {
 
 /// Mean of the goodput (bytes/s) over the last `n` interval records.
 pub fn tail_goodput(cl: &ClosedLoop, n: usize) -> f64 {
-    let h = &cl.history;
+    let h = &cl.cell.history;
     if h.is_empty() {
         return 0.0;
     }
@@ -236,7 +236,7 @@ pub fn tail_goodput(cl: &ClosedLoop, n: usize) -> f64 {
 
 /// Mean of the RTT (µs) over the last `n` interval records with samples.
 pub fn tail_rtt_us(cl: &ClosedLoop, n: usize) -> f64 {
-    let h = &cl.history;
+    let h = &cl.cell.history;
     let take = n.min(h.len());
     let samples: Vec<f64> = h[h.len() - take..]
         .iter()

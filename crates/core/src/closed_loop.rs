@@ -6,110 +6,21 @@
 //! network-wide FSD and the KL trigger, evaluate the utility function,
 //! hand everything to the tuning scheme, dispatch whatever it returns,
 //! and account the control-channel traffic (Table IV).
+//!
+//! The controller half lives in [`TunerCell`]; `ClosedLoop` is the
+//! 1-tenant special case pairing one cell with one [`Engine`]. The
+//! fleet service (`paraleon-fleet`) runs many cells against many
+//! engines under one scheduler.
 
-use std::time::{Duration, Instant};
+use paraleon_netsim::{Engine, FaultPlan, FlowRecord, SimConfig, SimError, Topology};
+use paraleon_sketch::{SlidingWindowClassifier, WindowConfig};
+use paraleon_tuner::TuningScheme;
 
-use paraleon_dcqcn::DcqcnParams;
-use paraleon_monitor::{ChangeDetector, FsdMonitor, MetricSample, TransferLedger, UtilityWeights};
-use paraleon_netsim::fasthash::mix64;
-use paraleon_netsim::{
-    CtrlImpairment, Engine, FaultEvent, FaultKind, FaultPlan, FlowRecord, SimConfig, SimError,
-    Topology, MILLI,
-};
-use paraleon_sketch::{FlowType, Fsd, SlidingWindowClassifier, WindowConfig};
-use paraleon_telemetry as tel;
-use paraleon_tuner::{
-    Observation, SchemeState, SwitchLocalObs, TuningAction, TuningFeedback, TuningScheme,
-};
-
-use crate::ctrl_plane::{CtrlPlane, CtrlPlaneConfig, CtrlSnapshot, UpMsg};
-use crate::guardrail::{GuardAction, Guardrail, GuardrailConfig, ScreenOutcome};
+use crate::ctrl_plane::{CtrlPlane, CtrlPlaneConfig};
+use crate::guardrail::{Guardrail, GuardrailConfig};
 use crate::schemes::{MonitorKind, SchemeKind};
+pub use crate::tuner_cell::{CellSnapshot, IntervalRecord, LoopConfig, TunerCell};
 use crate::Nanos;
-
-/// Loop-level configuration.
-#[derive(Debug, Clone)]
-pub struct LoopConfig {
-    /// Monitor interval λ_MI (paper NS3 default: 1 ms).
-    pub lambda_mi: Nanos,
-    /// Utility weights (paper NS3 default: 0.2 / 0.5 / 0.3).
-    pub weights: UtilityWeights,
-    /// KL trigger threshold θ (paper default: 0.01).
-    pub theta: f64,
-    /// Force a tuning trigger on the first interval (used by the
-    /// monitoring-comparison experiments so every variant tunes even if
-    /// its FSD scheme cannot detect change).
-    pub force_tuning: bool,
-    /// The change detector compares FSDs aggregated over this many
-    /// monitor intervals (the paper checks the KL trigger at sub-second
-    /// cadence, coarser than λ_MI; window-averaging also keeps per-
-    /// interval sampling noise from re-triggering tuning forever).
-    pub trigger_window: u32,
-}
-
-impl Default for LoopConfig {
-    fn default() -> Self {
-        Self {
-            lambda_mi: MILLI,
-            weights: UtilityWeights::paper_default(),
-            theta: 0.01,
-            force_tuning: false,
-            trigger_window: 8,
-        }
-    }
-}
-
-/// What the controller logged for one monitor interval — the time series
-/// behind Figures 8, 9, 12 and 14. `PartialEq` so harnesses can assert
-/// byte-equivalence between loop variants.
-#[derive(Debug, Clone, PartialEq)]
-pub struct IntervalRecord {
-    /// Interval end time (ns).
-    pub t: Nanos,
-    /// Delivered goodput, bytes/sec.
-    pub goodput: f64,
-    /// Mean RTT, ns (0 if no samples).
-    pub avg_rtt_ns: f64,
-    /// Utility function value.
-    pub utility: f64,
-    /// O_TP term.
-    pub o_tp: f64,
-    /// O_RTT term.
-    pub o_rtt: f64,
-    /// O_PFC term.
-    pub o_pfc: f64,
-    /// Dominant flow type this interval.
-    pub dominant: FlowType,
-    /// Its proportion µ.
-    pub mu: f64,
-    /// Whether the KL trigger fired.
-    pub triggered: bool,
-    /// Whether the tuner dispatched new parameters.
-    pub dispatched: bool,
-    /// Whether the guardrail refused the tuner's candidate this interval.
-    pub rejected: bool,
-    /// Whether the guardrail rolled the fabric back to the last-known-
-    /// good setting this interval.
-    pub rolled_back: bool,
-    /// Whether the loop is in safe mode (tuning frozen) this interval.
-    pub safe_mode: bool,
-    /// CNPs this interval.
-    pub cnps: u64,
-    /// PFC pause frames this interval.
-    pub pfc_events: u64,
-    /// FSD accuracy (similarity to the ground-truth distribution); only
-    /// present when the simulator tracks ground truth.
-    pub fsd_accuracy: Option<f64>,
-}
-
-impl IntervalRecord {
-    /// The interval's PFC pause fraction. `o_pfc` is defined as
-    /// `1 − pause fraction` (see `MetricSample`), so this inverts it —
-    /// the pause-storm detectors consume the fraction directly.
-    pub fn pause_ratio(&self) -> f64 {
-        1.0 - self.o_pfc
-    }
-}
 
 /// The full PARALEON closed loop over one simulated fabric.
 pub struct ClosedLoop {
@@ -117,68 +28,11 @@ pub struct ClosedLoop {
     /// Serial by default; [`ClosedLoopBuilder::parallel`] swaps in the
     /// conservative parallel engine (byte-identical results).
     pub sim: Engine,
-    monitor: Box<dyn FsdMonitor>,
-    detector: ChangeDetector,
-    scheme: Box<dyn TuningScheme>,
-    /// Deployment guardrail, when armed (see [`crate::guardrail`]).
-    guard: Option<Guardrail>,
-    cfg: LoopConfig,
-    /// Control-channel byte accounting (Table IV).
-    pub ledger: TransferLedger,
-    /// Per-interval time series.
-    pub history: Vec<IntervalRecord>,
+    /// The controller: monitor merge, KL trigger, tuning scheme,
+    /// guardrail, dispatch protocol, history and ledger.
+    pub cell: TunerCell,
     /// All flow completions observed so far.
     pub completions: Vec<FlowRecord>,
-    /// Last globally dispatched parameter setting.
-    pub last_params: DcqcnParams,
-    /// Network-wide FSD estimate from the last interval.
-    pub last_fsd: Fsd,
-    /// Wall-clock spent in monitoring code (Table IV CPU accounting).
-    pub monitor_cpu: Duration,
-    /// Wall-clock spent in tuning code.
-    pub tuner_cpu: Duration,
-    first_interval: bool,
-    prev_uploaded: u64,
-    /// FSD aggregated over the current trigger window.
-    window_fsd: Fsd,
-    /// Intervals accumulated into `window_fsd`.
-    window_count: u32,
-    /// Ground-truth classifier (same ternary semantics, exact inputs);
-    /// present when `SimConfig::track_ground_truth` is set.
-    truth: Option<SlidingWindowClassifier>,
-    /// Hardened control plane, when armed. `None` keeps the classic
-    /// direct loop: monitor readings merged in-process, dispatches
-    /// applied instantly.
-    ctrl: Option<CtrlPlane>,
-    /// Control-plane fault events (impairments, crashes) consumed by
-    /// the loop at their scheduled times, sorted by time.
-    ctrl_events: Vec<FaultEvent>,
-    ctrl_event_idx: usize,
-    /// Latest periodic checkpoint — the warm-restart target.
-    snapshot: Option<LoopSnapshot>,
-    /// Build-time checkpoint — the cold-restart target.
-    initial_snapshot: Option<LoopSnapshot>,
-    /// Run seed (kept so late arming can derive the ctrl RNG lanes).
-    seed: u64,
-    /// Channel/merger counters at the end of the previous interval, for
-    /// per-interval telemetry deltas.
-    prev_lost: u64,
-    prev_duplicated: u64,
-    prev_stale_rejected: u64,
-}
-
-/// One controller checkpoint: everything the controller process owns.
-/// The simulator, the monitor's device-side classifiers and the channel
-/// lanes live outside the controller and deliberately do not rewind.
-struct LoopSnapshot {
-    scheme: Option<SchemeState>,
-    guard: Option<Guardrail>,
-    detector: ChangeDetector,
-    ctrl: CtrlSnapshot,
-    believed: DcqcnParams,
-    window_fsd: Fsd,
-    window_count: u32,
-    first_interval: bool,
 }
 
 impl ClosedLoop {
@@ -189,22 +43,22 @@ impl ClosedLoop {
 
     /// The scheme's display name.
     pub fn scheme_name(&self) -> &'static str {
-        self.scheme.name()
+        self.cell.scheme_name()
     }
 
     /// The monitor's display name.
     pub fn monitor_name(&self) -> &'static str {
-        self.monitor.name()
+        self.cell.monitor_name()
     }
 
     /// The guardrail, when armed.
     pub fn guard(&self) -> Option<&Guardrail> {
-        self.guard.as_ref()
+        self.cell.guard()
     }
 
     /// The hardened control plane, when armed.
     pub fn ctrl(&self) -> Option<&CtrlPlane> {
-        self.ctrl.as_ref()
+        self.cell.ctrl()
     }
 
     /// Route all control traffic through the hardened, impairable
@@ -214,31 +68,16 @@ impl ClosedLoop {
     /// No-op if already armed. The checkpoint taken here is the
     /// cold-restart target, so arm before stepping.
     pub fn arm_ctrl(&mut self, cfg: CtrlPlaneConfig) {
-        if self.ctrl.is_some() {
-            return;
-        }
-        self.ctrl = Some(CtrlPlane::new(cfg, self.seed));
-        // The guardrail's backoff jitter joins the run's control-plane
-        // fault randomness: same seed, decorrelated lane.
-        if let Some(g) = self.guard.as_mut() {
-            g.seed_jitter(mix64(self.seed ^ 0x6A4D));
-        }
-        self.initial_snapshot = self.take_snapshot();
-        self.snapshot = self.take_snapshot();
+        self.cell.arm_ctrl(cfg);
     }
 
     /// Install a fault plan: data-plane events go to the simulator,
-    /// control-plane events are consumed by the loop itself at their
+    /// control-plane events are consumed by the controller cell at their
     /// scheduled times (the simulator ignores them). A plan containing
     /// control-plane events arms the hardened control plane with
     /// default knobs if it is not armed yet.
     pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
-        if self.ctrl.is_none() && plan.events().iter().any(|e| e.kind.is_ctrl()) {
-            self.arm_ctrl(CtrlPlaneConfig::default());
-        }
-        self.ctrl_events
-            .extend(plan.events().iter().filter(|e| e.kind.is_ctrl()));
-        self.ctrl_events.sort_by_key(|e| e.at);
+        self.cell.install_ctrl_events(plan);
         self.sim.install_fault_plan(plan)
     }
 
@@ -246,195 +85,7 @@ impl ClosedLoop {
     /// the controller believes it deployed — the end-state a hardened
     /// control plane must drive back to `false` after any fault.
     pub fn ctrl_diverged(&self) -> bool {
-        *self.sim.dcqcn_params() != self.last_params
-    }
-
-    /// Checkpoint the controller process (tuner, guardrail, detector,
-    /// protocol state, believed parameters). `None` when the control
-    /// plane is not armed.
-    fn take_snapshot(&self) -> Option<LoopSnapshot> {
-        let ctrl = self.ctrl.as_ref()?;
-        Some(LoopSnapshot {
-            scheme: self.scheme.snapshot_state(),
-            guard: self.guard.clone(),
-            detector: self.detector.clone(),
-            ctrl: ctrl.snapshot(),
-            believed: self.last_params,
-            window_fsd: self.window_fsd.clone(),
-            window_count: self.window_count,
-            first_interval: self.first_interval,
-        })
-    }
-
-    fn restore_from(&mut self, snap: &LoopSnapshot) {
-        if let Some(state) = snap.scheme.as_ref() {
-            // Downcast-clone restore. A scheme that cannot restore
-            // (no snapshot support) keeps its live state.
-            let _ = self.scheme.restore_state(state);
-        }
-        self.guard = snap.guard.clone();
-        self.detector = snap.detector.clone();
-        if let Some(ctrl) = self.ctrl.as_mut() {
-            ctrl.restore(&snap.ctrl);
-        }
-        self.last_params = snap.believed;
-        self.window_fsd = snap.window_fsd.clone();
-        self.window_count = snap.window_count;
-        self.first_interval = snap.first_interval;
-        // The monitor lives on the devices, not in the controller: its
-        // upload accounting never rewinds. Re-anchor the per-interval
-        // delta so the next ledger record starts from the live counter.
-        self.prev_uploaded = self.monitor.uploaded_bytes();
-    }
-
-    /// Deliver dispatches due at the start of interval `k` and apply
-    /// them at the fabric. A clean-channel dispatch sent during interval
-    /// `k−1`'s controller phase lands here, before the fabric advances —
-    /// the same simulator state and telemetry timestamp the direct
-    /// loop's immediate apply saw.
-    fn deliver_due_dispatches(&mut self, k: u64) {
-        let Some(ctrl) = self.ctrl.as_mut() else {
-            return;
-        };
-        for msg in ctrl.down.deliver(k) {
-            let (action, acked) = ctrl.fabric.on_dispatch(msg);
-            ctrl.up.send(k, UpMsg::Ack { epoch: acked });
-            match action {
-                Some(TuningAction::Global(p)) => {
-                    tel::event(tel::Event::Dispatch {
-                        scope: tel::DispatchScope::Global,
-                    });
-                    self.sim.set_dcqcn_params(&p);
-                }
-                Some(TuningAction::PerSwitchEcn(updates)) => {
-                    tel::event(tel::Event::Dispatch {
-                        scope: tel::DispatchScope::PerSwitch,
-                    });
-                    for (idx, p) in updates {
-                        let _ = self.sim.set_switch_ecn(idx, &p);
-                    }
-                }
-                None => {}
-            }
-        }
-    }
-
-    /// Controller half of the monitoring lane: fold delivered uploads
-    /// and ACKs in, emit retry events for epoch-behind re-sends, and
-    /// return the staleness-weighted network-wide FSD. A clean channel
-    /// delivers everything in send order with no delay, and the merger's
-    /// zero-age merge is bit-identical to the direct in-process merge.
-    fn ctrl_receive(&mut self, k: u64) -> Fsd {
-        let ctrl = self.ctrl.as_mut().expect("ctrl_receive requires arming");
-        let mut resent = Vec::new();
-        for msg in ctrl.up.deliver(k) {
-            match msg {
-                UpMsg::Fsd(u) => {
-                    ctrl.merger.ingest(u);
-                }
-                UpMsg::Ack { epoch } => {
-                    if let Some(e) = ctrl.on_ack(k, epoch) {
-                        resent.push(e);
-                    }
-                }
-            }
-        }
-        let fsd = ctrl.merger.network_fsd(k);
-        for epoch in resent {
-            tel::event(tel::Event::CtrlRetry { epoch });
-        }
-        fsd
-    }
-
-    /// Consume control-plane fault events scheduled at or before `upto`.
-    fn process_ctrl_events(&mut self, upto: Nanos, k: u64) {
-        while self.ctrl_event_idx < self.ctrl_events.len()
-            && self.ctrl_events[self.ctrl_event_idx].at <= upto
-        {
-            let ev = self.ctrl_events[self.ctrl_event_idx];
-            self.ctrl_event_idx += 1;
-            match ev.kind {
-                FaultKind::CtrlImpair {
-                    up,
-                    down,
-                    loss,
-                    delay_max,
-                    dup,
-                } => {
-                    tel::event(tel::Event::CtrlImpairSet {
-                        loss,
-                        delay_max: delay_max as u32,
-                        dup,
-                    });
-                    let imp = CtrlImpairment {
-                        loss,
-                        delay_max,
-                        dup,
-                    };
-                    let ctrl = self.ctrl.as_mut().expect("ctrl events require arming");
-                    if up {
-                        ctrl.up.set_impairment(imp);
-                    }
-                    if down {
-                        ctrl.down.set_impairment(imp);
-                    }
-                }
-                FaultKind::CtrlCrash { warm } => self.handle_crash(warm, k),
-                _ => {}
-            }
-        }
-    }
-
-    /// Controller crash + restart. Warm restores the latest periodic
-    /// checkpoint; cold restores the build-time checkpoint and (when a
-    /// guardrail is armed) enters safe mode, since a from-scratch
-    /// controller cannot vouch for the dead tuner's plans. Either way
-    /// the believed parameters are re-asserted at a fresh epoch so the
-    /// fabric and controller re-converge.
-    fn handle_crash(&mut self, warm: bool, k: u64) {
-        tel::event(tel::Event::CtrlCrash { warm });
-        {
-            let ctrl = self.ctrl.as_mut().expect("crash requires arming");
-            ctrl.crashes += 1;
-            // In-flight messages addressed to the dead process die with
-            // it; dispatches already in the network keep flying.
-            ctrl.up.clear_in_flight();
-        }
-        let slot = if warm {
-            &mut self.snapshot
-        } else {
-            &mut self.initial_snapshot
-        };
-        if let Some(snap) = slot.take() {
-            self.restore_from(&snap);
-            let slot = if warm {
-                &mut self.snapshot
-            } else {
-                &mut self.initial_snapshot
-            };
-            *slot = Some(snap);
-        }
-        if !warm {
-            if let Some(g) = self.guard.as_mut() {
-                let GuardAction::EnterSafeMode {
-                    params,
-                    backoff_intervals,
-                } = g.force_safe_mode()
-                else {
-                    unreachable!("force_safe_mode always enters safe mode");
-                };
-                tel::event(tel::Event::SafeModeEnter { backoff_intervals });
-                self.scheme
-                    .on_feedback(&TuningFeedback::Frozen { fallback: params });
-                self.last_params = params;
-            }
-        }
-        let believed = self.last_params;
-        let ctrl = self.ctrl.as_mut().expect("crash requires arming");
-        ctrl.resyncs += 1;
-        ctrl.extra_dispatch_bytes += believed.wire_size_bytes() as u64;
-        let epoch = ctrl.send_dispatch(k, TuningAction::Global(believed));
-        tel::event(tel::Event::CtrlResync { epoch });
+        self.cell.ctrl_diverged(&self.sim)
     }
 
     /// Run the fabric for one monitor interval and execute one
@@ -442,366 +93,17 @@ impl ClosedLoop {
     pub fn step(&mut self) -> &IntervalRecord {
         // Control-channel time is the interval index: coarse enough for
         // the protocol, exact enough for determinism.
-        let interval_idx = self.history.len() as u64;
+        let interval_idx = self.cell.interval_index();
         // Dispatches due now apply before the fabric advances — for a
         // clean channel this is indistinguishable from the direct
         // loop's immediate apply at the end of the previous interval.
-        self.deliver_due_dispatches(interval_idx);
-        let target = self.sim.now() + self.cfg.lambda_mi;
+        self.cell
+            .deliver_due_dispatches(&mut self.sim, interval_idx);
+        let target = self.sim.now() + self.cell.cfg.lambda_mi;
         self.sim.run_until(target);
         let metrics = self.sim.collect_interval();
-        // Audit: every monitor upload must cover exactly one λ_MI and end
-        // on a λ_MI boundary (all sim advancement goes through `step`).
-        paraleon_audit::check(
-            metrics.end == metrics.start + self.cfg.lambda_mi
-                && self.cfg.lambda_mi > 0
-                && metrics.end.is_multiple_of(self.cfg.lambda_mi),
-            || paraleon_audit::AuditViolation::MiBoundary {
-                start: metrics.start,
-                end: metrics.end,
-                lambda_mi: self.cfg.lambda_mi,
-            },
-        );
         self.completions.extend(self.sim.take_completions());
-        // Stamp the registry clock so everything recorded during this
-        // round (trigger/SA events, series points) carries the interval
-        // end time.
-        tel::set_time(metrics.end);
-        tel::count(tel::Ctr::Intervals);
-        // Control-plane fault transitions scheduled inside this interval
-        // take effect now, before this interval's uploads are sent: an
-        // impairment degrades them, a crash loses what was in flight.
-        if self.ctrl.is_some() {
-            self.process_ctrl_events(metrics.end, interval_idx);
-        }
-
-        // --- Monitoring half (switch CP agents + controller merge). ---
-        let t0 = Instant::now();
-        let fsd = if self.ctrl.is_some() {
-            // Device side: sequence-numbered per-point uploads onto the
-            // (possibly impaired) up lane.
-            let ups = self
-                .monitor
-                .uploads(&metrics.tor_sketches, metrics.end, interval_idx);
-            if let Some(ctrl) = self.ctrl.as_mut() {
-                for u in ups {
-                    ctrl.up.send(interval_idx, UpMsg::Fsd(u));
-                }
-            }
-            self.ctrl_receive(interval_idx)
-        } else {
-            self.monitor
-                .on_interval(&metrics.tor_sketches, metrics.end)
-                .unwrap_or_else(Fsd::empty)
-        };
-        // Trigger check at window granularity over the aggregated FSD.
-        self.window_fsd.merge(&fsd);
-        self.window_count += 1;
-        let mut triggered = false;
-        if self.window_count >= self.cfg.trigger_window.max(1) {
-            let window = std::mem::take(&mut self.window_fsd);
-            self.window_count = 0;
-            if !window.is_empty() {
-                triggered = self.detector.observe(&window);
-            }
-        }
-        if self.first_interval && self.cfg.force_tuning {
-            triggered = true;
-        }
-        self.first_interval = false;
-        let (dominant, mu) = fsd.dominant();
-        // FSD accuracy vs. the exact ground truth (Figures 10-11).
-        let fsd_accuracy = self.truth.as_mut().map(|t| {
-            t.end_interval(metrics.truth_flow_bytes.iter().copied());
-            let truth_fsd = t.local_fsd();
-            if truth_fsd.is_empty() && fsd.is_empty() {
-                1.0
-            } else {
-                fsd.similarity(&truth_fsd)
-            }
-        });
-        self.monitor_cpu += t0.elapsed();
-
-        // --- Utility function. ---
-        let sample = MetricSample::new(
-            metrics.avg_uplink_utilization,
-            metrics.avg_normalized_rtt,
-            1.0 - metrics.pfc_pause_ratio,
-        );
-        let utility = sample.utility(&self.cfg.weights);
-        // Audit: with weights summing to 1 and terms in [0, 1], Eq. (1)
-        // is a convex combination and must stay in [0, 1] itself.
-        paraleon_audit::check(
-            utility.is_finite() && (0.0..=1.0).contains(&utility),
-            || paraleon_audit::AuditViolation::UtilityTermBounds {
-                term: "U",
-                value: utility,
-            },
-        );
-
-        // --- Telemetry: the per-interval series behind Figures 8/9/12/14
-        // (entity 0 = fabric-wide, switch series keyed by switch index).
-        tel::gauge_set(tel::Gauge::LastUtility, utility);
-        tel::gauge_set(tel::Gauge::Mu, mu);
-        tel::gauge_set(tel::Gauge::ActiveFlows, self.sim.active_flows() as f64);
-        tel::series("goodput_bytes_per_sec", 0, metrics.goodput_bytes_per_sec());
-        tel::series("avg_rtt_ns", 0, metrics.avg_rtt_ns);
-        tel::series("utility", 0, utility);
-        tel::series("o_tp", 0, sample.o_tp);
-        tel::series("o_rtt", 0, sample.o_rtt);
-        tel::series("o_pfc", 0, sample.o_pfc);
-        tel::series("mu", 0, mu);
-        tel::series(
-            "mu_mice",
-            0,
-            match dominant {
-                FlowType::Mice => mu,
-                _ => 1.0 - mu,
-            },
-        );
-        tel::series("triggered", 0, if triggered { 1.0 } else { 0.0 });
-        tel::series("cnps", 0, metrics.cnps as f64);
-        tel::series("pfc_events", 0, metrics.pfc_events as f64);
-        if let Some(acc) = fsd_accuracy {
-            tel::series("fsd_accuracy", 0, acc);
-        }
-        // Under fault injection unreachable switches are absent from
-        // `switch_obs`, so series are keyed by the stable switch index,
-        // not the position in the vector.
-        let n_hosts = self.sim.topology().n_hosts();
-        for s in &metrics.switch_obs {
-            let idx = (s.node - n_hosts) as u32;
-            tel::series("switch_tx_utilization", idx, s.tx_utilization);
-            tel::series("switch_marking_rate", idx, s.marking_rate);
-            tel::series("switch_queue_frac", idx, s.queue_frac);
-        }
-
-        // --- Guardrail: judge the previous dispatch on this interval's
-        // health before the tuner gets to emit a new candidate.
-        let reporting: Vec<usize> = metrics
-            .switch_obs
-            .iter()
-            .map(|s| s.node - n_hosts)
-            .collect();
-        let mut rejected = false;
-        let mut rolled_back = false;
-        let mut guard_dispatch_bytes = 0u64;
-        // When the guard corrects the fabric this interval, the scheme is
-        // not consulted: a fresh candidate would overwrite the correction
-        // at the same instant.
-        let mut guard_acted = false;
-        let guard_action = self.guard.as_mut().and_then(|guard| {
-            guard.observe(
-                utility,
-                metrics.goodput_bytes_per_sec(),
-                metrics.pfc_pause_ratio,
-                &reporting,
-            )
-        });
-        match guard_action {
-            Some(GuardAction::Rollback(p)) => {
-                tel::event(tel::Event::GuardrailRollback);
-                self.push_params(interval_idx, &p);
-                guard_dispatch_bytes += p.wire_size_bytes() as u64;
-                self.last_params = p;
-                self.scheme
-                    .on_feedback(&TuningFeedback::RolledBack { restored: p });
-                rolled_back = true;
-                guard_acted = true;
-            }
-            Some(GuardAction::EnterSafeMode {
-                params,
-                backoff_intervals,
-            }) => {
-                tel::event(tel::Event::SafeModeEnter { backoff_intervals });
-                self.push_params(interval_idx, &params);
-                guard_dispatch_bytes += params.wire_size_bytes() as u64;
-                self.last_params = params;
-                self.scheme
-                    .on_feedback(&TuningFeedback::Frozen { fallback: params });
-                guard_acted = true;
-            }
-            Some(GuardAction::ExitSafeMode) => {
-                tel::event(tel::Event::SafeModeExit);
-                self.scheme.on_feedback(&TuningFeedback::Unfrozen);
-            }
-            None => {}
-        }
-        let safe_mode = self.guard.as_ref().is_some_and(Guardrail::in_safe_mode);
-        tel::series("safe_mode", 0, if safe_mode { 1.0 } else { 0.0 });
-
-        // --- Tuning half. ---
-        let obs = Observation {
-            now: metrics.end,
-            utility,
-            sample,
-            dominant,
-            mu,
-            tuning_triggered: triggered,
-            switch_obs: metrics
-                .switch_obs
-                .iter()
-                .map(|s| SwitchLocalObs {
-                    switch_index: s.node - n_hosts,
-                    tx_utilization: s.tx_utilization,
-                    marking_rate: s.marking_rate,
-                    queue_frac: s.queue_frac,
-                })
-                .collect(),
-        };
-        let action = if guard_acted {
-            None
-        } else {
-            let t1 = Instant::now();
-            let action = self.scheme.on_interval(&obs);
-            self.tuner_cpu += t1.elapsed();
-            action
-        };
-
-        // --- Screen, dispatch + control-channel accounting. ---
-        let action = match (action, self.guard.as_mut()) {
-            (Some(a), Some(guard)) => match guard.screen(a, self.sim.n_switches()) {
-                ScreenOutcome::Dispatch(a) => Some(a),
-                ScreenOutcome::Rejected(reason) => {
-                    tel::event(tel::Event::GuardrailReject);
-                    tel::series("guardrail_reject", 0, 1.0);
-                    let _ = reason; // carried in telemetry counters
-                    self.scheme.on_feedback(&TuningFeedback::Rejected {
-                        deployed: self.last_params,
-                    });
-                    rejected = true;
-                    None
-                }
-                ScreenOutcome::Suppressed => None,
-            },
-            (a, _) => a,
-        };
-        let dispatched = action.is_some() || rolled_back || guard_acted;
-        let dispatch_bytes = action
-            .as_ref()
-            .map(|a| self.scheme.dispatch_bytes(a))
-            .unwrap_or(0)
-            + guard_dispatch_bytes;
-        if let Some(action) = action {
-            self.apply(interval_idx, action);
-        }
-        // Re-send the in-flight dispatch when its ACK timed out, and
-        // surface this interval's channel losses as counters.
-        if let Some(ctrl) = self.ctrl.as_mut() {
-            if let Some(epoch) = ctrl.check_retry(interval_idx) {
-                tel::event(tel::Event::CtrlRetry { epoch });
-            }
-            let lost = ctrl.up.stats.lost + ctrl.down.stats.lost;
-            let duplicated = ctrl.up.stats.duplicated + ctrl.down.stats.duplicated;
-            let stale = ctrl.merger.rejected;
-            tel::count_n(tel::Ctr::CtrlMsgsLost, lost - self.prev_lost);
-            tel::count_n(
-                tel::Ctr::CtrlMsgsDuplicated,
-                duplicated - self.prev_duplicated,
-            );
-            tel::count_n(
-                tel::Ctr::CtrlStaleRejected,
-                stale - self.prev_stale_rejected,
-            );
-            self.prev_lost = lost;
-            self.prev_duplicated = duplicated;
-            self.prev_stale_rejected = stale;
-        }
-        let rnic_upload =
-            self.sim.topology().n_hosts() as u64 * MetricSample::wire_size_bytes() as u64;
-        let switch_metric_upload =
-            self.sim.n_switches() as u64 * MetricSample::wire_size_bytes() as u64;
-        let uploaded_total = self.monitor.uploaded_bytes();
-        // Saturating: a controller restore re-anchors `prev_uploaded` to
-        // the live counter, and the device-side counter never rewinds —
-        // but the ledger must not be able to underflow regardless.
-        let fsd_upload = uploaded_total.saturating_sub(self.prev_uploaded);
-        self.prev_uploaded = uploaded_total;
-        let ctrl_extra = self
-            .ctrl
-            .as_mut()
-            .map(|c| std::mem::take(&mut c.extra_dispatch_bytes))
-            .unwrap_or(0);
-        self.ledger.record_interval(
-            fsd_upload + switch_metric_upload,
-            rnic_upload,
-            dispatch_bytes + ctrl_extra,
-        );
-
-        self.last_fsd = fsd;
-        self.history.push(IntervalRecord {
-            t: metrics.end,
-            goodput: metrics.goodput_bytes_per_sec(),
-            avg_rtt_ns: metrics.avg_rtt_ns,
-            utility,
-            o_tp: sample.o_tp,
-            o_rtt: sample.o_rtt,
-            o_pfc: sample.o_pfc,
-            dominant,
-            mu,
-            triggered,
-            dispatched,
-            rejected,
-            rolled_back,
-            safe_mode,
-            cnps: metrics.cnps,
-            pfc_events: metrics.pfc_events,
-            fsd_accuracy,
-        });
-        // Periodic controller checkpoint — the warm-restart target.
-        let checkpoint_due = self
-            .ctrl
-            .as_ref()
-            .map(|c| c.cfg.snapshot_every_intervals.max(1))
-            .is_some_and(|every| (interval_idx + 1).is_multiple_of(every));
-        if checkpoint_due {
-            self.snapshot = self.take_snapshot();
-        }
-        self.history.last().expect("just pushed")
-    }
-
-    /// Apply a screened tuner action: instantly in the direct loop, via
-    /// an epoch-stamped dispatch in ctrl mode. Either way the believed
-    /// parameters update at dispatch time — that is the controller's
-    /// claim the fabric must converge to.
-    fn apply(&mut self, k: u64, action: TuningAction) {
-        if let Some(ctrl) = self.ctrl.as_mut() {
-            if let TuningAction::Global(p) = &action {
-                self.last_params = *p;
-            }
-            ctrl.send_dispatch(k, action);
-            return;
-        }
-        match action {
-            TuningAction::Global(p) => {
-                tel::event(tel::Event::Dispatch {
-                    scope: tel::DispatchScope::Global,
-                });
-                self.sim.set_dcqcn_params(&p);
-                self.last_params = p;
-            }
-            TuningAction::PerSwitchEcn(updates) => {
-                tel::event(tel::Event::Dispatch {
-                    scope: tel::DispatchScope::PerSwitch,
-                });
-                for (idx, p) in updates {
-                    // `set_switch_ecn` bounds-checks; an out-of-range
-                    // index simply does not reach any switch.
-                    let _ = self.sim.set_switch_ecn(idx, &p);
-                }
-            }
-        }
-    }
-
-    /// Push one guardrail correction at the fabric: instantly in the
-    /// direct loop, via an epoch-stamped dispatch in ctrl mode.
-    fn push_params(&mut self, k: u64, p: &DcqcnParams) {
-        match self.ctrl.as_mut() {
-            Some(ctrl) => {
-                ctrl.send_dispatch(k, TuningAction::Global(*p));
-            }
-            None => self.sim.set_dcqcn_params(p),
-        }
+        self.cell.process_interval(&mut self.sim, &metrics)
     }
 
     /// Step until the simulator clock reaches `t`.
@@ -825,7 +127,7 @@ impl ClosedLoop {
 
     /// Raw access to the last interval metrics' equivalents via history.
     pub fn last_record(&self) -> Option<&IntervalRecord> {
-        self.history.last()
+        self.cell.history.last()
     }
 
     /// Step until the control plane quiesces — the previous interval
@@ -840,20 +142,16 @@ impl ClosedLoop {
     /// state unreachable by construction — and settling is precisely the
     /// act of letting the conversation drain.
     pub fn ctrl_settle(&mut self, max_extra: u64) -> bool {
-        let forced = std::mem::replace(&mut self.cfg.force_tuning, false);
+        let forced = std::mem::replace(&mut self.cell.cfg.force_tuning, false);
         let mut settled = false;
         for _ in 0..max_extra {
-            let channel_quiet = match self.ctrl.as_ref() {
-                Some(c) => !c.has_pending() && c.down.in_flight() == 0 && c.up.in_flight() == 0,
-                None => true,
-            };
-            if channel_quiet && !self.history.last().is_some_and(|r| r.dispatched) {
+            if self.cell.ctrl_quiet() && !self.cell.history.last().is_some_and(|r| r.dispatched) {
                 settled = true;
                 break;
             }
             self.step();
         }
-        self.cfg.force_tuning = forced;
+        self.cell.cfg.force_tuning = forced;
         settled
     }
 }
@@ -961,47 +259,34 @@ impl ClosedLoopBuilder {
             .track_ground_truth
             .then(|| SlidingWindowClassifier::new(WindowConfig::default()));
         let sim = Engine::new(self.topo, sim_cfg, self.parallel);
-        let mut cl = ClosedLoop {
-            sim,
-            monitor: self.monitor.build(),
-            detector: ChangeDetector::new(self.loop_cfg.theta),
-            scheme: self
-                .custom_scheme
-                .unwrap_or_else(|| self.scheme.build_tuner(self.seed)),
-            guard: self.guardrail.map(|cfg| Guardrail::new(cfg, initial)),
-            cfg: self.loop_cfg,
-            ledger: TransferLedger::new(),
-            history: Vec::new(),
-            completions: Vec::new(),
-            last_params: initial,
-            last_fsd: Fsd::empty(),
-            monitor_cpu: Duration::ZERO,
-            tuner_cpu: Duration::ZERO,
-            first_interval: true,
-            prev_uploaded: 0,
-            window_fsd: Fsd::empty(),
-            window_count: 0,
+        let scheme = self
+            .custom_scheme
+            .unwrap_or_else(|| self.scheme.build_tuner(self.seed));
+        let guard = self.guardrail.map(|cfg| Guardrail::new(cfg, initial));
+        let mut cell = TunerCell::new(
+            self.monitor.build(),
+            scheme,
+            guard,
+            self.loop_cfg,
+            initial,
             truth,
-            ctrl: None,
-            ctrl_events: Vec::new(),
-            ctrl_event_idx: 0,
-            snapshot: None,
-            initial_snapshot: None,
-            seed: self.seed,
-            prev_lost: 0,
-            prev_duplicated: 0,
-            prev_stale_rejected: 0,
-        };
+            self.seed,
+        );
         if let Some(cfg) = self.ctrl {
-            cl.arm_ctrl(cfg);
+            cell.arm_ctrl(cfg);
         }
-        cl
+        ClosedLoop {
+            sim,
+            cell,
+            completions: Vec::new(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use paraleon_dcqcn::DcqcnParams;
     use paraleon_netsim::MILLI;
 
     fn topo() -> Topology {
@@ -1015,7 +300,7 @@ mod tests {
         assert_eq!(cl.sim.now(), MILLI);
         cl.step();
         assert_eq!(cl.sim.now(), 2 * MILLI);
-        assert_eq!(cl.history.len(), 2);
+        assert_eq!(cl.cell.history.len(), 2);
     }
 
     #[test]
@@ -1032,9 +317,9 @@ mod tests {
             .scheme(SchemeKind::Default)
             .build();
         cl.step();
-        assert!(cl.history[0].dispatched);
+        assert!(cl.cell.history[0].dispatched);
         cl.step();
-        assert!(!cl.history[1].dispatched);
+        assert!(!cl.cell.history[1].dispatched);
     }
 
     #[test]
@@ -1059,8 +344,8 @@ mod tests {
         for _ in 0..4 {
             cl.step();
         }
-        let any_trigger = cl.history.iter().any(|r| r.triggered);
-        let any_dispatch = cl.history.iter().any(|r| r.dispatched);
+        let any_trigger = cl.cell.history.iter().any(|r| r.triggered);
+        let any_dispatch = cl.cell.history.iter().any(|r| r.dispatched);
         assert!(any_trigger, "mice influx must fire the KL trigger");
         assert!(any_dispatch, "a trigger must start SA dispatches");
     }
@@ -1077,8 +362,8 @@ mod tests {
             .build();
         cl.sim.add_flow(0, 5, 4_000_000, 0);
         cl.step();
-        assert!(cl.history[0].triggered);
-        assert!(cl.history[0].dispatched);
+        assert!(cl.cell.history[0].triggered);
+        assert!(cl.cell.history[0].dispatched);
     }
 
     #[test]
@@ -1088,9 +373,9 @@ mod tests {
         for _ in 0..5 {
             cl.step();
         }
-        assert_eq!(cl.ledger.intervals, 5);
-        assert!(cl.ledger.rnic_to_controller > 0);
-        assert!(cl.ledger.switch_to_controller > 0);
+        assert_eq!(cl.cell.ledger.intervals, 5);
+        assert!(cl.cell.ledger.rnic_to_controller > 0);
+        assert!(cl.cell.ledger.switch_to_controller > 0);
     }
 
     /// Drive one elephant-heavy interval.
@@ -1127,12 +412,12 @@ mod tests {
             mice_interval(&mut cl);
         }
         assert!(
-            cl.history.iter().any(|r| r.triggered),
+            cl.cell.history.iter().any(|r| r.triggered),
             "elephant→mice shift must fire the KL trigger"
         );
         // The detector only compares window-aggregated FSDs, so a trigger
         // can only ever land on a window-boundary interval.
-        for (i, r) in cl.history.iter().enumerate() {
+        for (i, r) in cl.cell.history.iter().enumerate() {
             if r.triggered {
                 assert_eq!(
                     (i + 1) % window as usize,
@@ -1158,7 +443,7 @@ mod tests {
             elephant_interval(&mut cl, i);
         }
         assert!(
-            cl.history.iter().all(|r| !r.triggered),
+            cl.cell.history.iter().all(|r| !r.triggered),
             "stable traffic re-fired the KL trigger"
         );
     }
@@ -1196,16 +481,16 @@ mod tests {
         let mut armed = build(true);
         drive(&mut direct, 24);
         drive(&mut armed, 24);
-        assert_eq!(direct.history, armed.history);
-        assert_eq!(direct.last_params, armed.last_params);
-        assert_eq!(direct.last_fsd, armed.last_fsd);
-        assert_eq!(direct.ledger, armed.ledger);
+        assert_eq!(direct.cell.history, armed.cell.history);
+        assert_eq!(direct.cell.last_params, armed.cell.last_params);
+        assert_eq!(direct.cell.last_fsd, armed.cell.last_fsd);
+        assert_eq!(direct.cell.ledger, armed.cell.ledger);
         assert!(!armed.ctrl_diverged());
         let stats = armed.ctrl().unwrap().stats();
         assert_eq!(stats.up.lost + stats.down.lost, 0);
         assert_eq!(stats.retries, 0);
         assert!(
-            direct.history.iter().any(|r| r.dispatched),
+            direct.cell.history.iter().any(|r| r.dispatched),
             "the comparison is vacuous unless something was dispatched"
         );
     }
@@ -1320,7 +605,7 @@ mod tests {
             cl.guard().unwrap().in_safe_mode(),
             "a cold restart cannot vouch for the dead tuner: safe mode"
         );
-        assert_eq!(cl.last_params, safe);
+        assert_eq!(cl.cell.last_params, safe);
         assert!(!cl.ctrl_diverged(), "the fabric runs the safe fallback too");
     }
 
@@ -1336,5 +621,50 @@ mod tests {
             cl.sim.dcqcn_params().ai_rate,
             DcqcnParams::nvidia_default().ai_rate
         );
+    }
+
+    #[test]
+    fn cell_checkpoint_restore_is_identity() {
+        // Snapshot at a tick boundary, keep stepping, restore, re-step:
+        // the trajectory after restore must equal the original — the
+        // fleet snapshot round-trip property builds on this.
+        let build = || {
+            ClosedLoop::builder(topo())
+                .scheme(SchemeKind::Paraleon)
+                .guardrail(GuardrailConfig::default())
+                .seed(7)
+                .ctrl_plane(CtrlPlaneConfig::default())
+                .build()
+        };
+        // One interval of the `drive` pattern at global index `i` (the
+        // workload must not restart when driving resumes after restore).
+        let drive_one = |cl: &mut ClosedLoop, i: usize| {
+            if i < 8 {
+                cl.sim.add_flow(i % 4, 4 + i % 4, 8_000_000, cl.sim.now());
+            } else {
+                let now = cl.sim.now();
+                for k in 0..40usize {
+                    cl.sim
+                        .add_flow(k % 8, (k + 3) % 8, 4_000, now + k as u64 * 1_000);
+                }
+            }
+            cl.step();
+        };
+        let mut a = build();
+        let mut b = build();
+        for i in 0..24 {
+            drive_one(&mut a, i);
+        }
+        for i in 0..12 {
+            drive_one(&mut b, i);
+        }
+        let snap = b.cell.checkpoint().expect("armed loop checkpoints");
+        b.cell.restore(&snap);
+        for i in 12..24 {
+            drive_one(&mut b, i);
+        }
+        assert_eq!(a.cell.history.len(), b.cell.history.len());
+        assert_eq!(a.cell.history, b.cell.history);
+        assert_eq!(a.cell.last_params, b.cell.last_params);
     }
 }

@@ -128,10 +128,10 @@ pub fn qp_id(src: usize, dst: usize) -> u64 {
 fn interval_of(cl: &ClosedLoop) -> Nanos {
     // The loop advances exactly one λ_MI per step; infer it from history
     // or fall back to 1 ms before the first step.
-    match cl.history.len() {
+    match cl.cell.history.len() {
         0 => 1_000_000,
-        1 => cl.history[0].t,
-        n => cl.history[n - 1].t - cl.history[n - 2].t,
+        1 => cl.cell.history[0].t,
+        n => cl.cell.history[n - 1].t - cl.cell.history[n - 2].t,
     }
 }
 
@@ -213,7 +213,7 @@ mod tests {
             });
             let recs = run_collective(&mut cl, &mut tree, 0, 500 * MILLI);
             assert!(tree.finished());
-            (recs, cl.history.clone())
+            (recs, cl.cell.history.clone())
         };
         let (serial, hist1) = run(1);
         let (par, hist2) = run(4);

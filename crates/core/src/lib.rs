@@ -48,6 +48,7 @@ pub mod drivers;
 pub mod guardrail;
 pub mod schemes;
 pub mod stats;
+pub mod tuner_cell;
 
 pub use closed_loop::{ClosedLoop, ClosedLoopBuilder, IntervalRecord, LoopConfig};
 pub use ctrl_plane::{CtrlPlane, CtrlPlaneConfig, CtrlPlaneStats, DownMsg, UpMsg};
@@ -55,6 +56,7 @@ pub use guardrail::{
     GuardAction, Guardrail, GuardrailConfig, GuardrailStats, RejectReason, ScreenOutcome,
 };
 pub use schemes::{MonitorKind, SchemeKind};
+pub use tuner_cell::{CellSnapshot, TunerCell};
 
 /// Re-exports for harness and example code.
 pub mod prelude {
@@ -66,6 +68,7 @@ pub mod prelude {
     };
     pub use crate::schemes::{MonitorKind, SchemeKind};
     pub use crate::stats;
+    pub use crate::tuner_cell::{CellSnapshot, TunerCell};
     pub use paraleon_dcqcn::{DcqcnParams, ParamId, ParamSpace};
     pub use paraleon_monitor::UtilityWeights;
     pub use paraleon_netsim::{

@@ -1,0 +1,572 @@
+//! The fleet scheduler: one controller process, N tenant fabrics.
+//!
+//! [`FleetService::tick`] advances the whole fleet by one monitor
+//! interval in two phases:
+//!
+//! * **Phase A (fabric)** — every tenant admits its due flows, delivers
+//!   due control-plane dispatches, advances its fabric one λ_MI and
+//!   collects interval metrics. Tenants are mutually independent, so
+//!   phase A may run on worker threads ([`FleetConfig::threads`]); every
+//!   telemetry emission is captured per tenant and replayed by the
+//!   coordinator in ascending tenant id — the same order the serial
+//!   scheduler emits in, which is what makes `--threads N` byte-
+//!   identical to `--serial`.
+//! * **Phase B (controller)** — the coordinator drains upload queues
+//!   round-robin, spending one token-bucket token per tuning turn, at
+//!   most [`FleetConfig::max_turns_per_tick`] turns per tenant per
+//!   tick. A tenant whose bucket is empty is throttled (its backlog
+//!   waits); a tenant with backlog that got no turn is starved. Both
+//!   are counted — fairness is observable, not assumed.
+//!
+//! With the default config (2 tokens/tick, 2 turns/tick, queue depth
+//! 64) the controller always keeps up with one upload per tenant per
+//! tick, so each tenant's cell observes exactly the operation sequence
+//! of its standalone [`ClosedLoop`] — bit-for-bit, which
+//! `tests/fleet_properties.rs` and `exp_fleet --check` enforce.
+//!
+//! [`ClosedLoop`]: paraleon::prelude::ClosedLoop
+
+use std::time::{Duration, Instant};
+
+use paraleon_telemetry as tel;
+
+use crate::queue::{DropPolicy, PendingInterval, TokenBucket};
+use crate::tenant::{Tenant, TenantId, TenantSpec};
+
+/// Scheduler knobs. The defaults guarantee the controller keeps up
+/// with one upload per tenant per tick (rate 2 > 1 consumed), which is
+/// the regime where fleet tenants match their standalone loops
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Per-tenant upload queue depth.
+    pub queue_capacity: usize,
+    /// What to shed when a tenant's queue overflows.
+    pub drop_policy: DropPolicy,
+    /// Controller-turn tokens granted to each tenant per service tick.
+    pub tokens_per_tick: f64,
+    /// Token-bucket burst (idle tenants accumulate up to this).
+    pub burst: f64,
+    /// Hard cap on tuning turns one tenant may take in one tick, even
+    /// with tokens to spend — bounds per-tick scheduling latency.
+    pub max_turns_per_tick: u32,
+    /// Phase-A worker threads (1 = serial). Results are byte-identical
+    /// across any thread count.
+    pub threads: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            drop_policy: DropPolicy::DropOldest,
+            tokens_per_tick: 2.0,
+            burst: 16.0,
+            max_turns_per_tick: 2,
+            threads: 1,
+        }
+    }
+}
+
+/// What one service tick did — returned by [`FleetService::tick`] so
+/// harnesses can track scheduling latency and fairness live.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickReport {
+    /// Tick index just completed (1-based after the first tick).
+    pub tick: u64,
+    /// Tuning turns granted across all tenants.
+    pub turns: u32,
+    /// Tenants whose turn was deferred by an empty token bucket.
+    pub throttled: u32,
+    /// Tenants that had backlog but received no turn at all.
+    pub starved: u32,
+    /// Interval uploads shed by full queues during enqueue.
+    pub dropped: u64,
+    /// Wall-clock spent advancing fabrics (phase A).
+    pub phase_a: Duration,
+    /// Wall-clock spent in the controller (phase B).
+    pub phase_b: Duration,
+}
+
+/// Cumulative service counters (see also the `fleet_*` telemetry
+/// counters, which track the same quantities globally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Service ticks completed.
+    pub ticks: u64,
+    /// Tenants admitted over the service lifetime.
+    pub admits: u64,
+    /// Tenants evicted over the service lifetime.
+    pub evicts: u64,
+    /// Turn deferrals due to empty token buckets.
+    pub throttled: u64,
+    /// Interval uploads shed by full queues (sum over live tenants).
+    pub upload_drops: u64,
+    /// Backlogged-but-unserved tenant-ticks (sum over live tenants).
+    pub starved_turns: u64,
+    /// Current total backlog, in intervals.
+    pub backlog: usize,
+}
+
+/// Controller-as-a-service: one tuner process scheduling monitor
+/// merges, tuning episodes and dispatches for a fleet of independent
+/// simulated fabrics.
+pub struct FleetService {
+    /// Scheduler knobs (fixed at construction).
+    pub cfg: FleetConfig,
+    pub(crate) tenants: Vec<Tenant>,
+    pub(crate) tick: u64,
+    pub(crate) rr_cursor: usize,
+    pub(crate) next_id: TenantId,
+    pub(crate) admits: u64,
+    pub(crate) evicts: u64,
+    pub(crate) throttled: u64,
+    /// Starved-turn total carried for tenants that were since evicted.
+    pub(crate) starved_evicted: u64,
+    /// Upload-drop total carried for tenants that were since evicted.
+    pub(crate) drops_evicted: u64,
+}
+
+impl FleetService {
+    /// Empty service.
+    pub fn new(cfg: FleetConfig) -> Self {
+        Self {
+            cfg,
+            tenants: Vec::new(),
+            tick: 0,
+            rr_cursor: 0,
+            next_id: 1,
+            admits: 0,
+            evicts: 0,
+            throttled: 0,
+            starved_evicted: 0,
+            drops_evicted: 0,
+        }
+    }
+
+    /// Admit a tenant: build its fabric and cell from `spec` (identical
+    /// construction to a standalone loop) and start scheduling it on
+    /// the next tick. Returns the fleet-assigned id (nonzero, never
+    /// reused).
+    pub fn admit(&mut self, spec: TenantSpec) -> TenantId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bucket = TokenBucket::new(self.cfg.tokens_per_tick, self.cfg.burst);
+        self.tenants.push(Tenant::build(
+            spec,
+            id,
+            self.cfg.queue_capacity,
+            self.cfg.drop_policy,
+            bucket,
+        ));
+        self.admits += 1;
+        tel::count(tel::Ctr::FleetAdmits);
+        id
+    }
+
+    /// Evict a tenant, returning it (fabric, cell, history and all) for
+    /// inspection. `None` if no such tenant.
+    pub fn evict(&mut self, id: TenantId) -> Option<Tenant> {
+        let pos = self.tenants.iter().position(|t| t.id == id)?;
+        let tenant = self.tenants.remove(pos);
+        self.evicts += 1;
+        self.starved_evicted += tenant.starved;
+        self.drops_evicted += tenant.queue.dropped;
+        tel::count(tel::Ctr::FleetEvicts);
+        Some(tenant)
+    }
+
+    /// The tenant with id `id`.
+    pub fn tenant(&self, id: TenantId) -> Option<&Tenant> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+
+    /// Mutable access to the tenant with id `id`.
+    pub fn tenant_mut(&mut self, id: TenantId) -> Option<&mut Tenant> {
+        self.tenants.iter_mut().find(|t| t.id == id)
+    }
+
+    /// All live tenants, in ascending id order.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Live tenant count.
+    pub fn n_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Service ticks completed.
+    pub fn tick_index(&self) -> u64 {
+        self.tick
+    }
+
+    /// Cumulative service counters.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            ticks: self.tick,
+            admits: self.admits,
+            evicts: self.evicts,
+            throttled: self.throttled,
+            upload_drops: self.drops_evicted
+                + self.tenants.iter().map(|t| t.queue.dropped).sum::<u64>(),
+            starved_turns: self.starved_evicted
+                + self.tenants.iter().map(|t| t.starved).sum::<u64>(),
+            backlog: self.tenants.iter().map(|t| t.queue.len()).sum(),
+        }
+    }
+
+    /// Controller-process memory footprint: every tenant's cell state
+    /// plus queued backlog. Excludes the fabrics — this is what the
+    /// shared tuner holds, the fleet's headline scaling metric.
+    pub fn controller_memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .tenants
+                .iter()
+                .map(Tenant::controller_memory_bytes)
+                .sum::<usize>()
+    }
+
+    /// Advance the whole fleet one monitor interval: phase A (fabrics,
+    /// possibly threaded) then phase B (shared controller, always on
+    /// the coordinator).
+    pub fn tick(&mut self) -> TickReport {
+        let t0 = Instant::now();
+        // Phase A: advance every fabric, capturing telemetry per
+        // tenant. The serial path captures on the coordinator, the
+        // threaded path on workers — either way nothing is recorded
+        // until the replay below, so both paths emit identically.
+        let results: Vec<(Vec<tel::Captured>, PendingInterval)> =
+            if self.cfg.threads > 1 && self.tenants.len() > 1 {
+                self.phase_a_threaded()
+            } else {
+                self.tenants
+                    .iter_mut()
+                    .map(Tenant::advance_captured)
+                    .collect()
+            };
+        // Replay and enqueue in ascending tenant id — the one canonical
+        // emission order. The tenant id is stamped onto series entities
+        // and flight events here (workers run untenanted).
+        let mut dropped = 0u64;
+        for (t, (captured, pending)) in self.tenants.iter_mut().zip(results) {
+            tel::set_tenant(t.id);
+            tel::capture_replay(&captured);
+            tel::set_tenant(0);
+            if !t.queue.push(pending) {
+                dropped += 1;
+                tel::count(tel::Ctr::FleetUploadDrops);
+            }
+        }
+        let phase_a = t0.elapsed();
+
+        // Phase B: round-robin controller turns, one token each.
+        let t1 = Instant::now();
+        let mut turns_total = 0u32;
+        let mut throttled = 0u32;
+        let mut starved = 0u32;
+        let n = self.tenants.len();
+        if n > 0 {
+            let first = self.rr_cursor % n;
+            for off in 0..n {
+                let t = &mut self.tenants[(first + off) % n];
+                t.bucket.refill();
+                let mut turns = 0u32;
+                while !t.queue.is_empty() && turns < self.cfg.max_turns_per_tick {
+                    if !t.bucket.try_take(1.0) {
+                        throttled += 1;
+                        self.throttled += 1;
+                        tel::count(tel::Ctr::FleetThrottled);
+                        break;
+                    }
+                    let pending = t.queue.pop().expect("queue checked non-empty");
+                    tel::set_tenant(t.id);
+                    t.cell.process_interval(&mut t.sim, &pending.metrics);
+                    tel::set_tenant(0);
+                    turns += 1;
+                }
+                turns_total += turns;
+                if turns == 0 && !t.queue.is_empty() {
+                    t.starved += 1;
+                    starved += 1;
+                    tel::count(tel::Ctr::FleetStarvedTurns);
+                }
+            }
+            self.rr_cursor = (self.rr_cursor + 1) % n;
+        }
+        self.tick += 1;
+        tel::count(tel::Ctr::FleetTicks);
+        TickReport {
+            tick: self.tick,
+            turns: turns_total,
+            throttled,
+            starved,
+            dropped,
+            phase_a,
+            phase_b: t1.elapsed(),
+        }
+    }
+
+    /// Run `n` service ticks.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Phase A on `cfg.threads` scoped workers, tenants split into
+    /// contiguous chunks. Workers advance fabrics and capture telemetry
+    /// on their own thread-local registries; results are joined back in
+    /// chunk (= tenant id) order, so downstream processing is
+    /// order-identical to the serial path.
+    fn phase_a_threaded(&mut self) -> Vec<(Vec<tel::Captured>, PendingInterval)> {
+        let threads = self.cfg.threads.min(self.tenants.len()).max(1);
+        let per = self.tenants.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(self.tenants.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .tenants
+                .chunks_mut(per)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter_mut()
+                            .map(Tenant::advance_captured)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("fleet phase-A worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::standalone_run;
+    use paraleon::prelude::*;
+
+    fn clos_spec(seed: u64) -> TenantSpec {
+        let mut spec = TenantSpec::new(TopoSpec::TwoTier(ClosSpec {
+            n_tor: 2,
+            hosts_per_tor: 2,
+            n_leaf: 1,
+            host_gbps: 25.0,
+            uplink_gbps: 50.0,
+            delay_ns: 1_000,
+        }));
+        spec.seed = seed;
+        spec.schedule = synthetic_schedule(4, seed, 16);
+        spec
+    }
+
+    fn rail_spec(seed: u64) -> TenantSpec {
+        let mut spec = TenantSpec::new(TopoSpec::Rail(RailSpec {
+            n_rail: 2,
+            n_server: 2,
+            n_spine: 1,
+            host_gbps: 25.0,
+            uplink_gbps: 50.0,
+            delay_ns: 1_500,
+        }));
+        spec.seed = seed;
+        spec.scheme = SchemeKind::Expert;
+        spec.schedule = synthetic_schedule(4, seed, 16);
+        spec
+    }
+
+    fn mixed_spec(seed: u64) -> TenantSpec {
+        let mut spec = TenantSpec::new(TopoSpec::MixedRate(MixedRateSpec {
+            n_tor: 2,
+            hosts_per_tor: 2,
+            n_leaf: 2,
+            host_gbps: 25.0,
+            fast_gbps: 50.0,
+            slow_gbps: 25.0,
+            delay_ns: 1_000,
+        }));
+        spec.seed = seed;
+        spec.monitor = MonitorKind::NaiveSketch;
+        spec.schedule = synthetic_schedule(4, seed, 16);
+        spec
+    }
+
+    /// Deterministic elephant/mice mix: a few large flows early, then
+    /// bursts of small flows — enough traffic that tuning has signal.
+    fn synthetic_schedule(hosts: usize, seed: u64, intervals: u64) -> Vec<FlowRequest> {
+        let half = hosts / 2;
+        let mut flows = Vec::new();
+        for i in 0..intervals {
+            let t0 = i * MILLI;
+            if i < 4 {
+                flows.push(FlowRequest {
+                    src: (i as usize + seed as usize) % half,
+                    dst: half + (i as usize) % half,
+                    bytes: 4_000_000,
+                    start: t0,
+                });
+            } else {
+                for k in 0..8usize {
+                    flows.push(FlowRequest {
+                        src: (k + seed as usize) % hosts,
+                        dst: (k + seed as usize + half) % hosts,
+                        bytes: 20_000,
+                        start: t0 + k as u64 * 10_000,
+                    });
+                }
+            }
+        }
+        flows
+    }
+
+    fn assert_tenant_matches_standalone(t: &Tenant, spec: &TenantSpec, ticks: u64) {
+        let standalone = standalone_run(spec, ticks);
+        assert_eq!(
+            t.cell.history.len(),
+            standalone.cell.history.len(),
+            "tenant {} processed a different interval count",
+            t.id
+        );
+        for (k, (a, b)) in t
+            .cell
+            .history
+            .iter()
+            .zip(standalone.cell.history.iter())
+            .enumerate()
+        {
+            assert_eq!(a, b, "tenant {} interval {k} diverged", t.id);
+        }
+        assert_eq!(t.cell.last_params, standalone.cell.last_params);
+        assert_eq!(t.completions, standalone.completions);
+    }
+
+    #[test]
+    fn single_tenant_fleet_matches_standalone_bit_for_bit() {
+        let spec = clos_spec(7);
+        let mut fleet = FleetService::new(FleetConfig::default());
+        let id = fleet.admit(spec.clone());
+        fleet.run(16);
+        let t = fleet.tenant(id).unwrap();
+        assert_eq!(t.ticks, 16);
+        assert!(
+            t.queue.is_empty(),
+            "default config keeps the controller caught up"
+        );
+        assert_tenant_matches_standalone(t, &spec, 16);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_every_tenant_matches_its_standalone() {
+        let specs = [clos_spec(1), rail_spec(2), mixed_spec(3)];
+        let mut fleet = FleetService::new(FleetConfig::default());
+        let ids: Vec<_> = specs.iter().map(|s| fleet.admit(s.clone())).collect();
+        fleet.run(12);
+        for (id, spec) in ids.iter().zip(&specs) {
+            assert_tenant_matches_standalone(fleet.tenant(*id).unwrap(), spec, 12);
+        }
+    }
+
+    #[test]
+    fn serial_and_threaded_fleets_are_byte_identical() {
+        let specs = [clos_spec(11), rail_spec(12), mixed_spec(13)];
+        let mut serial = FleetService::new(FleetConfig::default());
+        let mut threaded = FleetService::new(FleetConfig {
+            threads: 3,
+            ..FleetConfig::default()
+        });
+        for s in &specs {
+            serial.admit(s.clone());
+            threaded.admit(s.clone());
+        }
+        serial.run(12);
+        threaded.run(12);
+        for (a, b) in serial.tenants().iter().zip(threaded.tenants()) {
+            assert_eq!(a.cell.history, b.cell.history, "tenant {} diverged", a.id);
+            assert_eq!(a.cell.last_params, b.cell.last_params);
+            assert_eq!(a.completions, b.completions);
+            assert_eq!(a.queue.len(), b.queue.len());
+            assert_eq!(a.bucket, b.bucket);
+        }
+        assert_eq!(serial.stats(), threaded.stats());
+    }
+
+    #[test]
+    fn starved_tenant_lags_but_neighbours_are_unaffected() {
+        // Rate 0 with burst 2: the victim gets two turns ever, then
+        // starves; the well-behaved neighbour must still match its
+        // standalone loop exactly.
+        let victim = clos_spec(21);
+        let neighbour = rail_spec(22);
+        let mut fleet = FleetService::new(FleetConfig {
+            queue_capacity: 4,
+            ..FleetConfig::default()
+        });
+        let vid = fleet.admit(victim);
+        // Drain the victim's bucket to zero and stop refills.
+        fleet.tenant_mut(vid).unwrap().bucket = TokenBucket::new(0.0, 0.0);
+        let nid = fleet.admit(neighbour.clone());
+        fleet.run(16);
+        let v = fleet.tenant(vid).unwrap();
+        assert_eq!(v.cell.history.len(), 0, "no tokens, no turns");
+        assert!(v.starved > 0, "backlogged victim must be counted starved");
+        assert!(
+            v.queue.dropped > 0,
+            "16 intervals into a 4-deep queue must shed"
+        );
+        assert_eq!(v.queue.len(), 4, "backlog capped at queue depth");
+        let s = fleet.stats();
+        assert!(s.throttled > 0);
+        assert_eq!(s.upload_drops, v.queue.dropped);
+        assert_tenant_matches_standalone(fleet.tenant(nid).unwrap(), &neighbour, 16);
+    }
+
+    #[test]
+    fn admit_and_evict_mid_run() {
+        let mut fleet = FleetService::new(FleetConfig::default());
+        let a = fleet.admit(clos_spec(31));
+        let b = fleet.admit(rail_spec(32));
+        fleet.run(5);
+        let c = fleet.admit(mixed_spec(33));
+        fleet.run(5);
+        let evicted = fleet.evict(a).expect("tenant a is live");
+        assert_eq!(evicted.cell.history.len(), 10);
+        assert!(fleet.evict(a).is_none(), "double-evict is None");
+        fleet.run(5);
+        assert_eq!(fleet.n_tenants(), 2);
+        assert_eq!(fleet.tenant(b).unwrap().cell.history.len(), 15);
+        assert_eq!(fleet.tenant(c).unwrap().cell.history.len(), 10);
+        let s = fleet.stats();
+        assert_eq!((s.admits, s.evicts, s.ticks), (3, 1, 15));
+        // Ids are never reused.
+        let d = fleet.admit(clos_spec(34));
+        assert!(d > c);
+    }
+
+    #[test]
+    fn telemetry_is_stamped_per_tenant() {
+        tel::reset();
+        tel::set_enabled(true);
+        let mut fleet = FleetService::new(FleetConfig::default());
+        let a = fleet.admit(clos_spec(41));
+        let b = fleet.admit(rail_spec(42));
+        fleet.run(4);
+        tel::set_enabled(false);
+        assert_eq!(tel::counter(tel::Ctr::FleetTicks), 4);
+        assert_eq!(tel::counter(tel::Ctr::FleetAdmits), 2);
+        // Each tenant's utility series lands on its own stamped entity.
+        for id in [a, b] {
+            let pts = tel::series_get("utility", tel::tenant_entity(id, 0));
+            assert_eq!(pts.len(), 4, "tenant {id} utility series");
+        }
+        assert!(
+            tel::series_get("utility", 0).is_empty(),
+            "no emission leaks onto the untenanted entity"
+        );
+        tel::reset();
+    }
+}

@@ -149,7 +149,7 @@ fn run_loop(point: &HuntPoint, threads: usize) -> LoopFingerprint {
     let tail_start = flight.len().saturating_sub(FLIGHT_TAIL);
     let stats = cl.ctrl().expect("ctrl plane is armed").stats();
     LoopFingerprint {
-        history: cl.history.clone(),
+        history: cl.cell.history.clone(),
         completions: cl.completions.clone(),
         events_processed: cl.sim.events_processed(),
         flight_tail: flight[tail_start..].to_vec(),
@@ -235,7 +235,7 @@ fn collective_over_rail_topology_is_byte_identical() {
         let tail_start = flight.len().saturating_sub(FLIGHT_TAIL);
         (
             recs,
-            cl.history.clone(),
+            cl.cell.history.clone(),
             cl.sim.events_processed(),
             flight[tail_start..].to_vec(),
             paraleon_audit::violation_count(),

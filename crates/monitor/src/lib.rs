@@ -59,7 +59,7 @@ pub type SketchReadings = [(PointId, Vec<(FlowId, u64)>)];
 /// readings; returns the current network-wide FSD estimate when the
 /// scheme has one (NetFlow, with its O(seconds) export period, returns
 /// its previous export until a new one is due).
-pub trait FsdMonitor {
+pub trait FsdMonitor: Send {
     /// Ingest one interval ending at `now`; return the scheme's current
     /// network-wide FSD estimate, if any.
     fn on_interval(&mut self, readings: &SketchReadings, now: Nanos) -> Option<Fsd>;

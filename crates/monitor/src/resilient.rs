@@ -64,6 +64,10 @@ pub struct StalenessMerger {
     /// Points dropped from the merge after exceeding the staleness
     /// horizon.
     pub aged_out: u64,
+    /// Accepted uploads whose sequence number regressed while their
+    /// interval advanced — a sender restart (e.g. a cold-restored
+    /// tenant re-numbering from 0).
+    pub restarts: u64,
 }
 
 impl Default for StalenessMerger {
@@ -82,6 +86,7 @@ impl StalenessMerger {
             accepted: 0,
             rejected: 0,
             aged_out: 0,
+            restarts: 0,
         }
     }
 
@@ -96,14 +101,33 @@ impl StalenessMerger {
     }
 
     /// Ingest one delivered upload. Returns `true` if it became the
-    /// point's newest; duplicates and stale reorderings (sequence number
-    /// not strictly newer) are rejected, which is what makes delivery
-    /// idempotent under channel duplication and reordering.
+    /// point's newest. Admission is interval-first: an upload measured
+    /// in an older interval than the point's newest is a stale reorder,
+    /// and within the same interval a non-advancing sequence number is a
+    /// duplicate — both rejected, which is what makes delivery
+    /// idempotent under channel duplication and reordering. An upload
+    /// from a strictly newer interval whose sequence number *regressed*
+    /// is a sender restart (the sender renumbers from 0 after a cold
+    /// restore): it is accepted and counted, so a restarted point is
+    /// never permanently rejected by its pre-crash watermark. Within one
+    /// sender generation seq and interval are monotone together — the
+    /// interval is stamped by the measuring loop, not by sender state —
+    /// so the two orderings can only disagree across a restart.
     pub fn ingest(&mut self, up: FsdUpload) -> bool {
         match self.latest.get(&up.point) {
-            Some(have) if up.seq <= have.seq => {
+            Some(have) if up.interval < have.interval => {
                 self.rejected += 1;
                 false
+            }
+            Some(have) if up.interval == have.interval && up.seq <= have.seq => {
+                self.rejected += 1;
+                false
+            }
+            Some(have) if up.seq <= have.seq => {
+                self.restarts += 1;
+                self.accepted += 1;
+                self.latest.insert(up.point, up);
+                true
             }
             _ => {
                 self.accepted += 1;
@@ -219,6 +243,48 @@ mod tests {
         assert_eq!(gone.flow_mass(), 0.0);
         assert_eq!(m.n_points(), 0, "past horizon: point dropped");
         assert_eq!(m.aged_out, 1);
+    }
+
+    #[test]
+    fn sender_restart_is_not_permanently_rejected() {
+        // Regression: a tenant crash + cold restore renumbers the
+        // sender's upload seq from 0. The pre-crash monotone watermark
+        // (seq 100) must not permanently reject the fresh stream.
+        let mut m = StalenessMerger::new(8);
+        assert!(m.ingest(upload(0, 100, 40, 1_000)));
+        // Crash at interval 40; the restored sender resumes at interval
+        // 41 with seq 0, 1, 2, ...
+        assert!(
+            m.ingest(upload(0, 0, 41, 2_000)),
+            "restarted stream's first upload must be accepted"
+        );
+        assert!(m.ingest(upload(0, 1, 42, 3_000)));
+        assert_eq!(m.restarts, 1, "only the seq regression counts as restart");
+        assert_eq!(m.rejected, 0);
+        // The merge reflects the newest post-restart reading.
+        let fsd = m.network_fsd(42);
+        let mut want = Fsd::empty();
+        want.merge(&one_flow(3_000));
+        assert_eq!(fsd, want);
+        // An old-generation straggler (high seq, old interval) delivered
+        // late must not overwrite the fresh stream.
+        assert!(
+            !m.ingest(upload(0, 99, 39, 9_999)),
+            "old-generation straggler rejected by interval"
+        );
+        assert_eq!(m.rejected, 1);
+    }
+
+    #[test]
+    fn same_interval_duplicates_still_rejected_across_restart() {
+        let mut m = StalenessMerger::new(8);
+        assert!(m.ingest(upload(0, 0, 10, 1_000)));
+        assert!(
+            !m.ingest(upload(0, 0, 10, 1_000)),
+            "same interval + same seq is a duplicate, not a restart"
+        );
+        assert_eq!(m.restarts, 0);
+        assert_eq!(m.rejected, 1);
     }
 
     #[test]

@@ -97,6 +97,11 @@ pub fn write_jsonl(path: impl AsRef<Path>) -> io::Result<PathBuf> {
             ("t_ns", Value::UInt(ev.t_ns)),
             ("event", Value::String(ev.event.name().into())),
         ];
+        if ev.tenant != 0 {
+            // Only multi-tenant (fleet) runs carry the dimension, so
+            // standalone dumps stay byte-identical to older exports.
+            entries.push(("tenant", Value::UInt(ev.tenant as u64)));
+        }
         for (field, value) in ev.event.fields() {
             entries.push((field, Value::Float(value)));
         }
@@ -169,6 +174,8 @@ pub struct OwnedSeriesPoint {
 pub struct OwnedEvent {
     /// Simulation time, nanoseconds.
     pub t_ns: u64,
+    /// Owning tenant (0 = standalone/default; absent in the file).
+    pub tenant: u32,
     /// Event type name (e.g. `"sa_accept"`).
     pub name: String,
     /// Event payload fields.
@@ -327,10 +334,11 @@ pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<TelemetryDump> {
             }),
             "event" => dump.events.push(OwnedEvent {
                 t_ns: req_u64("t_ns")?,
+                tenant: field(&entries, "tenant").and_then(as_u64).unwrap_or(0) as u32,
                 name: req_str("event")?,
                 fields: entries
                     .iter()
-                    .filter(|(k, _)| !matches!(k.as_str(), "kind" | "t_ns" | "event"))
+                    .filter(|(k, _)| !matches!(k.as_str(), "kind" | "t_ns" | "event" | "tenant"))
                     .filter_map(|(k, v)| as_f64(v).map(|f| (k.clone(), f)))
                     .collect(),
             }),

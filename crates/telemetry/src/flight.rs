@@ -1,7 +1,7 @@
 //! Bounded flight recorder: a ring buffer of typed control-plane and
 //! data-plane events, dumpable on demand for post-mortem analysis.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Which layer an adaptive dispatch targeted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,11 +221,13 @@ impl Event {
     }
 }
 
-/// An event stamped with simulation time.
+/// An event stamped with simulation time and owning tenant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimedEvent {
     /// Simulation time in nanoseconds.
     pub t_ns: u64,
+    /// Owning tenant (0 = the standalone/default tenant).
+    pub tenant: u32,
     /// The event payload.
     pub event: Event,
 }
@@ -233,28 +235,31 @@ pub struct TimedEvent {
 /// Fixed-capacity ring of recent [`TimedEvent`]s. When full, the oldest
 /// entry is evicted and counted in `dropped`.
 ///
-/// Two lanes share the budget: per-packet data-plane events (ECN marks,
-/// CNPs, rate changes) and rare control-plane transitions (faults,
-/// guardrail actions, dispatches — see [`Event::is_control_plane`]).
-/// Each lane only evicts its own kind, so a data-plane flood can never
-/// push a fault or rollback record out of the post-mortem window.
+/// Per-packet data-plane events (ECN marks, CNPs, rate changes) share
+/// one lane; rare control-plane transitions (faults, guardrail actions,
+/// dispatches — see [`Event::is_control_plane`]) get **one lane per
+/// tenant**. Each lane only evicts its own kind, so a data-plane flood
+/// can never push a fault or rollback record out of the post-mortem
+/// window — and in a multi-tenant fleet, one noisy tenant's control
+/// churn can never evict another tenant's control-plane events.
 #[derive(Debug)]
 pub struct FlightRecorder {
     data: VecDeque<TimedEvent>,
-    control: VecDeque<TimedEvent>,
+    control: BTreeMap<u32, VecDeque<TimedEvent>>,
     data_capacity: usize,
     control_capacity: usize,
     dropped: u64,
 }
 
 impl FlightRecorder {
-    /// Ring holding at most `capacity` data-plane events plus a
-    /// quarter of that (at least 64) control-plane transitions.
+    /// Ring holding at most `capacity` data-plane events plus, per
+    /// tenant, a quarter of that (at least 64) control-plane
+    /// transitions.
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         FlightRecorder {
             data: VecDeque::with_capacity(capacity),
-            control: VecDeque::new(),
+            control: BTreeMap::new(),
             data_capacity: capacity,
             control_capacity: (capacity / 4).max(64),
             dropped: 0,
@@ -263,9 +268,12 @@ impl FlightRecorder {
 
     /// Append an event, evicting the oldest of its lane when full.
     #[inline]
-    pub fn push(&mut self, t_ns: u64, event: Event) {
+    pub fn push(&mut self, t_ns: u64, tenant: u32, event: Event) {
         let (lane, cap) = if event.is_control_plane() {
-            (&mut self.control, self.control_capacity)
+            (
+                self.control.entry(tenant).or_default(),
+                self.control_capacity,
+            )
         } else {
             (&mut self.data, self.data_capacity)
         };
@@ -273,40 +281,60 @@ impl FlightRecorder {
             lane.pop_front();
             self.dropped += 1;
         }
-        lane.push_back(TimedEvent { t_ns, event });
+        lane.push_back(TimedEvent {
+            t_ns,
+            tenant,
+            event,
+        });
     }
 
-    /// Events currently retained, merged across lanes oldest first
-    /// (ties resolved control-plane first: the transition is the cause,
-    /// the data-plane burst the effect).
+    /// Events currently retained, merged across all lanes oldest first.
+    /// Ties resolve control-plane first (the transition is the cause,
+    /// the data-plane burst the effect), then by ascending tenant.
+    /// Within a lane, insertion order is preserved — a backdated
+    /// `event_at` stays where it was pushed, exactly as in the
+    /// single-tenant two-lane merge.
     pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
-        let mut merged = Vec::with_capacity(self.len());
-        let (mut c, mut d) = (self.control.iter().peekable(), self.data.iter().peekable());
+        let mut merged: Vec<&TimedEvent> = Vec::with_capacity(self.len());
+        // One cursor per lane (control lanes in ascending tenant order,
+        // then the data lane); repeatedly emit the head with the
+        // smallest (t_ns, rank, tenant) key, rank 0 = control.
+        let mut lanes: Vec<(
+            u8,
+            u32,
+            std::iter::Peekable<std::collections::vec_deque::Iter<'_, TimedEvent>>,
+        )> = self
+            .control
+            .iter()
+            .map(|(&t, lane)| (0u8, t, lane.iter().peekable()))
+            .collect();
+        lanes.push((1, 0, self.data.iter().peekable()));
         loop {
-            match (c.peek(), d.peek()) {
-                (Some(ce), Some(de)) => {
-                    if ce.t_ns <= de.t_ns {
-                        merged.push(c.next().unwrap());
-                    } else {
-                        merged.push(d.next().unwrap());
+            let mut best: Option<(usize, (u64, u8, u32))> = None;
+            for (i, (rank, tenant, it)) in lanes.iter_mut().enumerate() {
+                if let Some(e) = it.peek() {
+                    let key = (e.t_ns, *rank, *tenant);
+                    if best.is_none_or(|(_, bk)| key < bk) {
+                        best = Some((i, key));
                     }
                 }
-                (Some(_), None) => merged.push(c.next().unwrap()),
-                (None, Some(_)) => merged.push(d.next().unwrap()),
-                (None, None) => break,
+            }
+            match best {
+                Some((i, _)) => merged.push(lanes[i].2.next().unwrap()),
+                None => break,
             }
         }
         merged.into_iter()
     }
 
-    /// Number of retained events across both lanes.
+    /// Number of retained events across all lanes.
     pub fn len(&self) -> usize {
-        self.data.len() + self.control.len()
+        self.data.len() + self.control.values().map(VecDeque::len).sum::<usize>()
     }
 
-    /// Whether both lanes are empty.
+    /// Whether all lanes are empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty() && self.control.is_empty()
+        self.data.is_empty() && self.control.values().all(VecDeque::is_empty)
     }
 
     /// Events evicted so far because a lane was full.
@@ -314,9 +342,16 @@ impl FlightRecorder {
         self.dropped
     }
 
-    /// Maximum retained events (both lanes).
+    /// Maximum retained events: the data lane plus one control lane per
+    /// tenant seen so far (at least one).
     pub fn capacity(&self) -> usize {
-        self.data_capacity + self.control_capacity
+        self.data_capacity + self.control_capacity * self.control.len().max(1)
+    }
+
+    /// Control-plane lanes currently allocated (= tenants that have
+    /// recorded at least one control-plane event).
+    pub fn control_lanes(&self) -> usize {
+        self.control.len()
     }
 
     /// Discard all retained events and the drop counter.
@@ -329,8 +364,9 @@ impl FlightRecorder {
     /// Heap + inline bytes held by this recorder (capacity-based: the
     /// data lane pre-allocates).
     pub fn memory_bytes(&self) -> usize {
+        let control: usize = self.control.values().map(VecDeque::capacity).sum();
         std::mem::size_of::<Self>()
-            + (self.data.capacity() + self.control.capacity()) * std::mem::size_of::<TimedEvent>()
+            + (self.data.capacity() + control) * std::mem::size_of::<TimedEvent>()
     }
 }
 
@@ -342,7 +378,7 @@ mod tests {
     fn ring_evicts_oldest_and_counts_drops() {
         let mut fr = FlightRecorder::new(3);
         for i in 0..5u64 {
-            fr.push(i, Event::RateIncrease);
+            fr.push(i, 0, Event::RateIncrease);
         }
         assert_eq!(fr.len(), 3);
         assert_eq!(fr.dropped(), 2);
@@ -353,21 +389,72 @@ mod tests {
     #[test]
     fn control_plane_events_survive_a_data_plane_flood() {
         let mut fr = FlightRecorder::new(8);
-        fr.push(5, Event::FaultLinkDown { node: 8, port: 4 });
+        fr.push(5, 0, Event::FaultLinkDown { node: 8, port: 4 });
         for i in 0..1_000u64 {
             fr.push(
                 10 + i,
+                0,
                 Event::EcnMark {
                     switch: 8,
                     queue_bytes: i,
                 },
             );
         }
-        fr.push(2_000, Event::FaultLinkUp { node: 8, port: 4 });
+        fr.push(2_000, 0, Event::FaultLinkUp { node: 8, port: 4 });
         let names: Vec<&str> = fr.events().map(|e| e.event.name()).collect();
         assert_eq!(names.first(), Some(&"fault_link_down"));
         assert_eq!(names.last(), Some(&"fault_link_up"));
         assert!(fr.dropped() > 0);
+    }
+
+    #[test]
+    fn noisy_tenant_cannot_evict_another_tenants_control_events() {
+        let mut fr = FlightRecorder::new(8); // control lane cap = 64/tenant
+                                             // Tenant 1 records one precious rollback early.
+        fr.push(5, 1, Event::GuardrailRollback);
+        // Tenant 2 floods its control lane far past its own capacity.
+        for i in 0..10_000u64 {
+            fr.push(10 + i, 2, Event::CtrlRetry { epoch: i });
+        }
+        assert!(fr.dropped() > 0, "tenant 2's own lane must have evicted");
+        assert_eq!(fr.control_lanes(), 2);
+        let tenant1: Vec<&TimedEvent> = fr.events().filter(|e| e.tenant == 1).collect();
+        assert_eq!(tenant1.len(), 1, "tenant 1's event survives the flood");
+        assert_eq!(tenant1[0].event.name(), "guardrail_rollback");
+        assert_eq!(tenant1[0].t_ns, 5);
+        // Tenant 2 keeps only the newest `control_capacity` of its own.
+        let tenant2 = fr.events().filter(|e| e.tenant == 2).count();
+        assert_eq!(tenant2 as u64 + fr.dropped(), 10_000);
+    }
+
+    #[test]
+    fn merged_events_order_by_time_then_lane_then_tenant() {
+        let mut fr = FlightRecorder::new(8);
+        fr.push(50, 0, Event::RateIncrease);
+        fr.push(
+            100,
+            2,
+            Event::EcnMark {
+                switch: 0,
+                queue_bytes: 1,
+            },
+        );
+        fr.push(100, 2, Event::GuardrailReject);
+        fr.push(100, 1, Event::GuardrailRollback);
+        let got: Vec<(u64, u32, &str)> = fr
+            .events()
+            .map(|e| (e.t_ns, e.tenant, e.event.name()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (50, 0, "rate_increase"),
+                (100, 1, "guardrail_rollback"),
+                (100, 2, "guardrail_reject"),
+                (100, 2, "ecn_mark"),
+            ],
+            "ties: control before data, then ascending tenant"
+        );
     }
 
     #[test]

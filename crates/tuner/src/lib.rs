@@ -127,7 +127,7 @@ pub enum TuningFeedback {
 pub type SchemeState = Box<dyn Any + Send>;
 
 /// A pluggable DCQCN tuning scheme driven once per monitor interval.
-pub trait TuningScheme {
+pub trait TuningScheme: Send {
     /// Consume one interval's observation; optionally emit an action.
     fn on_interval(&mut self, obs: &Observation) -> Option<TuningAction>;
 

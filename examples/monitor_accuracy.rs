@@ -76,7 +76,12 @@ fn simulated_accuracy(kind: MonitorKind) -> f64 {
     }
     flows.sort_by_key(|f| f.start);
     drivers::run_schedule(&mut cl, &flows, 30 * MILLI);
-    let acc: Vec<f64> = cl.history.iter().filter_map(|r| r.fsd_accuracy).collect();
+    let acc: Vec<f64> = cl
+        .cell
+        .history
+        .iter()
+        .filter_map(|r| r.fsd_accuracy)
+        .collect();
     stats::mean(&acc)
 }
 

@@ -47,21 +47,21 @@ fn main() {
         step_and_log(&mut cl);
     }
 
-    let triggers = cl.history.iter().filter(|r| r.triggered).count();
-    let dispatches = cl.history.iter().filter(|r| r.dispatched).count();
+    let triggers = cl.cell.history.iter().filter(|r| r.triggered).count();
+    let dispatches = cl.cell.history.iter().filter(|r| r.dispatched).count();
     println!(
         "\nsummary: {} intervals, {} KL triggers, {} parameter dispatches, {} flows completed",
-        cl.history.len(),
+        cl.cell.history.len(),
         triggers,
         dispatches,
         cl.completions.len()
     );
     println!(
         "final deployed parameters: ai_rate={} Mbps, rate_reduce_monitor_period={} us, Kmin={} KB, Kmax={} KB",
-        cl.last_params.ai_rate,
-        cl.last_params.rate_reduce_monitor_period,
-        cl.last_params.k_min,
-        cl.last_params.k_max
+        cl.cell.last_params.ai_rate,
+        cl.cell.last_params.rate_reduce_monitor_period,
+        cl.cell.last_params.k_min,
+        cl.cell.last_params.k_max
     );
 }
 

@@ -102,11 +102,11 @@ fn main() {
             );
         }
     }
-    let triggers = cl.history.iter().filter(|r| r.triggered).count();
+    let triggers = cl.cell.history.iter().filter(|r| r.triggered).count();
     println!(
         "\n{} KL triggers across the run; {} flows completed; final Kmax = {:.0} KB",
         triggers,
         cl.completions.len(),
-        cl.last_params.k_max
+        cl.cell.last_params.k_max
     );
 }

@@ -35,15 +35,15 @@ fn paraleon_full_pipeline_reacts_to_workload_shift() {
         cl.step();
     }
     assert!(
-        cl.history.iter().any(|r| r.triggered),
+        cl.cell.history.iter().any(|r| r.triggered),
         "the KL detector must fire on the elephant→mice shift"
     );
     assert!(
-        cl.history.iter().filter(|r| r.dispatched).count() >= 2,
+        cl.cell.history.iter().filter(|r| r.dispatched).count() >= 2,
         "a trigger must start an SA episode with dispatches"
     );
     // The deployed parameters must have moved off the default.
-    assert_ne!(cl.last_params, DcqcnParams::nvidia_default());
+    assert_ne!(cl.cell.last_params, DcqcnParams::nvidia_default());
 }
 
 #[test]
@@ -115,7 +115,12 @@ fn fsd_accuracy_ranks_paraleon_above_naive() {
         for _ in 0..25 {
             cl.step();
         }
-        let acc: Vec<f64> = cl.history.iter().filter_map(|r| r.fsd_accuracy).collect();
+        let acc: Vec<f64> = cl
+            .cell
+            .history
+            .iter()
+            .filter_map(|r| r.fsd_accuracy)
+            .collect();
         stats::mean(&acc)
     };
     let naive = accuracy(MonitorKind::NaiveSketch);
@@ -151,7 +156,7 @@ fn dcqcn_plus_reduces_cnp_load_under_incast() {
         for _ in 0..10 {
             cl.step();
         }
-        cl.history.iter().map(|r| r.cnps).sum::<u64>()
+        cl.cell.history.iter().map(|r| r.cnps).sum::<u64>()
     };
     let base = run(false);
     let plus = run(true);
@@ -180,9 +185,9 @@ fn deterministic_end_to_end_replay() {
             cl.step();
         }
         (
-            cl.last_params.to_vector(),
+            cl.cell.last_params.to_vector(),
             cl.completions.len(),
-            cl.history.iter().map(|r| r.cnps).sum::<u64>(),
+            cl.cell.history.iter().map(|r| r.cnps).sum::<u64>(),
         )
     };
     assert_eq!(run(), run(), "full pipeline must replay deterministically");
@@ -212,8 +217,8 @@ fn utility_improves_over_a_forced_episode_on_stable_traffic() {
         cl.step();
         let _ = step;
     }
-    let first5: Vec<f64> = cl.history[1..6].iter().map(|r| r.utility).collect();
-    let last5: Vec<f64> = cl.history[cl.history.len() - 5..]
+    let first5: Vec<f64> = cl.cell.history[1..6].iter().map(|r| r.utility).collect();
+    let last5: Vec<f64> = cl.cell.history[cl.cell.history.len() - 5..]
         .iter()
         .map(|r| r.utility)
         .collect();
@@ -238,7 +243,7 @@ fn ledger_matches_paper_scale_of_transfers() {
     for _ in 0..10 {
         cl.step();
     }
-    let (sw, rnic, disp) = cl.ledger.per_interval();
+    let (sw, rnic, disp) = cl.cell.ledger.per_interval();
     // Hundreds of bytes per interval, as Table IV reports — never MBs.
     assert!(sw > 0.0 && sw < 10_000.0, "switch upload {sw}");
     assert!(rnic > 0.0 && rnic < 10_000.0, "rnic upload {rnic}");
